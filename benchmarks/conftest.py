@@ -1,0 +1,72 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper on scaled-down
+models (same topology and activations as Table I, reduced widths) and
+synthetic datasets, printing the same rows/series the paper reports.  Absolute
+numbers are not expected to match the paper — the substrate differs — but the
+qualitative shape (orderings, trends, who wins) should.
+
+Training the two victim models is done once per session here; the individual
+benchmarks then time only the experiment they reproduce.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import PreparedExperiment, build_method_packages, prepare_experiment
+from repro.utils.config import TrainingConfig
+
+
+@pytest.fixture(scope="session")
+def prepared_mnist() -> PreparedExperiment:
+    """Scaled Table-I MNIST model (Tanh) trained on synthetic digits."""
+    return prepare_experiment(
+        "mnist",
+        train_size=300,
+        test_size=80,
+        width_multiplier=0.125,
+        training=TrainingConfig(epochs=10, batch_size=32, learning_rate=2e-3),
+        rng=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def prepared_cifar() -> PreparedExperiment:
+    """Scaled Table-I CIFAR model (ReLU) trained on synthetic colour objects."""
+    return prepare_experiment(
+        "cifar",
+        train_size=400,
+        test_size=100,
+        width_multiplier=0.125,
+        training=TrainingConfig(epochs=12, batch_size=32, learning_rate=3e-3),
+        rng=0,
+    )
+
+
+#: the test budgets (rows of Tables II/III), scaled from the paper's 10..50
+DETECTION_BUDGETS = (10, 20, 30)
+
+
+@pytest.fixture(scope="session")
+def mnist_packages(prepared_mnist):
+    """Functional-test packages (neuron vs parameter coverage) for the MNIST model."""
+    return build_method_packages(
+        prepared_mnist,
+        num_tests=max(DETECTION_BUDGETS),
+        candidate_pool=100,
+        rng=1,
+        gradient_kwargs={"max_updates": 30},
+    )
+
+
+@pytest.fixture(scope="session")
+def cifar_packages(prepared_cifar):
+    """Functional-test packages (neuron vs parameter coverage) for the CIFAR model."""
+    return build_method_packages(
+        prepared_cifar,
+        num_tests=max(DETECTION_BUDGETS),
+        candidate_pool=100,
+        rng=1,
+        gradient_kwargs={"max_updates": 30},
+    )

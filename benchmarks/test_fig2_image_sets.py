@@ -1,0 +1,74 @@
+"""Fig. 2 — validation coverage of different image sets.
+
+The paper reports (average per-sample coverage over 1000 images):
+
+    =========  =====  ========  ============
+    model      noise  ImageNet  training set
+    =========  =====  ========  ============
+    MNIST      13 %   22 %      46 %
+    CIFAR-10   12 %   18 %      36 %
+    =========  =====  ========  ============
+
+Shape the paper reports: structured in-distribution images activate the most
+parameters, unstructured noise the fewest.  On the synthetic substrate the
+training-vs-noise ordering does NOT reproduce (the synthetic models' filters
+respond to full-contrast static as strongly as to training images), so this
+benchmark prints paper-vs-measured values and asserts only the properties
+that are substrate-independent: every population activates a strict subset of
+the parameters, and no population reaches full coverage with single samples.
+See EXPERIMENTS.md (E2) for the discussion of this documented deviation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ascii_bar_chart, format_markdown_table, image_set_coverage
+
+PAPER_VALUES = {
+    "mnist": {"noise": 0.13, "imagenet-proxy": 0.22, "training-set": 0.46},
+    "cifar": {"noise": 0.12, "imagenet-proxy": 0.18, "training-set": 0.36},
+}
+
+NUM_SAMPLES = 20
+
+
+def _run(prepared, rng):
+    return image_set_coverage(
+        prepared.model, prepared.train, num_samples=NUM_SAMPLES, rng=rng
+    )
+
+
+def _report(result, dataset):
+    rows = [
+        {
+            "image_set": name,
+            "measured_coverage": value,
+            "paper_coverage": PAPER_VALUES[dataset][name],
+        }
+        for name, value in result.coverage_by_set.items()
+    ]
+    print(f"\nFig. 2 ({dataset} model), {NUM_SAMPLES} samples per population:")
+    print(format_markdown_table(rows))
+    print(ascii_bar_chart(result.coverage_by_set))
+
+
+def test_fig2_mnist(benchmark, prepared_mnist):
+    result = benchmark.pedantic(lambda: _run(prepared_mnist, 1), rounds=1, iterations=1)
+    _report(result, "mnist")
+    coverage = result.coverage_by_set
+    # substrate-independent properties: single samples never cover everything,
+    # yet every population activates a substantial fraction of parameters
+    assert all(0.0 < v < 1.0 for v in coverage.values())
+    ordering_holds = coverage["training-set"] > coverage["noise"]
+    print(f"paper ordering (training > noise) holds: {ordering_holds}")
+
+
+def test_fig2_cifar(benchmark, prepared_cifar):
+    result = benchmark.pedantic(lambda: _run(prepared_cifar, 1), rounds=1, iterations=1)
+    _report(result, "cifar")
+    coverage = result.coverage_by_set
+    assert all(0.0 < v < 1.0 for v in coverage.values())
+    # the ReLU model leaves a large fraction of parameters unactivated by any
+    # single sample, which is what makes multi-test generation necessary
+    assert max(coverage.values()) < 0.9
+    ordering_holds = coverage["training-set"] > coverage["noise"]
+    print(f"paper ordering (training > noise) holds: {ordering_holds}")

@@ -1,0 +1,58 @@
+"""Table I — model architectures and their test accuracy.
+
+The paper reports 98.9 % (MNIST, Tanh CNN) and 84.26 % (CIFAR-10, ReLU CNN).
+On the synthetic stand-in datasets the scaled models should land in the same
+regimes: near-perfect on the digit task, clearly-lower-but-useful on the
+colour-object task.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_markdown_table
+from repro.nn.layers import Conv2D, Dense
+
+
+def _architecture_rows(prepared, paper_accuracy):
+    model = prepared.model
+    conv = [l.filters for l in model.layers if isinstance(l, Conv2D)]
+    dense = [l.units for l in model.layers if isinstance(l, Dense)]
+    return {
+        "model": model.name,
+        "dataset": prepared.dataset_name,
+        "conv_filters": "/".join(map(str, conv)),
+        "dense_units": "/".join(map(str, dense)),
+        "parameters": model.num_parameters(),
+        "measured_accuracy": prepared.test_accuracy,
+        "paper_accuracy": paper_accuracy,
+    }
+
+
+def test_table1_mnist_model(benchmark, prepared_mnist):
+    row = benchmark.pedantic(
+        lambda: _architecture_rows(prepared_mnist, 0.989), rounds=1, iterations=1
+    )
+    print("\nTable I (MNIST-style model):")
+    print(format_markdown_table([row]))
+    # same regime as the paper: the digit task is learned almost perfectly
+    assert row["measured_accuracy"] > 0.9
+
+
+def test_table1_cifar_model(benchmark, prepared_cifar):
+    row = benchmark.pedantic(
+        lambda: _architecture_rows(prepared_cifar, 0.8426), rounds=1, iterations=1
+    )
+    print("\nTable I (CIFAR-style model):")
+    print(format_markdown_table([row]))
+    # good-but-not-perfect, as in the paper
+    assert 0.45 < row["measured_accuracy"] <= 1.0
+
+
+def test_table1_relative_difficulty(benchmark, prepared_mnist, prepared_cifar):
+    """The CIFAR-style task is the harder one, as in the paper."""
+    gap = benchmark.pedantic(
+        lambda: prepared_mnist.test_accuracy - prepared_cifar.test_accuracy,
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\naccuracy gap (mnist - cifar): {gap:.3f} (paper: 0.989 - 0.843 = 0.146)")
+    assert gap > 0.0

@@ -1,0 +1,72 @@
+"""Attack-detection study: a scaled-down version of Tables II and III.
+
+Compares two test-generation strategies — the hardware-testing baseline that
+maximises *neuron* coverage, and the paper's combined method that maximises
+*parameter* (validation) coverage — by their detection rate against three
+parameter-perturbation attacks (SBA, GDA, random noise) at several test
+budgets.
+
+Run with:  python examples/attack_detection.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    build_method_packages,
+    detection_table_markdown,
+    prepare_experiment,
+)
+from repro.utils.config import DetectionConfig, TrainingConfig
+from repro.validation import default_attack_factories, DetectionExperiment
+
+
+def main() -> None:
+    print("training the scaled Table-I MNIST model (Tanh)...")
+    prepared = prepare_experiment(
+        "mnist",
+        train_size=300,
+        test_size=80,
+        width_multiplier=0.125,
+        training=TrainingConfig(epochs=8, batch_size=32, learning_rate=2e-3),
+        rng=0,
+    )
+    print(f"test accuracy: {prepared.test_accuracy:.3f}")
+
+    budgets = (5, 10, 15)
+    print("\ngenerating functional-test packages for both methods...")
+    packages = build_method_packages(
+        prepared,
+        num_tests=max(budgets),
+        candidate_pool=80,
+        rng=1,
+        gradient_kwargs={"max_updates": 30},
+    )
+    for name, pkg in packages.items():
+        print(f"  {name:20s} parameter coverage: {pkg.metadata['validation_coverage']:.1%}")
+
+    config = DetectionConfig(
+        trials=40, test_budgets=budgets, attacks=("sba", "gda", "random"), seed=2
+    )
+    factories = default_attack_factories(
+        prepared.test.images[:20], gda_parameters=20, random_parameters=10
+    )
+    print(f"\nrunning {config.trials} perturbation trials per attack...")
+    table = DetectionExperiment(prepared.model, packages, factories, config).run()
+
+    print("\n=== Detection rates (rows: test budget N; columns: method:attack) ===")
+    print(
+        detection_table_markdown(
+            table.as_rows(),
+            budgets=list(budgets),
+            methods=["neuron-coverage", "parameter-coverage"],
+            attacks=["sba", "gda", "random"],
+        )
+    )
+    print(
+        "\nexpected shape: detection rate rises with N, and the proposed "
+        "parameter-coverage tests beat the neuron-coverage tests in every column"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Coverage study: reproduce the shapes of Fig. 2 and Fig. 3 on a small model.
+
+* Fig. 2 — average per-sample validation coverage of three image populations
+  (Gaussian noise, off-distribution natural images, the training set).
+* Fig. 3 — validation coverage versus number of tests for the three
+  generation methods (training-set selection, gradient-based generation and
+  the combined method).
+
+Run with:  python examples/coverage_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    ascii_bar_chart,
+    ascii_line_chart,
+    coverage_vs_budget,
+    image_set_coverage,
+    prepare_experiment,
+)
+from repro.utils.config import TrainingConfig
+
+
+def main() -> None:
+    print("training the scaled CIFAR-style ReLU model (the paper's Fig. 3 model)...")
+    prepared = prepare_experiment(
+        "cifar",
+        train_size=400,
+        test_size=100,
+        width_multiplier=0.125,
+        training=TrainingConfig(epochs=10, batch_size=32, learning_rate=3e-3),
+        rng=0,
+    )
+    print(f"test accuracy: {prepared.test_accuracy:.3f}")
+    model, train = prepared.model, prepared.train
+
+    print("\n=== Fig. 2: average validation coverage per image population ===")
+    fig2 = image_set_coverage(model, train, num_samples=20, rng=1)
+    print(ascii_bar_chart(fig2.coverage_by_set))
+    print(
+        "expected shape: the training set activates the most parameters, "
+        "pure noise the fewest"
+    )
+
+    print("\n=== Fig. 3: coverage vs. number of functional tests ===")
+    curves = coverage_vs_budget(
+        model,
+        train,
+        max_tests=15,
+        candidate_pool=80,
+        rng=2,
+        gradient_kwargs={"max_updates": 30},
+    )
+    print(ascii_line_chart(curves.curves))
+    for method, values in curves.curves.items():
+        print(
+            f"{method:22s} first test: {values[0]:.1%}   "
+            f"after {len(values)} tests: {values[-1]:.1%}"
+        )
+    crossover = curves.crossover_budget("training-selection", "gradient-generation")
+    if crossover is None:
+        print("gradient generation did not overtake selection within this budget")
+    else:
+        print(f"gradient generation overtakes selection at N = {crossover}")
+    print(
+        "expected shape: selection wins early, saturates; gradient keeps climbing; "
+        "the combined method dominates at equal budget"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Vendor/user workflow with on-disk artefacts (Fig. 1 of the paper).
+
+Unlike the quickstart, this example exercises the full release pipeline as two
+separate roles communicating only through files:
+
+* the vendor trains the IP, generates functional tests, and writes both the
+  model file and the validation package to disk;
+* the user loads the package, treats the received model strictly as a black
+  box (a callable), and validates it — once for an intact copy and once for a
+  copy whose parameters were swapped by an attacker in transit (the
+  "unsecure IP distribution" arrow of Fig. 1).
+
+Run with:  python examples/vendor_user_workflow.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import prepare_experiment
+from repro.attacks import GradientDescentAttack
+from repro.models.zoo import mnist_cnn
+from repro.nn.serialization import load_model_into, save_model
+from repro.utils.config import TrainingConfig
+from repro.validation import IPVendor, ValidationPackage, validate_ip
+
+
+def vendor_side(workdir: Path) -> dict:
+    """Train, generate tests, and write the release artefacts."""
+    print("--- vendor: training the IP ---")
+    prepared = prepare_experiment(
+        "mnist",
+        train_size=300,
+        test_size=80,
+        width_multiplier=0.125,
+        training=TrainingConfig(epochs=8, batch_size=32, learning_rate=2e-3),
+        rng=0,
+    )
+    print(f"vendor model accuracy: {prepared.test_accuracy:.3f}")
+
+    vendor = IPVendor(prepared.model, prepared.train)
+    package = vendor.release(num_tests=12, candidate_pool=80, rng=1, max_updates=30)
+
+    model_path = save_model(prepared.model, workdir / "dnn_ip.npz")
+    package_path = package.save(workdir / "validation_package.npz")
+    print(f"vendor wrote {model_path.name} and {package_path.name}")
+    return {
+        "model_path": model_path,
+        "package_path": package_path,
+        "reference_inputs": prepared.test.images[:10],
+    }
+
+
+def attacker_in_transit(model_path: Path, reference_inputs: np.ndarray) -> Path:
+    """Tamper with the shipped parameters (reverse-engineer-and-replace threat)."""
+    print("--- attacker: replacing parameters in the shipped model ---")
+    victim = mnist_cnn(width_multiplier=0.125, rng=0)
+    load_model_into(victim, model_path)
+    outcome = GradientDescentAttack(reference_inputs, num_parameters=25, rng=7).apply(victim)
+    tampered_path = model_path.with_name("dnn_ip_tampered.npz")
+    save_model(outcome.model, tampered_path)
+    print(
+        f"attacker modified {outcome.record.num_modified} parameters "
+        f"(max |delta| = {outcome.record.max_abs_delta:.4f})"
+    )
+    return tampered_path
+
+
+def user_side(model_path: Path, package_path: Path, label: str) -> None:
+    """Load the received artefacts and validate the black-box IP."""
+    received = mnist_cnn(width_multiplier=0.125, rng=0)
+    load_model_into(received, model_path, verify_digest=False)
+    package = ValidationPackage.load(package_path)
+
+    # the user only ever calls the IP, never inspects it
+    black_box = lambda inputs: received.predict(inputs)  # noqa: E731
+    report = validate_ip(black_box, package)
+    print(f"user validating {label}: {report.summary()}")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(tmp)
+        artefacts = vendor_side(workdir)
+        tampered_path = attacker_in_transit(
+            artefacts["model_path"], artefacts["reference_inputs"]
+        )
+
+        print("--- user: validating the received IPs ---")
+        user_side(artefacts["model_path"], artefacts["package_path"], "intact IP")
+        user_side(tampered_path, artefacts["package_path"], "tampered IP")
+
+
+if __name__ == "__main__":
+    main()

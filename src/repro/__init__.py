@@ -1,0 +1,38 @@
+"""repro — reproduction of "On Functional Test Generation for Deep Neural
+Network IPs" (Luo, Li, Wei, Xu — DATE 2019).
+
+The package is organised as:
+
+* :mod:`repro.nn` — from-scratch NumPy deep-learning substrate (layers,
+  losses, optimisers, gradient queries).
+* :mod:`repro.data` — synthetic stand-ins for MNIST, CIFAR-10, ImageNet and
+  noise image populations.
+* :mod:`repro.models` — the Table-I architectures and a trainer.
+* :mod:`repro.coverage` — validation (parameter) coverage and the
+  neuron-coverage baseline.
+* :mod:`repro.testgen` — Algorithms 1 and 2, the combined method, and
+  baselines.
+* :mod:`repro.attacks` — SBA, GDA, random and bit-flip parameter
+  perturbations.
+* :mod:`repro.validation` — the vendor/user scheme and the detection-rate
+  experiment harness.
+* :mod:`repro.analysis` — figure/table builders and reporting.
+
+Typical quickstart::
+
+    from repro.analysis import prepare_experiment
+    from repro.validation import IPVendor, validate_ip
+    from repro.attacks import SingleBiasAttack
+
+    prepared = prepare_experiment("mnist", rng=0)
+    vendor = IPVendor(prepared.model, prepared.train)
+    package = vendor.release(num_tests=20, candidate_pool=100)
+
+    tampered = SingleBiasAttack(rng=1).apply(prepared.model).model
+    report = validate_ip(tampered, package)
+    assert report.detected
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,49 @@
+"""Experiment drivers, figure series builders and result reporting."""
+
+from repro.analysis.figures import (
+    CoverageCurves,
+    ImageSetCoverage,
+    SyntheticSampleReport,
+    coverage_vs_budget,
+    image_set_coverage,
+    synthetic_sample_report,
+)
+from repro.analysis.reporting import (
+    ascii_bar_chart,
+    ascii_line_chart,
+    detection_table_markdown,
+    format_csv,
+    format_markdown_table,
+    format_percentage,
+    write_csv,
+)
+from repro.analysis.sweep import (
+    PreparedExperiment,
+    SweepResult,
+    build_method_packages,
+    epsilon_sweep,
+    prepare_experiment,
+    scalarization_sweep,
+)
+
+__all__ = [
+    "CoverageCurves",
+    "ImageSetCoverage",
+    "SyntheticSampleReport",
+    "coverage_vs_budget",
+    "image_set_coverage",
+    "synthetic_sample_report",
+    "ascii_bar_chart",
+    "ascii_line_chart",
+    "detection_table_markdown",
+    "format_csv",
+    "format_markdown_table",
+    "format_percentage",
+    "write_csv",
+    "PreparedExperiment",
+    "SweepResult",
+    "build_method_packages",
+    "epsilon_sweep",
+    "prepare_experiment",
+    "scalarization_sweep",
+]

@@ -1,0 +1,173 @@
+"""Rendering of experiment results as markdown tables, CSV and ASCII charts.
+
+The benchmarks print the same rows/series the paper reports; these helpers
+keep that formatting in one place so table output is consistent across the
+benchmark harness, the examples and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+PathLike = Union[str, Path]
+Row = Mapping[str, object]
+
+
+def format_markdown_table(
+    rows: Sequence[Row],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render dict rows as a GitHub-flavoured markdown table."""
+    if not rows:
+        raise ValueError("no rows to format")
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    header = "| " + " | ".join(columns) + " |"
+    separator = "| " + " | ".join("---" for _ in columns) + " |"
+    body = [
+        "| " + " | ".join(fmt(row.get(col, "")) for col in columns) + " |"
+        for row in rows
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def format_csv(rows: Sequence[Row], columns: Optional[Sequence[str]] = None) -> str:
+    """Render dict rows as CSV text."""
+    if not rows:
+        raise ValueError("no rows to format")
+    if columns is None:
+        columns = list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({k: row.get(k, "") for k in columns})
+    return buffer.getvalue()
+
+
+def write_csv(rows: Sequence[Row], path: PathLike, columns: Optional[Sequence[str]] = None) -> Path:
+    """Write dict rows to a CSV file, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(format_csv(rows, columns), encoding="utf-8")
+    return path
+
+
+def format_percentage(value: float, decimals: int = 1) -> str:
+    """Format a fraction in ``[0, 1]`` as a percentage string ("87.2%")."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"value must be a fraction in [0, 1], got {value}")
+    return f"{value * 100:.{decimals}f}%"
+
+
+def ascii_bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    value_format: str = "{:.1%}",
+) -> str:
+    """Simple horizontal bar chart for terminal output (used for Fig. 2)."""
+    if not values:
+        raise ValueError("no values to chart")
+    max_value = max(values.values())
+    if max_value <= 0:
+        max_value = 1.0
+    label_width = max(len(k) for k in values)
+    lines = []
+    for label, value in values.items():
+        bar = "#" * max(1, int(round(width * value / max_value))) if value > 0 else ""
+        lines.append(
+            f"{label.ljust(label_width)} | {bar.ljust(width)} {value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def ascii_line_chart(
+    series: Mapping[str, Sequence[float]],
+    xs: Optional[Sequence[float]] = None,
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """Very small ASCII multi-series line chart (used for Fig. 3).
+
+    Each series is resampled onto ``width`` columns and plotted with its own
+    marker character; the y-axis spans [0, max value].
+    """
+    if not series:
+        raise ValueError("no series to chart")
+    markers = "ox+*#@%&"
+    all_values = [v for vs in series.values() for v in vs]
+    if not all_values:
+        raise ValueError("series contain no points")
+    y_max = max(max(all_values), 1e-9)
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for si, (name, values) in enumerate(series.items()):
+        marker = markers[si % len(markers)]
+        legend.append(f"{marker} = {name}")
+        n = len(values)
+        if n == 0:
+            continue
+        for col in range(width):
+            src = min(n - 1, int(round(col * (n - 1) / max(width - 1, 1))))
+            value = values[src]
+            row = height - 1 - int(round((value / y_max) * (height - 1)))
+            row = min(max(row, 0), height - 1)
+            grid[row][col] = marker
+    lines = ["".join(row) for row in grid]
+    axis = "-" * width
+    return "\n".join(lines + [axis, "   ".join(legend), f"(y max = {y_max:.3f})"])
+
+
+def detection_table_markdown(
+    rows: Iterable[Dict[str, object]],
+    budgets: Sequence[int],
+    methods: Sequence[str],
+    attacks: Sequence[str],
+) -> str:
+    """Render detection-rate rows in the layout of Tables II/III.
+
+    One row per budget N; one column per (method, attack) pair, matching the
+    paper's "Tests with neuron coverage | Proposed with parameter coverage"
+    grouping.
+    """
+    indexed: Dict[tuple, float] = {}
+    for row in rows:
+        key = (str(row["method"]), str(row["attack"]), int(row["num_tests"]))
+        indexed[key] = float(row["detection_rate"])
+
+    columns = ["N"] + [f"{m}:{a}" for m in methods for a in attacks]
+    table_rows: List[Dict[str, object]] = []
+    for n in budgets:
+        out: Dict[str, object] = {"N": n}
+        for m in methods:
+            for a in attacks:
+                key = (m, a, n)
+                out[f"{m}:{a}"] = (
+                    format_percentage(indexed[key]) if key in indexed else "-"
+                )
+        table_rows.append(out)
+    return format_markdown_table(table_rows, columns=columns)
+
+
+__all__ = [
+    "format_markdown_table",
+    "format_csv",
+    "write_csv",
+    "format_percentage",
+    "ascii_bar_chart",
+    "ascii_line_chart",
+    "detection_table_markdown",
+]

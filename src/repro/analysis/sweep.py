@@ -1,0 +1,198 @@
+"""Parameter sweeps and end-to-end experiment drivers.
+
+These helpers stitch the library's pieces together into the exact experiment
+protocols of Section V, so benchmarks, examples and EXPERIMENTS.md all run the
+same code paths:
+
+* :func:`prepare_experiment` — train a model on one of the synthetic datasets
+  (the "IP vendor trains the model" step).
+* :func:`build_method_packages` — generate functional-test packages for the
+  methods compared in Tables II/III (neuron-coverage baseline vs. the
+  proposed parameter-coverage combined method).
+* :func:`epsilon_sweep` / :func:`scalarization_sweep` — the ablation studies
+  listed in DESIGN.md (A2, A3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.coverage.activation import ActivationCriterion, default_criterion_for
+from repro.coverage.parameter_coverage import set_validation_coverage
+from repro.data.datasets import Dataset
+from repro.data.synth_digits import load_synth_mnist
+from repro.data.synth_objects import load_synth_cifar
+from repro.models.training import Trainer, TrainingHistory
+from repro.models.zoo import cifar_cnn, mnist_cnn
+from repro.nn.model import Sequential
+from repro.testgen.combined import CombinedGenerator
+from repro.testgen.neuron_testgen import NeuronCoverageSelector
+from repro.utils.config import TrainingConfig
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngLike, as_generator
+from repro.validation.package import ValidationPackage
+from repro.validation.vendor import IPVendor
+
+logger = get_logger("analysis.sweep")
+
+
+@dataclass
+class PreparedExperiment:
+    """A trained model plus the data it was trained on."""
+
+    model: Sequential
+    train: Dataset
+    test: Dataset
+    history: TrainingHistory
+    dataset_name: str
+
+    @property
+    def test_accuracy(self) -> float:
+        return self.history.final_test_accuracy
+
+
+def prepare_experiment(
+    dataset: str = "mnist",
+    train_size: int = 400,
+    test_size: int = 120,
+    width_multiplier: float = 0.125,
+    training: Optional[TrainingConfig] = None,
+    rng: RngLike = None,
+) -> PreparedExperiment:
+    """Train a Table-I style model on one of the synthetic datasets.
+
+    ``dataset`` is ``"mnist"`` (Tanh CNN on synthetic digits) or ``"cifar"``
+    (ReLU CNN on synthetic colour objects), mirroring the paper's two setups.
+    """
+    gen = as_generator(rng)
+    if dataset == "mnist":
+        train, test = load_synth_mnist(train_size, test_size, rng=gen)
+        model = mnist_cnn(width_multiplier=width_multiplier, rng=gen)
+        default_training = TrainingConfig(epochs=8, batch_size=32, learning_rate=2e-3)
+    elif dataset == "cifar":
+        train, test = load_synth_cifar(train_size, test_size, rng=gen)
+        model = cifar_cnn(width_multiplier=width_multiplier / 2, rng=gen)
+        default_training = TrainingConfig(epochs=12, batch_size=32, learning_rate=3e-3)
+    else:
+        raise ValueError(f"unknown dataset {dataset!r}; choose 'mnist' or 'cifar'")
+
+    config = training or default_training
+    history = Trainer(config).fit(model, train, test)
+    logger.info(
+        "%s model trained: accuracy %.3f with %d parameters",
+        dataset,
+        history.final_test_accuracy,
+        model.num_parameters(),
+    )
+    return PreparedExperiment(
+        model=model, train=train, test=test, history=history, dataset_name=dataset
+    )
+
+
+def build_method_packages(
+    prepared: PreparedExperiment,
+    num_tests: int,
+    candidate_pool: Optional[int] = 150,
+    rng: RngLike = None,
+    gradient_kwargs: Optional[Dict[str, object]] = None,
+) -> Dict[str, ValidationPackage]:
+    """Packages for the two methods compared in Tables II/III.
+
+    ``"neuron-coverage"`` — tests greedily selected for neuron coverage (the
+    hardware-testing baseline); ``"parameter-coverage"`` — the paper's
+    combined method.
+    """
+    gen = as_generator(rng)
+    vendor = IPVendor(prepared.model, prepared.train)
+    gkwargs = dict(gradient_kwargs or {})
+
+    combined = CombinedGenerator(
+        prepared.model,
+        prepared.train,
+        candidate_pool=candidate_pool,
+        rng=gen,
+        **gkwargs,  # type: ignore[arg-type]
+    )
+    neuron = NeuronCoverageSelector(
+        prepared.model, prepared.train, candidate_pool=candidate_pool, rng=gen
+    )
+
+    packages = {
+        "parameter-coverage": vendor.build_package(combined.generate(num_tests)),
+        "neuron-coverage": vendor.build_package(neuron.generate(num_tests)),
+    }
+    for name, pkg in packages.items():
+        logger.info(
+            "%s package: %d tests, parameter coverage %.3f",
+            name,
+            pkg.num_tests,
+            float(pkg.metadata.get("validation_coverage", float("nan"))),
+        )
+    return packages
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a one-dimensional ablation sweep."""
+
+    parameter: str
+    values: List[object] = field(default_factory=list)
+    coverages: List[float] = field(default_factory=list)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        return [
+            {self.parameter: v, "coverage": c}
+            for v, c in zip(self.values, self.coverages)
+        ]
+
+
+def epsilon_sweep(
+    model: Sequential,
+    tests: np.ndarray,
+    epsilons: Sequence[float] = (0.0, 1e-8, 1e-6, 1e-4, 1e-2),
+    scalarization: str = "sum",
+) -> SweepResult:
+    """Ablation A2: how the activation threshold ε changes measured coverage.
+
+    Larger ε counts fewer gradients as "activated", so coverage is
+    monotonically non-increasing in ε; the sweep quantifies how sensitive the
+    metric is for saturating-activation networks.
+    """
+    result = SweepResult(parameter="epsilon")
+    for eps in epsilons:
+        criterion = ActivationCriterion(epsilon=eps, scalarization=scalarization)
+        coverage = set_validation_coverage(model, tests, criterion)
+        result.values.append(eps)
+        result.coverages.append(coverage)
+    return result
+
+
+def scalarization_sweep(
+    model: Sequential,
+    tests: np.ndarray,
+    scalarizations: Sequence[str] = ("sum", "max", "predicted"),
+    epsilon: Optional[float] = None,
+) -> SweepResult:
+    """Ablation A3: effect of how F(x) is scalarised before taking ∇θ."""
+    result = SweepResult(parameter="scalarization")
+    base = default_criterion_for(model)
+    eps = base.epsilon if epsilon is None else epsilon
+    for name in scalarizations:
+        criterion = ActivationCriterion(epsilon=eps, scalarization=name)
+        coverage = set_validation_coverage(model, tests, criterion)
+        result.values.append(name)
+        result.coverages.append(coverage)
+    return result
+
+
+__all__ = [
+    "PreparedExperiment",
+    "prepare_experiment",
+    "build_method_packages",
+    "SweepResult",
+    "epsilon_sweep",
+    "scalarization_sweep",
+]

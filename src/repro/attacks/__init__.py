@@ -1,0 +1,32 @@
+"""Parameter-perturbation attacks used to evaluate the validation scheme."""
+
+from repro.attacks.base import (
+    AttackOutcome,
+    ParameterAttack,
+    PerturbationRecord,
+    apply_record,
+    bias_flat_indices,
+    parameter_name_of,
+    revert_record,
+    weight_flat_indices,
+)
+from repro.attacks.bitflip import BitFlipAttack, flip_bit
+from repro.attacks.gda import GradientDescentAttack
+from repro.attacks.random_noise import RandomPerturbation
+from repro.attacks.sba import SingleBiasAttack
+
+__all__ = [
+    "AttackOutcome",
+    "ParameterAttack",
+    "PerturbationRecord",
+    "apply_record",
+    "bias_flat_indices",
+    "parameter_name_of",
+    "revert_record",
+    "weight_flat_indices",
+    "BitFlipAttack",
+    "flip_bit",
+    "GradientDescentAttack",
+    "RandomPerturbation",
+    "SingleBiasAttack",
+]

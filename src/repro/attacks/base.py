@@ -1,0 +1,157 @@
+"""Parameter-perturbation threat models.
+
+The paper's validation scheme is evaluated against attacks that modify model
+parameters in the deployed IP (Section V-C): the single bias attack and the
+gradient descent attack of Liu et al. (ICCAD 2017), plus random Gaussian
+perturbations.  Each attack here produces a *perturbed copy* of the victim
+model together with a record of what was changed, so detection experiments
+can measure whether a given set of functional tests exposes the change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.model import Sequential
+from repro.utils.rng import RngLike, as_generator
+
+
+@dataclass
+class PerturbationRecord:
+    """What an attack changed.
+
+    Attributes
+    ----------
+    attack: name of the attack ("sba", "gda", "random", "bitflip").
+    flat_indices: flat parameter indices that were modified.
+    deltas: value added to each modified parameter (new − old).
+    parameter_names: the owning parameter-tensor name per modified index.
+    metadata: attack-specific extras (e.g. the SBA target magnitude).
+    """
+
+    attack: str
+    flat_indices: np.ndarray
+    deltas: np.ndarray
+    parameter_names: List[str] = field(default_factory=list)
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.flat_indices = np.asarray(self.flat_indices, dtype=np.int64)
+        self.deltas = np.asarray(self.deltas, dtype=np.float64)
+        if self.flat_indices.shape != self.deltas.shape:
+            raise ValueError(
+                "flat_indices and deltas must have the same shape, got "
+                f"{self.flat_indices.shape} and {self.deltas.shape}"
+            )
+
+    @property
+    def num_modified(self) -> int:
+        """Number of scalar parameters the attack touched."""
+        return int(self.flat_indices.size)
+
+    @property
+    def max_abs_delta(self) -> float:
+        """Largest absolute change applied to any parameter."""
+        if self.deltas.size == 0:
+            return 0.0
+        return float(np.max(np.abs(self.deltas)))
+
+    @property
+    def l2_norm(self) -> float:
+        """Euclidean norm of the full perturbation vector."""
+        return float(np.linalg.norm(self.deltas))
+
+
+@dataclass
+class AttackOutcome:
+    """A perturbed model plus the record of its perturbation."""
+
+    model: Sequential
+    record: PerturbationRecord
+
+
+class ParameterAttack:
+    """Base class: an attack perturbs the parameters of a model copy."""
+
+    #: short name used in detection-rate tables
+    attack_name: str = "base"
+
+    def __init__(self, rng: RngLike = None) -> None:
+        self._rng = as_generator(rng)
+
+    def apply(self, model: Sequential) -> AttackOutcome:
+        """Return a perturbed copy of ``model`` and the perturbation record.
+
+        The input model is never modified.
+        """
+        victim = model.copy()
+        record = self._perturb(victim)
+        return AttackOutcome(model=victim, record=record)
+
+    def _perturb(self, model: Sequential) -> PerturbationRecord:
+        """Modify ``model`` in place and describe the modification."""
+        raise NotImplementedError
+
+
+def apply_record(model: Sequential, record: PerturbationRecord) -> Sequential:
+    """Apply a previously captured perturbation record to a copy of ``model``.
+
+    Useful for replaying the exact same fault against several defence
+    configurations.
+    """
+    victim = model.copy()
+    view = victim.parameter_view()
+    for idx, delta in zip(record.flat_indices, record.deltas):
+        view.add_scalar(int(idx), float(delta))
+    return victim
+
+
+def revert_record(model: Sequential, record: PerturbationRecord) -> Sequential:
+    """Undo a perturbation record on a copy of ``model``."""
+    victim = model.copy()
+    view = victim.parameter_view()
+    for idx, delta in zip(record.flat_indices, record.deltas):
+        view.add_scalar(int(idx), -float(delta))
+    return victim
+
+
+def bias_flat_indices(model: Sequential) -> np.ndarray:
+    """Flat indices of every bias parameter (used by the single bias attack)."""
+    view = model.parameter_view()
+    indices: List[int] = []
+    for name, start, stop in view.tensor_slices():
+        if name.endswith("/bias"):
+            indices.extend(range(start, stop))
+    return np.asarray(indices, dtype=np.int64)
+
+
+def weight_flat_indices(model: Sequential) -> np.ndarray:
+    """Flat indices of every weight (non-bias) parameter."""
+    view = model.parameter_view()
+    indices: List[int] = []
+    for name, start, stop in view.tensor_slices():
+        if not name.endswith("/bias"):
+            indices.extend(range(start, stop))
+    return np.asarray(indices, dtype=np.int64)
+
+
+def parameter_name_of(model: Sequential, flat_index: int) -> str:
+    """Name of the parameter tensor owning a flat index."""
+    view = model.parameter_view()
+    tensor_idx, _ = view.locate(flat_index)
+    return view.parameters[tensor_idx].name
+
+
+__all__ = [
+    "PerturbationRecord",
+    "AttackOutcome",
+    "ParameterAttack",
+    "apply_record",
+    "revert_record",
+    "bias_flat_indices",
+    "weight_flat_indices",
+    "parameter_name_of",
+]

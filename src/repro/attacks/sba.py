@@ -1,0 +1,127 @@
+"""Single Bias Attack (SBA) — Liu et al., ICCAD 2017.
+
+SBA modifies exactly one bias parameter with a large perturbation so that the
+network misclassifies some inputs.  Biases are attractive targets because a
+bias feeds every spatial position of its feature map (convolution) or its
+whole unit (dense), so a single large change can swing decisions while the
+stored model differs from the original in only one value.
+
+This implementation follows the spirit of the original attack under black-box
+evaluation constraints:
+
+1. pick a bias parameter at random (optionally restricted to a layer);
+2. add a large perturbation whose magnitude is a multiple of the parameter
+   tensor's value scale;
+3. optionally verify against a batch of reference inputs that the perturbed
+   model actually changes some predictions, retrying with a different bias /
+   larger magnitude otherwise (mirroring the attacker's goal of causing
+   misclassification rather than a silent change).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks.base import (
+    ParameterAttack,
+    PerturbationRecord,
+    bias_flat_indices,
+    parameter_name_of,
+)
+from repro.nn.model import Sequential
+from repro.utils.rng import RngLike
+
+
+class SingleBiasAttack(ParameterAttack):
+    """Perturb one bias parameter by a large amount.
+
+    Parameters
+    ----------
+    magnitude:
+        Size of the injected perturbation, expressed as a multiple of the
+        victim parameter tensor's root-mean-square value (with an absolute
+        floor so zero-initialised biases still receive a large fault).
+    reference_inputs:
+        Optional batch of inputs; when given, the attack retries (up to
+        ``max_attempts``) until the perturbation flips at least one
+        prediction on this batch, doubling the magnitude on each retry.
+    max_attempts:
+        Retry budget when ``reference_inputs`` is provided.
+    """
+
+    attack_name = "sba"
+
+    def __init__(
+        self,
+        magnitude: float = 10.0,
+        reference_inputs: Optional[np.ndarray] = None,
+        max_attempts: int = 5,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__(rng)
+        if magnitude <= 0:
+            raise ValueError("magnitude must be positive")
+        if max_attempts <= 0:
+            raise ValueError("max_attempts must be positive")
+        self.magnitude = float(magnitude)
+        self.reference_inputs = (
+            None if reference_inputs is None else np.asarray(reference_inputs)
+        )
+        self.max_attempts = int(max_attempts)
+
+    def _candidate_scale(self, model: Sequential, flat_index: int) -> float:
+        """Value scale of the tensor owning ``flat_index`` (with a floor)."""
+        view = model.parameter_view()
+        tensor_idx, _ = view.locate(flat_index)
+        values = view.parameters[tensor_idx].value
+        rms = float(np.sqrt(np.mean(values**2)))
+        weights_rms = float(
+            np.sqrt(np.mean(np.concatenate([p.value.ravel() for p in view.parameters]) ** 2))
+        )
+        return max(rms, weights_rms, 0.1)
+
+    def _perturb(self, model: Sequential) -> PerturbationRecord:
+        biases = bias_flat_indices(model)
+        if biases.size == 0:
+            raise ValueError("model has no bias parameters to attack")
+        view = model.parameter_view()
+
+        baseline = None
+        if self.reference_inputs is not None:
+            baseline = model.predict_classes(self.reference_inputs)
+
+        magnitude = self.magnitude
+        chosen = int(self._rng.choice(biases))
+        delta = 0.0
+        for attempt in range(self.max_attempts):
+            chosen = int(self._rng.choice(biases))
+            scale = self._candidate_scale(model, chosen)
+            sign = 1.0 if self._rng.random() < 0.5 else -1.0
+            delta = sign * magnitude * scale
+            view.add_scalar(chosen, delta)
+            if baseline is None:
+                break
+            flipped = np.any(
+                model.predict_classes(self.reference_inputs) != baseline
+            )
+            if flipped:
+                break
+            # undo and retry with a larger fault on a different bias
+            view.add_scalar(chosen, -delta)
+            magnitude *= 2.0
+        else:
+            # out of attempts: keep the last (already reverted) choice applied
+            view.add_scalar(chosen, delta)
+
+        return PerturbationRecord(
+            attack=self.attack_name,
+            flat_indices=np.array([chosen]),
+            deltas=np.array([delta]),
+            parameter_names=[parameter_name_of(model, chosen)],
+            metadata={"magnitude": magnitude},
+        )
+
+
+__all__ = ["SingleBiasAttack"]

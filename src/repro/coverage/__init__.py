@@ -1,0 +1,35 @@
+"""Coverage metrics: the paper's parameter (validation) coverage and the
+neuron-coverage baseline it is compared against."""
+
+from repro.coverage.activation import ActivationCriterion, default_criterion_for
+from repro.coverage.neuron_coverage import (
+    NeuronCoverageTracker,
+    NeuronMaskCache,
+    count_neurons,
+    neuron_activation_mask,
+    neuron_coverage,
+)
+from repro.coverage.parameter_coverage import (
+    ActivationMaskCache,
+    CoverageTracker,
+    activation_mask,
+    average_sample_coverage,
+    set_validation_coverage,
+    validation_coverage,
+)
+
+__all__ = [
+    "ActivationCriterion",
+    "default_criterion_for",
+    "NeuronCoverageTracker",
+    "NeuronMaskCache",
+    "count_neurons",
+    "neuron_activation_mask",
+    "neuron_coverage",
+    "ActivationMaskCache",
+    "CoverageTracker",
+    "activation_mask",
+    "average_sample_coverage",
+    "set_validation_coverage",
+    "validation_coverage",
+]

@@ -1,0 +1,197 @@
+"""Neuron coverage — the hardware-testing baseline metric.
+
+The paper contrasts its *parameter* coverage with the *neuron* coverage used
+by DNN testing work (DeepXplore, DeepCT): a neuron is covered when some test
+drives its post-activation output above a threshold.  Section II argues (and
+Tables II/III show) that full neuron coverage is not sufficient to expose
+parameter perturbations, because a weight between two neurons is only
+exercised when both are active *for the same test*.
+
+This module mirrors the parameter-coverage API so the two can be swapped in
+the test-generation and detection experiments:
+
+* :func:`neuron_activation_mask` — per-sample boolean mask over all neurons;
+* :func:`neuron_coverage` — coverage of a test set;
+* :class:`NeuronCoverageTracker` — incremental union bookkeeping.
+
+"Neurons" are the scalar post-activation outputs of every hidden layer that
+has parameters or applies a non-linearity (convolution feature-map cells,
+dense hidden units).  Pooling/flatten outputs are excluded — they introduce no
+new neurons.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import ActivationLayer, Conv2D, Dense
+from repro.nn.model import Sequential
+
+
+def _covered_layer_indices(model: Sequential) -> List[int]:
+    """Indices of layers whose outputs count as neurons."""
+    indices = []
+    for i, layer in enumerate(model.layers):
+        if isinstance(layer, (Conv2D, Dense, ActivationLayer)):
+            indices.append(i)
+    if not indices:
+        raise ValueError("model has no neuron-bearing layers")
+    return indices
+
+
+def count_neurons(model: Sequential) -> int:
+    """Total number of neurons considered by the coverage metric."""
+    if model.input_shape is None:
+        raise RuntimeError("model has not been built")
+    total = 0
+    shape = model.input_shape
+    for i, layer in enumerate(model.layers):
+        shape = layer.output_shape(shape)
+        if isinstance(layer, (Conv2D, Dense, ActivationLayer)):
+            total += int(np.prod(shape))
+    return total
+
+
+def neuron_activation_mask(
+    model: Sequential, x: np.ndarray, threshold: float = 0.0
+) -> np.ndarray:
+    """Boolean mask over all neurons activated by sample ``x``.
+
+    A neuron is activated when its post-activation output exceeds
+    ``threshold`` (the DeepXplore-style criterion; 0.0 suits ReLU networks,
+    small positive values suit Tanh networks whose outputs may be negative).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if model.input_shape is not None and x.shape == model.input_shape:
+        x = x[None, ...]
+    outputs = model.forward_collect(x)
+    indices = set(_covered_layer_indices(model))
+    parts = []
+    for i, out in enumerate(outputs):
+        if i in indices:
+            parts.append((out[0] > threshold).ravel())
+    return np.concatenate(parts)
+
+
+def neuron_coverage(
+    model: Sequential,
+    tests: np.ndarray | Sequence[np.ndarray],
+    threshold: float = 0.0,
+) -> float:
+    """Fraction of neurons activated by at least one test in ``tests``."""
+    tracker = NeuronCoverageTracker(model, threshold=threshold)
+    for sample in tests:
+        tracker.add_sample(sample)
+    return tracker.coverage
+
+
+class NeuronCoverageTracker:
+    """Incremental neuron-coverage bookkeeping (mirrors ``CoverageTracker``)."""
+
+    def __init__(self, model: Sequential, threshold: float = 0.0) -> None:
+        self._model = model
+        self.threshold = float(threshold)
+        self._total = count_neurons(model)
+        self._covered = np.zeros(self._total, dtype=bool)
+        self._num_tests = 0
+
+    @property
+    def total_neurons(self) -> int:
+        return self._total
+
+    @property
+    def covered_mask(self) -> np.ndarray:
+        return self._covered.copy()
+
+    @property
+    def num_covered(self) -> int:
+        return int(self._covered.sum())
+
+    @property
+    def coverage(self) -> float:
+        return self.num_covered / self._total
+
+    @property
+    def num_tests(self) -> int:
+        return self._num_tests
+
+    def reset(self) -> None:
+        self._covered[:] = False
+        self._num_tests = 0
+
+    def mask_for(self, x: np.ndarray) -> np.ndarray:
+        return neuron_activation_mask(self._model, x, self.threshold)
+
+    def marginal_gain(self, mask: np.ndarray) -> float:
+        mask = self._check_mask(mask)
+        return np.count_nonzero(mask & ~self._covered) / self._total
+
+    def marginal_gain_of_sample(self, x: np.ndarray) -> float:
+        return self.marginal_gain(self.mask_for(x))
+
+    def add_mask(self, mask: np.ndarray) -> float:
+        mask = self._check_mask(mask)
+        gain = self.marginal_gain(mask)
+        self._covered |= mask
+        self._num_tests += 1
+        return gain
+
+    def add_sample(self, x: np.ndarray) -> float:
+        return self.add_mask(self.mask_for(x))
+
+    def _check_mask(self, mask: np.ndarray) -> np.ndarray:
+        mask = np.asarray(mask, dtype=bool).ravel()
+        if mask.size != self._total:
+            raise ValueError(
+                f"mask has {mask.size} entries, expected {self._total} (one per neuron)"
+            )
+        return mask
+
+
+class NeuronMaskCache:
+    """Precomputed neuron-activation masks for a candidate pool."""
+
+    def __init__(
+        self, model: Sequential, images: np.ndarray, threshold: float = 0.0
+    ) -> None:
+        images = np.asarray(images)
+        self.threshold = float(threshold)
+        self._images = images
+        masks = np.zeros((images.shape[0], count_neurons(model)), dtype=bool)
+        for i in range(images.shape[0]):
+            masks[i] = neuron_activation_mask(model, images[i], threshold)
+        self._masks = masks
+
+    def __len__(self) -> int:
+        return int(self._masks.shape[0])
+
+    @property
+    def images(self) -> np.ndarray:
+        return self._images
+
+    @property
+    def masks(self) -> np.ndarray:
+        return self._masks
+
+    def sample(self, index: int) -> np.ndarray:
+        return self._images[index]
+
+    def marginal_gains(self, covered: np.ndarray) -> np.ndarray:
+        covered = np.asarray(covered, dtype=bool).ravel()
+        if covered.size != self._masks.shape[1]:
+            raise ValueError(
+                f"covered mask has {covered.size} entries, expected {self._masks.shape[1]}"
+            )
+        new_bits = self._masks & ~covered[None, :]
+        return new_bits.sum(axis=1) / self._masks.shape[1]
+
+
+__all__ = [
+    "count_neurons",
+    "neuron_activation_mask",
+    "neuron_coverage",
+    "NeuronCoverageTracker",
+    "NeuronMaskCache",
+]

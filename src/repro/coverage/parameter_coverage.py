@@ -1,0 +1,246 @@
+"""Validation coverage — the paper's core metric (Section IV-A).
+
+``VC(x)`` is the fraction of network parameters activated by a single test
+(Eq. 3); ``VC(X)`` is the fraction activated by at least one test in a set
+(Eq. 4-5).  The module provides:
+
+* :func:`activation_mask` — the boolean per-parameter activation mask of one
+  sample, computed from ``∇θ F(x)``;
+* :func:`validation_coverage` / :func:`set_validation_coverage` — the scalar
+  metrics VC(x) and VC(X);
+* :class:`CoverageTracker` — incremental union bookkeeping used by the greedy
+  test-generation algorithms, where marginal gains must be cheap;
+* :class:`ActivationMaskCache` — precomputes masks for a candidate pool so
+  Algorithm 1's inner loop is a pure mask operation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.coverage.activation import ActivationCriterion, default_criterion_for
+from repro.nn.model import Sequential
+from repro.utils.logging import get_logger
+
+logger = get_logger("coverage.parameter")
+
+
+def activation_mask(
+    model: Sequential,
+    x: np.ndarray,
+    criterion: Optional[ActivationCriterion] = None,
+) -> np.ndarray:
+    """Boolean mask over the flat parameter vector activated by sample ``x``.
+
+    Entry ``i`` is True when ``|∇θi F(x)|`` exceeds the criterion's threshold,
+    i.e. a perturbation of parameter ``i`` would move the output for ``x``.
+    """
+    crit = criterion or default_criterion_for(model)
+    grads = model.output_gradients(x, scalarization=crit.scalarization)
+    return crit.activated(grads)
+
+
+def validation_coverage(
+    model: Sequential,
+    x: np.ndarray,
+    criterion: Optional[ActivationCriterion] = None,
+) -> float:
+    """``VC(x)``: fraction of parameters activated by a single test (Eq. 3)."""
+    mask = activation_mask(model, x, criterion)
+    return float(mask.mean())
+
+
+def set_validation_coverage(
+    model: Sequential,
+    tests: np.ndarray | Sequence[np.ndarray],
+    criterion: Optional[ActivationCriterion] = None,
+) -> float:
+    """``VC(X)``: fraction of parameters activated by at least one test (Eq. 4)."""
+    tracker = CoverageTracker(model, criterion)
+    for sample in tests:
+        tracker.add_sample(sample)
+    return tracker.coverage
+
+
+def average_sample_coverage(
+    model: Sequential,
+    images: np.ndarray,
+    criterion: Optional[ActivationCriterion] = None,
+) -> float:
+    """Mean per-sample coverage ``mean_i VC(x_i)`` — the quantity plotted in Fig. 2."""
+    images = np.asarray(images)
+    if images.shape[0] == 0:
+        raise ValueError("cannot average over an empty image set")
+    crit = criterion or default_criterion_for(model)
+    values = [validation_coverage(model, images[i], crit) for i in range(images.shape[0])]
+    return float(np.mean(values))
+
+
+class CoverageTracker:
+    """Running union of activated parameters over an incrementally built test set.
+
+    The greedy algorithms repeatedly ask "how much would adding this sample
+    increase VC(X)?"; with the tracker this is one vectorised mask operation.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        criterion: Optional[ActivationCriterion] = None,
+    ) -> None:
+        self._model = model
+        self.criterion = criterion or default_criterion_for(model)
+        self._total = model.num_parameters()
+        if self._total == 0:
+            raise ValueError("model has no parameters to cover")
+        self._covered = np.zeros(self._total, dtype=bool)
+        self._num_tests = 0
+
+    # -- state -------------------------------------------------------------
+    @property
+    def total_parameters(self) -> int:
+        return self._total
+
+    @property
+    def covered_mask(self) -> np.ndarray:
+        """Copy of the current covered-parameter mask."""
+        return self._covered.copy()
+
+    @property
+    def num_covered(self) -> int:
+        return int(self._covered.sum())
+
+    @property
+    def coverage(self) -> float:
+        """Current VC(X) of all added tests."""
+        return self.num_covered / self._total
+
+    @property
+    def num_tests(self) -> int:
+        """Number of tests added so far."""
+        return self._num_tests
+
+    def reset(self) -> None:
+        self._covered[:] = False
+        self._num_tests = 0
+
+    # -- queries -----------------------------------------------------------
+    def mask_for(self, x: np.ndarray) -> np.ndarray:
+        """Activation mask of a sample under this tracker's criterion."""
+        return activation_mask(self._model, x, self.criterion)
+
+    def marginal_gain(self, mask: np.ndarray) -> float:
+        """Coverage increase ``VC(X + x) − VC(X)`` for a candidate mask (Eq. 7)."""
+        mask = self._check_mask(mask)
+        newly = np.count_nonzero(mask & ~self._covered)
+        return newly / self._total
+
+    def marginal_gain_of_sample(self, x: np.ndarray) -> float:
+        """Marginal gain of a raw sample (computes its mask first)."""
+        return self.marginal_gain(self.mask_for(x))
+
+    # -- updates -----------------------------------------------------------
+    def add_mask(self, mask: np.ndarray) -> float:
+        """Union a candidate mask into the covered set; returns the gain."""
+        mask = self._check_mask(mask)
+        gain = self.marginal_gain(mask)
+        self._covered |= mask
+        self._num_tests += 1
+        return gain
+
+    def add_sample(self, x: np.ndarray) -> float:
+        """Compute the sample's mask and union it in; returns the gain."""
+        return self.add_mask(self.mask_for(x))
+
+    def uncovered_indices(self) -> np.ndarray:
+        """Flat indices of parameters not yet activated by any added test."""
+        return np.flatnonzero(~self._covered)
+
+    def _check_mask(self, mask: np.ndarray) -> np.ndarray:
+        mask = np.asarray(mask, dtype=bool).ravel()
+        if mask.size != self._total:
+            raise ValueError(
+                f"mask has {mask.size} entries, expected {self._total} "
+                "(one per scalar parameter)"
+            )
+        return mask
+
+
+class ActivationMaskCache:
+    """Precomputed activation masks for a candidate pool.
+
+    Algorithm 1 scans the training set every iteration; recomputing
+    ``∇θ F(x)`` for each candidate each iteration would be quadratic in
+    backward passes.  Each candidate's mask only depends on the (fixed) model,
+    so the cache computes them once and the greedy loop becomes pure NumPy.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        images: np.ndarray,
+        criterion: Optional[ActivationCriterion] = None,
+        log_every: int = 0,
+    ) -> None:
+        images = np.asarray(images)
+        if images.ndim != len(model.input_shape or ()) + 1:
+            raise ValueError(
+                f"images must be a batch with per-sample shape {model.input_shape}, "
+                f"got array of shape {images.shape}"
+            )
+        self.criterion = criterion or default_criterion_for(model)
+        self._images = images
+        masks = np.zeros((images.shape[0], model.num_parameters()), dtype=bool)
+        for i in range(images.shape[0]):
+            masks[i] = activation_mask(model, images[i], self.criterion)
+            if log_every and i % log_every == 0:
+                logger.debug("mask cache: %d/%d", i, images.shape[0])
+        self._masks = masks
+
+    def __len__(self) -> int:
+        return int(self._masks.shape[0])
+
+    @property
+    def images(self) -> np.ndarray:
+        return self._images
+
+    @property
+    def masks(self) -> np.ndarray:
+        """``(num_candidates, num_parameters)`` boolean mask matrix."""
+        return self._masks
+
+    def mask(self, index: int) -> np.ndarray:
+        return self._masks[index]
+
+    def sample(self, index: int) -> np.ndarray:
+        return self._images[index]
+
+    def per_sample_coverage(self) -> np.ndarray:
+        """VC(x) of every cached candidate."""
+        return self._masks.mean(axis=1)
+
+    def marginal_gains(self, covered: np.ndarray) -> np.ndarray:
+        """Marginal gain of every candidate against a covered mask.
+
+        Vectorised version of Eq. 7 over the whole pool: counts, per
+        candidate, how many of its activated parameters are not yet covered.
+        """
+        covered = np.asarray(covered, dtype=bool).ravel()
+        if covered.size != self._masks.shape[1]:
+            raise ValueError(
+                f"covered mask has {covered.size} entries, expected {self._masks.shape[1]}"
+            )
+        new_bits = self._masks & ~covered[None, :]
+        return new_bits.sum(axis=1) / self._masks.shape[1]
+
+
+__all__ = [
+    "activation_mask",
+    "validation_coverage",
+    "set_validation_coverage",
+    "average_sample_coverage",
+    "CoverageTracker",
+    "ActivationMaskCache",
+]

@@ -1,0 +1,35 @@
+"""Synthetic dataset substrate.
+
+The paper evaluates on MNIST, CIFAR-10, ImageNet (as an off-distribution
+probe set) and Gaussian-noise images.  None of those are available offline,
+so this subpackage synthesises stand-ins that preserve the properties the
+experiments actually use — see DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.data.datasets import Dataset, normalize_images
+from repro.data.imagenet_proxy import generate_imagenet_proxy
+from repro.data.noise import generate_noise_images, generate_uniform_noise_images
+from repro.data.synth_digits import (
+    generate_digits,
+    load_synth_mnist,
+    render_digit,
+)
+from repro.data.synth_objects import (
+    generate_objects,
+    load_synth_cifar,
+    render_object,
+)
+
+__all__ = [
+    "Dataset",
+    "normalize_images",
+    "generate_imagenet_proxy",
+    "generate_noise_images",
+    "generate_uniform_noise_images",
+    "generate_digits",
+    "load_synth_mnist",
+    "render_digit",
+    "generate_objects",
+    "load_synth_cifar",
+    "render_object",
+]

@@ -1,0 +1,150 @@
+"""Dataset containers, splits and batching.
+
+Images are stored channels-first (``(N, C, H, W)``) as ``float64`` in
+``[0, 1]``; labels are integer class indices.  All the generators in this
+subpackage return :class:`Dataset` objects, so the models, coverage code and
+test generators share one representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_generator
+
+
+@dataclass
+class Dataset:
+    """An in-memory labelled image dataset.
+
+    Attributes
+    ----------
+    images: ``(N, C, H, W)`` float64 array with values in ``[0, 1]``.
+    labels: ``(N,)`` integer class indices.
+    class_names: optional human-readable class names.
+    name: dataset identifier used in reports.
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    class_names: List[str] = field(default_factory=list)
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.images.ndim != 4:
+            raise ValueError(
+                f"images must have shape (N, C, H, W), got {self.images.shape}"
+            )
+        if self.labels.ndim != 1:
+            raise ValueError(f"labels must be 1-D, got shape {self.labels.shape}")
+        if self.images.shape[0] != self.labels.shape[0]:
+            raise ValueError(
+                f"image count {self.images.shape[0]} does not match label count "
+                f"{self.labels.shape[0]}"
+            )
+        if self.class_names and self.labels.size:
+            if self.labels.max() >= len(self.class_names):
+                raise ValueError(
+                    "labels reference classes beyond the provided class_names"
+                )
+
+    # -- basic protocol -------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.images[index], int(self.labels[index])
+
+    @property
+    def sample_shape(self) -> Tuple[int, int, int]:
+        """Per-sample shape ``(C, H, W)``."""
+        return tuple(self.images.shape[1:])  # type: ignore[return-value]
+
+    @property
+    def num_classes(self) -> int:
+        if self.class_names:
+            return len(self.class_names)
+        return int(self.labels.max()) + 1 if len(self) else 0
+
+    # -- derivation -----------------------------------------------------------
+    def subset(self, indices: Sequence[int], name: Optional[str] = None) -> "Dataset":
+        """New dataset containing the selected indices (copies)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return Dataset(
+            images=self.images[idx].copy(),
+            labels=self.labels[idx].copy(),
+            class_names=list(self.class_names),
+            name=name or f"{self.name}/subset",
+        )
+
+    def take(self, n: int, rng: RngLike = None, name: Optional[str] = None) -> "Dataset":
+        """Random sample of ``n`` items without replacement."""
+        if n > len(self):
+            raise ValueError(f"cannot take {n} samples from a dataset of {len(self)}")
+        gen = as_generator(rng)
+        idx = gen.choice(len(self), size=n, replace=False)
+        return self.subset(idx, name=name or f"{self.name}/take{n}")
+
+    def split(
+        self, train_fraction: float = 0.8, rng: RngLike = None
+    ) -> Tuple["Dataset", "Dataset"]:
+        """Random train/test split."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        gen = as_generator(rng)
+        perm = gen.permutation(len(self))
+        cut = int(round(train_fraction * len(self)))
+        if cut == 0 or cut == len(self):
+            raise ValueError("split produces an empty partition")
+        return (
+            self.subset(perm[:cut], name=f"{self.name}/train"),
+            self.subset(perm[cut:], name=f"{self.name}/test"),
+        )
+
+    def shuffled(self, rng: RngLike = None) -> "Dataset":
+        """Shuffled copy."""
+        gen = as_generator(rng)
+        return self.subset(gen.permutation(len(self)), name=self.name)
+
+    def class_counts(self) -> np.ndarray:
+        """Number of samples per class."""
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+    def batches(
+        self, batch_size: int, shuffle: bool = False, rng: RngLike = None
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(images, labels)`` minibatches."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        order = np.arange(len(self))
+        if shuffle:
+            order = as_generator(rng).permutation(len(self))
+        for start in range(0, len(self), batch_size):
+            idx = order[start : start + batch_size]
+            yield self.images[idx], self.labels[idx]
+
+    def merged_with(self, other: "Dataset", name: Optional[str] = None) -> "Dataset":
+        """Concatenate two datasets with compatible shapes and classes."""
+        if self.sample_shape != other.sample_shape:
+            raise ValueError(
+                f"sample shapes differ: {self.sample_shape} vs {other.sample_shape}"
+            )
+        return Dataset(
+            images=np.concatenate([self.images, other.images], axis=0),
+            labels=np.concatenate([self.labels, other.labels], axis=0),
+            class_names=list(self.class_names) or list(other.class_names),
+            name=name or f"{self.name}+{other.name}",
+        )
+
+
+def normalize_images(images: np.ndarray) -> np.ndarray:
+    """Clip images into ``[0, 1]`` (defensive; generators already do this)."""
+    return np.clip(np.asarray(images, dtype=np.float64), 0.0, 1.0)
+
+
+__all__ = ["Dataset", "normalize_images"]

@@ -1,0 +1,25 @@
+"""Model zoo (Table-I architectures and toy variants) and training loops."""
+
+from repro.models.training import Trainer, TrainingHistory, train_model
+from repro.models.zoo import (
+    build_model,
+    cifar_cnn,
+    cifar_cnn_scaled,
+    mnist_cnn,
+    mnist_cnn_scaled,
+    small_cnn,
+    small_mlp,
+)
+
+__all__ = [
+    "Trainer",
+    "TrainingHistory",
+    "train_model",
+    "build_model",
+    "cifar_cnn",
+    "cifar_cnn_scaled",
+    "mnist_cnn",
+    "mnist_cnn_scaled",
+    "small_cnn",
+    "small_mlp",
+]

@@ -1,0 +1,184 @@
+"""Model zoo: the Table-I architectures plus scaled and toy variants.
+
+Table I of the paper defines two convolutional classifiers:
+
+* **MNIST model** (Tanh activations): Conv(3,3,32)–Conv(3,3,32)–MaxPool(2,2)–
+  Conv(3,3,64)–Conv(3,3,64)–MaxPool(2,2)–FC(128)–FC(10, softmax).
+* **CIFAR-10 model** (ReLU activations): Conv(3,3,64)–Conv(3,3,64)–MaxPool–
+  Conv(3,3,128)–Conv(3,3,128)–MaxPool–FC(512)–FC(10, softmax).
+
+Full-width builders replicate those exactly.  The defaults used by tests,
+examples and benchmarks shrink the channel counts with a ``width_multiplier``
+so the whole evaluation runs on CPU in minutes; the layer topology, activation
+choice (Tanh vs ReLU) and depth are unchanged, which is what the coverage and
+detection behaviour depends on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D
+from repro.nn.model import Sequential
+from repro.utils.rng import RngLike
+
+
+def _scaled(width: int, multiplier: float) -> int:
+    """Scale a channel/unit count, never going below 2."""
+    return max(2, int(round(width * multiplier)))
+
+
+def mnist_cnn(
+    width_multiplier: float = 1.0,
+    input_size: int = 28,
+    num_classes: int = 10,
+    rng: RngLike = None,
+    build: bool = True,
+) -> Sequential:
+    """The Table-I MNIST architecture (Tanh activations).
+
+    ``width_multiplier=1.0`` gives the exact paper widths (32/32/64/64/128);
+    smaller multipliers shrink every layer proportionally.
+    """
+    if width_multiplier <= 0:
+        raise ValueError("width_multiplier must be positive")
+    c1 = _scaled(32, width_multiplier)
+    c2 = _scaled(64, width_multiplier)
+    fc = _scaled(128, width_multiplier)
+    model = Sequential(
+        [
+            Conv2D(c1, 3, padding="same", activation="tanh", name="conv1"),
+            Conv2D(c1, 3, padding="same", activation="tanh", name="conv2"),
+            MaxPool2D(2, name="pool1"),
+            Conv2D(c2, 3, padding="same", activation="tanh", name="conv3"),
+            Conv2D(c2, 3, padding="same", activation="tanh", name="conv4"),
+            MaxPool2D(2, name="pool2"),
+            Flatten(name="flatten"),
+            Dense(fc, activation="tanh", name="fc1"),
+            Dense(num_classes, activation=None, name="logits"),
+        ],
+        name=f"mnist_cnn_x{width_multiplier:g}",
+    )
+    if build:
+        model.build((1, input_size, input_size), rng=rng)
+    return model
+
+
+def cifar_cnn(
+    width_multiplier: float = 1.0,
+    input_size: int = 32,
+    num_classes: int = 10,
+    rng: RngLike = None,
+    build: bool = True,
+) -> Sequential:
+    """The Table-I CIFAR-10 architecture (ReLU activations).
+
+    ``width_multiplier=1.0`` gives the exact paper widths (64/64/128/128/512).
+    """
+    if width_multiplier <= 0:
+        raise ValueError("width_multiplier must be positive")
+    c1 = _scaled(64, width_multiplier)
+    c2 = _scaled(128, width_multiplier)
+    fc = _scaled(512, width_multiplier)
+    model = Sequential(
+        [
+            Conv2D(c1, 3, padding="same", activation="relu", name="conv1"),
+            Conv2D(c1, 3, padding="same", activation="relu", name="conv2"),
+            MaxPool2D(2, name="pool1"),
+            Conv2D(c2, 3, padding="same", activation="relu", name="conv3"),
+            Conv2D(c2, 3, padding="same", activation="relu", name="conv4"),
+            MaxPool2D(2, name="pool2"),
+            Flatten(name="flatten"),
+            Dense(fc, activation="relu", name="fc1"),
+            Dense(num_classes, activation=None, name="logits"),
+        ],
+        name=f"cifar_cnn_x{width_multiplier:g}",
+    )
+    if build:
+        model.build((3, input_size, input_size), rng=rng)
+    return model
+
+
+def mnist_cnn_scaled(rng: RngLike = None) -> Sequential:
+    """Default scaled MNIST-style model used by examples/benchmarks (×1/8 width)."""
+    return mnist_cnn(width_multiplier=0.125, rng=rng)
+
+
+def cifar_cnn_scaled(rng: RngLike = None) -> Sequential:
+    """Default scaled CIFAR-style model used by examples/benchmarks (×1/16 width)."""
+    return cifar_cnn(width_multiplier=0.0625, rng=rng)
+
+
+def small_cnn(
+    channels: int = 4,
+    dense_units: int = 16,
+    input_shape: tuple[int, int, int] = (1, 12, 12),
+    num_classes: int = 10,
+    activation: str = "relu",
+    rng: RngLike = None,
+) -> Sequential:
+    """A deliberately tiny CNN for unit tests: one conv block + one hidden dense."""
+    model = Sequential(
+        [
+            Conv2D(channels, 3, padding="same", activation=activation, name="conv1"),
+            MaxPool2D(2, name="pool1"),
+            Flatten(name="flatten"),
+            Dense(dense_units, activation=activation, name="fc1"),
+            Dense(num_classes, activation=None, name="logits"),
+        ],
+        name="small_cnn",
+    )
+    model.build(input_shape, rng=rng)
+    return model
+
+
+def small_mlp(
+    input_features: int = 16,
+    hidden_units: int = 32,
+    num_classes: int = 4,
+    activation: str = "relu",
+    depth: int = 2,
+    rng: RngLike = None,
+) -> Sequential:
+    """A small fully-connected classifier for fast tests and property checks."""
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    layers = []
+    for i in range(depth):
+        layers.append(Dense(hidden_units, activation=activation, name=f"fc{i + 1}"))
+    layers.append(Dense(num_classes, activation=None, name="logits"))
+    model = Sequential(layers, name="small_mlp")
+    model.build((input_features,), rng=rng)
+    return model
+
+
+def build_model(name: str, rng: RngLike = None, **kwargs: object) -> Sequential:
+    """Build a zoo model by name.
+
+    Recognised names: ``mnist``, ``mnist_scaled``, ``cifar``, ``cifar_scaled``,
+    ``small_cnn``, ``small_mlp``.
+    """
+    builders = {
+        "mnist": mnist_cnn,
+        "mnist_scaled": mnist_cnn_scaled,
+        "cifar": cifar_cnn,
+        "cifar_scaled": cifar_cnn_scaled,
+        "small_cnn": small_cnn,
+        "small_mlp": small_mlp,
+    }
+    try:
+        builder = builders[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown model {name!r}; choose from {sorted(builders)}") from exc
+    return builder(rng=rng, **kwargs)  # type: ignore[arg-type]
+
+
+__all__ = [
+    "mnist_cnn",
+    "cifar_cnn",
+    "mnist_cnn_scaled",
+    "cifar_cnn_scaled",
+    "small_cnn",
+    "small_mlp",
+    "build_model",
+]

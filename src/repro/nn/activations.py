@@ -1,0 +1,184 @@
+"""Activation functions with explicit forward/backward implementations.
+
+Each activation is a small stateless object exposing ``forward`` and
+``backward``.  The backward pass receives the upstream gradient together with
+the cached forward inputs/outputs and returns the gradient with respect to the
+activation input.
+
+Saturation behaviour matters for this paper: ReLU produces *exactly* zero
+gradients in its inactive region, whereas Tanh/Sigmoid produce merely small
+gradients in their saturated regions — which is why the coverage metric uses an
+ε-threshold for those activations (Section IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+import numpy as np
+
+
+class Activation:
+    """Base class for elementwise activations."""
+
+    #: name used by layer constructors and serialisation
+    name: str = "identity"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, x: np.ndarray, y: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        """Gradient wrt the activation input.
+
+        Parameters
+        ----------
+        x: the activation input as seen in the forward pass.
+        y: the activation output computed in the forward pass.
+        grad_out: upstream gradient with respect to ``y``.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.__class__.__name__}()"
+
+
+class Identity(Activation):
+    """Pass-through activation (used for linear output layers)."""
+
+    name = "identity"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, x: np.ndarray, y: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+
+class ReLU(Activation):
+    """Rectified linear unit: ``max(0, x)``.
+
+    The derivative is exactly zero for negative inputs — the source of the
+    "inactive parameter" phenomenon the paper exploits and must cover.
+    """
+
+    name = "relu"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    def backward(self, x: np.ndarray, y: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * (x > 0.0)
+
+
+class LeakyReLU(Activation):
+    """Leaky ReLU with configurable negative slope."""
+
+    name = "leaky_relu"
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        if negative_slope < 0:
+            raise ValueError("negative_slope must be non-negative")
+        self.negative_slope = float(negative_slope)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.where(x > 0.0, x, self.negative_slope * x)
+
+    def backward(self, x: np.ndarray, y: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * np.where(x > 0.0, 1.0, self.negative_slope)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent.  Saturates for |x| >> 0 (gradient ≈ 0 but not 0)."""
+
+    name = "tanh"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def backward(self, x: np.ndarray, y: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * (1.0 - y * y)
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid.  Saturates for |x| >> 0."""
+
+    name = "sigmoid"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # numerically stable piecewise formulation
+        out = np.empty_like(x, dtype=np.float64)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        return out
+
+    def backward(self, x: np.ndarray, y: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * y * (1.0 - y)
+
+
+class Softmax(Activation):
+    """Row-wise softmax over the last axis.
+
+    Usually combined with the cross-entropy loss which fuses the two gradients;
+    the standalone backward is still provided for completeness (it is needed
+    when computing output gradients for coverage on post-softmax outputs).
+    """
+
+    name = "softmax"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        shifted = x - np.max(x, axis=-1, keepdims=True)
+        e = np.exp(shifted)
+        return e / np.sum(e, axis=-1, keepdims=True)
+
+    def backward(self, x: np.ndarray, y: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        # J^T g for each row, where J = diag(y) - y y^T
+        dot = np.sum(grad_out * y, axis=-1, keepdims=True)
+        return y * (grad_out - dot)
+
+
+_REGISTRY: Dict[str, Type[Activation]] = {
+    cls.name: cls
+    for cls in (Identity, ReLU, LeakyReLU, Tanh, Sigmoid, Softmax)
+}
+
+
+def get_activation(name_or_obj: str | Activation | None) -> Activation:
+    """Resolve an activation by name or pass an instance through.
+
+    ``None`` resolves to :class:`Identity`.
+    """
+    if name_or_obj is None:
+        return Identity()
+    if isinstance(name_or_obj, Activation):
+        return name_or_obj
+    try:
+        return _REGISTRY[name_or_obj]()
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown activation {name_or_obj!r}; choose from {sorted(_REGISTRY)}"
+        ) from exc
+
+
+def is_exact_zero_gradient(activation: Activation | str) -> bool:
+    """Whether an activation has regions of *exactly* zero gradient.
+
+    ReLU does; Tanh/Sigmoid only saturate asymptotically, which is why the
+    coverage criterion uses an ε-threshold for them (Section IV-A).
+    """
+    act = get_activation(activation)
+    return isinstance(act, (ReLU,))
+
+
+__all__ = [
+    "Activation",
+    "Identity",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softmax",
+    "get_activation",
+    "is_exact_zero_gradient",
+]

@@ -1,0 +1,153 @@
+"""Weight initialisers for the NumPy neural-network substrate.
+
+The initialisers follow the standard fan-in/fan-out heuristics: He
+initialisation for ReLU-family activations and Xavier/Glorot for saturating
+activations (Tanh, Sigmoid), matching how the paper's Table I models would be
+initialised in a mainstream framework.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_generator
+
+Initializer = Callable[[Tuple[int, ...], np.random.Generator], np.ndarray]
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute fan-in / fan-out for dense and convolutional weight shapes.
+
+    Dense weights are ``(in, out)``; convolution kernels are
+    ``(out_channels, in_channels, kh, kw)``.
+    """
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        out_c, in_c, kh, kw = shape
+        receptive = kh * kw
+        return in_c * receptive, out_c * receptive
+    size = int(np.prod(shape)) if shape else 1
+    return size, size
+
+
+def zeros(shape: Tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    """All-zero initialiser (standard for biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    """All-one initialiser."""
+    return np.ones(shape, dtype=np.float64)
+
+
+def constant(value: float) -> Initializer:
+    """Return an initialiser filling tensors with ``value``."""
+
+    def _init(shape: Tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+        return np.full(shape, float(value), dtype=np.float64)
+
+    return _init
+
+
+def normal(std: float = 0.01) -> Initializer:
+    """Gaussian initialiser with the given standard deviation."""
+    if std <= 0:
+        raise ValueError("std must be positive")
+
+    def _init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return rng.normal(0.0, std, size=shape)
+
+    return _init
+
+
+def uniform(limit: float = 0.05) -> Initializer:
+    """Uniform initialiser on ``[-limit, limit]``."""
+    if limit <= 0:
+        raise ValueError("limit must be positive")
+
+    def _init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(-limit, limit, size=shape)
+
+    return _init
+
+
+def he_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He (Kaiming) normal initialisation, suited to ReLU networks."""
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Xavier/Glorot uniform initialisation, suited to Tanh/Sigmoid networks."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Xavier/Glorot normal initialisation."""
+    fan_in, fan_out = _fan_in_out(shape)
+    std = np.sqrt(2.0 / max(fan_in + fan_out, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+_NAMED: dict[str, Initializer] = {
+    "zeros": zeros,
+    "ones": ones,
+    "he_normal": he_normal,
+    "xavier_uniform": xavier_uniform,
+    "xavier_normal": xavier_normal,
+}
+
+
+def get_initializer(name_or_fn: str | Initializer) -> Initializer:
+    """Resolve an initialiser by name or pass a callable through.
+
+    Recognised names: ``zeros``, ``ones``, ``he_normal``, ``xavier_uniform``,
+    ``xavier_normal``.
+    """
+    if callable(name_or_fn):
+        return name_or_fn
+    try:
+        return _NAMED[name_or_fn]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown initializer {name_or_fn!r}; choose from {sorted(_NAMED)}"
+        ) from exc
+
+
+def default_for_activation(activation: str) -> Initializer:
+    """Pick a sensible default weight initialiser for an activation name."""
+    if activation in {"relu", "leaky_relu"}:
+        return he_normal
+    return xavier_uniform
+
+
+def initialize(
+    shape: Tuple[int, ...],
+    initializer: str | Initializer,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Create an initialised tensor of the requested shape."""
+    fn = get_initializer(initializer)
+    return np.asarray(fn(tuple(shape), as_generator(rng)), dtype=np.float64)
+
+
+__all__ = [
+    "Initializer",
+    "zeros",
+    "ones",
+    "constant",
+    "normal",
+    "uniform",
+    "he_normal",
+    "xavier_uniform",
+    "xavier_normal",
+    "get_initializer",
+    "default_for_activation",
+    "initialize",
+]

@@ -1,0 +1,530 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+The layers operate on batches.  Image tensors use the ``(N, C, H, W)`` layout;
+dense layers use ``(N, features)``.  Each layer caches what it needs during
+``forward`` and consumes the cache in ``backward``, which
+
+* accumulates gradients into its :class:`~repro.nn.tensor.Parameter` objects
+  (needed by training, the GDA attack and the parameter-coverage metric), and
+* returns the gradient with respect to the layer input (needed to chain the
+  backward pass and, at the network input, by the gradient-based test
+  generation of Algorithm 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.activations import Activation, get_activation
+from repro.nn.initializers import (
+    Initializer,
+    default_for_activation,
+    get_initializer,
+    zeros,
+)
+from repro.nn.tensor import Parameter
+from repro.utils.rng import RngLike, as_generator
+
+
+class Layer:
+    """Base class for all layers."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.built = False
+
+    # -- shape handling ------------------------------------------------------
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        """Create parameters for the given per-sample input shape."""
+        self.built = True
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Per-sample output shape for a per-sample input shape."""
+        return input_shape
+
+    # -- computation -----------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- parameters --------------------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        """Learnable parameters of this layer (possibly empty)."""
+        return []
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.__class__.__name__}(name={self.name!r})"
+
+
+class Dense(Layer):
+    """Fully-connected layer ``y = act(x W + b)``.
+
+    Parameters
+    ----------
+    units: number of output features.
+    activation: activation name or instance; ``None`` for linear.
+    use_bias: include an additive bias vector.
+    weight_initializer: name or callable; defaults to a sensible choice for
+        the activation (He for ReLU, Xavier otherwise).
+    """
+
+    def __init__(
+        self,
+        units: int,
+        activation: str | Activation | None = None,
+        use_bias: bool = True,
+        weight_initializer: str | Initializer | None = None,
+        name: str = "dense",
+    ) -> None:
+        super().__init__(name)
+        if units <= 0:
+            raise ValueError("units must be positive")
+        self.units = int(units)
+        self.activation = get_activation(activation)
+        self.use_bias = bool(use_bias)
+        self._weight_initializer = weight_initializer
+        self.weight: Optional[Parameter] = None
+        self.bias: Optional[Parameter] = None
+        self._cache: Dict[str, np.ndarray] = {}
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        if len(input_shape) != 1:
+            raise ValueError(
+                f"Dense layer {self.name!r} expects flat inputs, got per-sample "
+                f"shape {input_shape}; add a Flatten layer first"
+            )
+        in_features = input_shape[0]
+        init = self._weight_initializer
+        if init is None:
+            init = default_for_activation(self.activation.name)
+        init_fn = get_initializer(init)
+        self.weight = Parameter(
+            init_fn((in_features, self.units), rng), name=f"{self.name}/weight"
+        )
+        if self.use_bias:
+            self.bias = Parameter(zeros((self.units,)), name=f"{self.name}/bias")
+        self.built = True
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (self.units,)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if self.weight is None:
+            raise RuntimeError(f"layer {self.name!r} has not been built")
+        z = x @ self.weight.value
+        if self.bias is not None:
+            z = z + self.bias.value
+        y = self.activation.forward(z)
+        self._cache = {"x": x, "z": z, "y": y}
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if not self._cache:
+            raise RuntimeError(f"backward called before forward on {self.name!r}")
+        x, z, y = self._cache["x"], self._cache["z"], self._cache["y"]
+        grad_z = self.activation.backward(z, y, grad_out)
+        assert self.weight is not None
+        self.weight.grad += x.T @ grad_z
+        if self.bias is not None:
+            self.bias.grad += grad_z.sum(axis=0)
+        return grad_z @ self.weight.value.T
+
+    def parameters(self) -> List[Parameter]:
+        params = [self.weight] if self.weight is not None else []
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+
+# ---------------------------------------------------------------------------
+# im2col helpers for convolution and pooling
+# ---------------------------------------------------------------------------
+
+def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution produces non-positive output size for input {size}, "
+            f"kernel {kernel}, stride {stride}, padding {padding}"
+        )
+    return out
+
+
+def _im2col_indices(
+    c: int, h: int, w: int, kh: int, kw: int, stride: int, padding: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Index arrays mapping an image to its patch matrix."""
+    out_h = _conv_output_size(h, kh, stride, padding)
+    out_w = _conv_output_size(w, kw, stride, padding)
+
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, c)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * c)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)  # (c*kh*kw, out_h*out_w)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(c), kh * kw).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, padding: int
+) -> Tuple[np.ndarray, int, int]:
+    """Rearrange image batches into patch matrices.
+
+    Parameters
+    ----------
+    x: input of shape ``(N, C, H, W)``.
+
+    Returns
+    -------
+    cols: array of shape ``(N, C*kh*kw, out_h*out_w)``.
+    out_h, out_w: spatial output sizes.
+    """
+    n, c, h, w = x.shape
+    if padding > 0:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        )
+    k, i, j, out_h, out_w = _im2col_indices(c, h, w, kh, kw, stride, padding)
+    cols = x[:, k, i, j]
+    return cols, out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col` with accumulation of overlapping patches."""
+    n, c, h, w = x_shape
+    h_pad, w_pad = h + 2 * padding, w + 2 * padding
+    x_pad = np.zeros((n, c, h_pad, w_pad), dtype=cols.dtype)
+    k, i, j, _, _ = _im2col_indices(c, h, w, kh, kw, stride, padding)
+    np.add.at(x_pad, (slice(None), k, i, j), cols)
+    if padding == 0:
+        return x_pad
+    return x_pad[:, :, padding:-padding, padding:-padding]
+
+
+class Conv2D(Layer):
+    """2-D convolution with optional activation.
+
+    Weights have shape ``(filters, in_channels, kh, kw)``; inputs and outputs
+    use the ``(N, C, H, W)`` layout.  Implemented with im2col so the forward
+    and backward passes are large matrix multiplications.
+    """
+
+    def __init__(
+        self,
+        filters: int,
+        kernel_size: int | Tuple[int, int] = 3,
+        stride: int = 1,
+        padding: str | int = "same",
+        activation: str | Activation | None = None,
+        use_bias: bool = True,
+        weight_initializer: str | Initializer | None = None,
+        name: str = "conv",
+    ) -> None:
+        super().__init__(name)
+        if filters <= 0:
+            raise ValueError("filters must be positive")
+        self.filters = int(filters)
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size, kernel_size)
+        self.kernel_size = (int(kernel_size[0]), int(kernel_size[1]))
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        self.stride = int(stride)
+        self._padding_spec = padding
+        self.activation = get_activation(activation)
+        self.use_bias = bool(use_bias)
+        self._weight_initializer = weight_initializer
+        self.weight: Optional[Parameter] = None
+        self.bias: Optional[Parameter] = None
+        self._input_shape: Optional[Tuple[int, ...]] = None
+        self._cache: Dict[str, np.ndarray] = {}
+
+    # -- padding resolution ----------------------------------------------------
+    def _padding(self) -> int:
+        if isinstance(self._padding_spec, int):
+            if self._padding_spec < 0:
+                raise ValueError("padding must be non-negative")
+            return self._padding_spec
+        if self._padding_spec == "same":
+            if self.stride != 1:
+                raise ValueError("'same' padding requires stride 1")
+            kh, _ = self.kernel_size
+            return (kh - 1) // 2
+        if self._padding_spec == "valid":
+            return 0
+        raise ValueError(f"unknown padding spec {self._padding_spec!r}")
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        if len(input_shape) != 3:
+            raise ValueError(
+                f"Conv2D layer {self.name!r} expects (C, H, W) inputs, got {input_shape}"
+            )
+        in_c = input_shape[0]
+        kh, kw = self.kernel_size
+        init = self._weight_initializer
+        if init is None:
+            init = default_for_activation(self.activation.name)
+        init_fn = get_initializer(init)
+        self.weight = Parameter(
+            init_fn((self.filters, in_c, kh, kw), rng), name=f"{self.name}/weight"
+        )
+        if self.use_bias:
+            self.bias = Parameter(zeros((self.filters,)), name=f"{self.name}/bias")
+        self._input_shape = tuple(input_shape)
+        self.built = True
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        _, h, w = input_shape
+        kh, kw = self.kernel_size
+        pad = self._padding()
+        out_h = _conv_output_size(h, kh, self.stride, pad)
+        out_w = _conv_output_size(w, kw, self.stride, pad)
+        return (self.filters, out_h, out_w)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if self.weight is None:
+            raise RuntimeError(f"layer {self.name!r} has not been built")
+        n, c, h, w = x.shape
+        kh, kw = self.kernel_size
+        pad = self._padding()
+        cols, out_h, out_w = im2col(x, kh, kw, self.stride, pad)
+        w_mat = self.weight.value.reshape(self.filters, -1)  # (F, C*kh*kw)
+        z = np.einsum("fk,nkp->nfp", w_mat, cols)
+        if self.bias is not None:
+            z = z + self.bias.value[None, :, None]
+        z = z.reshape(n, self.filters, out_h, out_w)
+        y = self.activation.forward(z)
+        self._cache = {"x_shape": np.array(x.shape), "cols": cols, "z": z, "y": y}
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if not self._cache:
+            raise RuntimeError(f"backward called before forward on {self.name!r}")
+        cols = self._cache["cols"]
+        z, y = self._cache["z"], self._cache["y"]
+        x_shape = tuple(int(v) for v in self._cache["x_shape"])
+        n = x_shape[0]
+        kh, kw = self.kernel_size
+        pad = self._padding()
+
+        grad_z = self.activation.backward(z, y, grad_out)
+        grad_z_mat = grad_z.reshape(n, self.filters, -1)  # (N, F, P)
+
+        assert self.weight is not None
+        w_mat = self.weight.value.reshape(self.filters, -1)
+        grad_w = np.einsum("nfp,nkp->fk", grad_z_mat, cols)
+        self.weight.grad += grad_w.reshape(self.weight.value.shape)
+        if self.bias is not None:
+            self.bias.grad += grad_z_mat.sum(axis=(0, 2))
+
+        grad_cols = np.einsum("fk,nfp->nkp", w_mat, grad_z_mat)
+        return col2im(grad_cols, x_shape, kh, kw, self.stride, pad)
+
+    def parameters(self) -> List[Parameter]:
+        params = [self.weight] if self.weight is not None else []
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+
+class MaxPool2D(Layer):
+    """Max pooling over non-overlapping (or strided) windows."""
+
+    def __init__(
+        self,
+        pool_size: int | Tuple[int, int] = 2,
+        stride: Optional[int] = None,
+        name: str = "maxpool",
+    ) -> None:
+        super().__init__(name)
+        if isinstance(pool_size, int):
+            pool_size = (pool_size, pool_size)
+        self.pool_size = (int(pool_size[0]), int(pool_size[1]))
+        self.stride = int(stride) if stride is not None else self.pool_size[0]
+        if self.stride <= 0:
+            raise ValueError("stride must be positive")
+        self._cache: Dict[str, np.ndarray] = {}
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = input_shape
+        ph, pw = self.pool_size
+        out_h = _conv_output_size(h, ph, self.stride, 0)
+        out_w = _conv_output_size(w, pw, self.stride, 0)
+        return (c, out_h, out_w)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        ph, pw = self.pool_size
+        # treat each channel as a separate image for im2col
+        reshaped = x.reshape(n * c, 1, h, w)
+        cols, out_h, out_w = im2col(reshaped, ph, pw, self.stride, 0)
+        # cols: (N*C, ph*pw, P)
+        argmax = np.argmax(cols, axis=1)
+        out = np.take_along_axis(cols, argmax[:, None, :], axis=1).squeeze(1)
+        out = out.reshape(n, c, out_h, out_w)
+        self._cache = {
+            "argmax": argmax,
+            "cols_shape": np.array(cols.shape),
+            "x_shape": np.array(x.shape),
+        }
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if not self._cache:
+            raise RuntimeError(f"backward called before forward on {self.name!r}")
+        argmax = self._cache["argmax"]
+        cols_shape = tuple(int(v) for v in self._cache["cols_shape"])
+        x_shape = tuple(int(v) for v in self._cache["x_shape"])
+        n, c, h, w = x_shape
+        ph, pw = self.pool_size
+
+        grad_cols = np.zeros(cols_shape, dtype=np.float64)
+        grad_flat = grad_out.reshape(n * c, -1)
+        np.put_along_axis(grad_cols, argmax[:, None, :], grad_flat[:, None, :], axis=1)
+        grad_x = col2im(grad_cols, (n * c, 1, h, w), ph, pw, self.stride, 0)
+        return grad_x.reshape(n, c, h, w)
+
+
+class AvgPool2D(Layer):
+    """Average pooling over strided windows."""
+
+    def __init__(
+        self,
+        pool_size: int | Tuple[int, int] = 2,
+        stride: Optional[int] = None,
+        name: str = "avgpool",
+    ) -> None:
+        super().__init__(name)
+        if isinstance(pool_size, int):
+            pool_size = (pool_size, pool_size)
+        self.pool_size = (int(pool_size[0]), int(pool_size[1]))
+        self.stride = int(stride) if stride is not None else self.pool_size[0]
+        if self.stride <= 0:
+            raise ValueError("stride must be positive")
+        self._cache: Dict[str, np.ndarray] = {}
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = input_shape
+        ph, pw = self.pool_size
+        out_h = _conv_output_size(h, ph, self.stride, 0)
+        out_w = _conv_output_size(w, pw, self.stride, 0)
+        return (c, out_h, out_w)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        ph, pw = self.pool_size
+        reshaped = x.reshape(n * c, 1, h, w)
+        cols, out_h, out_w = im2col(reshaped, ph, pw, self.stride, 0)
+        out = cols.mean(axis=1).reshape(n, c, out_h, out_w)
+        self._cache = {"cols_shape": np.array(cols.shape), "x_shape": np.array(x.shape)}
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if not self._cache:
+            raise RuntimeError(f"backward called before forward on {self.name!r}")
+        cols_shape = tuple(int(v) for v in self._cache["cols_shape"])
+        x_shape = tuple(int(v) for v in self._cache["x_shape"])
+        n, c, h, w = x_shape
+        ph, pw = self.pool_size
+        window = ph * pw
+        grad_flat = grad_out.reshape(n * c, -1) / window
+        grad_cols = np.broadcast_to(grad_flat[:, None, :], cols_shape).copy()
+        grad_x = col2im(grad_cols, (n * c, 1, h, w), ph, pw, self.stride, 0)
+        return grad_x.reshape(n, c, h, w)
+
+
+class Flatten(Layer):
+    """Flatten per-sample tensors to vectors."""
+
+    def __init__(self, name: str = "flatten") -> None:
+        super().__init__(name)
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (int(np.prod(input_shape)),)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError(f"backward called before forward on {self.name!r}")
+        return grad_out.reshape(self._input_shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, rate: float = 0.5, seed: int = 0, name: str = "dropout") -> None:
+        super().__init__(name)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = float(rate)
+        self._rng = as_generator(seed)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class ActivationLayer(Layer):
+    """Standalone activation layer (for architectures that separate them)."""
+
+    def __init__(self, activation: str | Activation, name: str = "activation") -> None:
+        super().__init__(name)
+        self.activation = get_activation(activation)
+        self._cache: Dict[str, np.ndarray] = {}
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        y = self.activation.forward(x)
+        self._cache = {"x": x, "y": y}
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if not self._cache:
+            raise RuntimeError(f"backward called before forward on {self.name!r}")
+        return self.activation.backward(self._cache["x"], self._cache["y"], grad_out)
+
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "Flatten",
+    "Dropout",
+    "ActivationLayer",
+    "im2col",
+    "col2im",
+]

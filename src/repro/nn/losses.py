@@ -1,0 +1,152 @@
+"""Loss functions with fused gradients.
+
+Losses return ``(value, grad_wrt_predictions)`` so the model's backward pass
+can start directly from the loss gradient.  The softmax cross-entropy fuses the
+softmax and the log-likelihood for numerical stability, which matches how the
+paper's models (softmax output, Table I) would be trained.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+import numpy as np
+
+
+class Loss:
+    """Base class: maps ``(predictions, targets)`` to a scalar and a gradient."""
+
+    name = "loss"
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        value, _ = self.value_and_grad(predictions, targets)
+        return value
+
+    def value_and_grad(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Convert integer labels to one-hot rows."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels must be in [0, {num_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def _as_one_hot(targets: np.ndarray, num_classes: int) -> np.ndarray:
+    targets = np.asarray(targets)
+    if targets.ndim == 1:
+        return one_hot(targets.astype(int), num_classes)
+    if targets.shape[-1] != num_classes:
+        raise ValueError(
+            f"target one-hot width {targets.shape[-1]} does not match "
+            f"{num_classes} classes"
+        )
+    return targets.astype(np.float64)
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Cross-entropy on logits with a fused softmax.
+
+    ``predictions`` are raw logits of shape ``(N, K)``; ``targets`` are either
+    integer class labels of shape ``(N,)`` or one-hot rows of shape ``(N, K)``.
+    The returned gradient is with respect to the logits.
+    """
+
+    name = "softmax_cross_entropy"
+
+    def value_and_grad(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        logits = np.asarray(predictions, dtype=np.float64)
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be 2-D (N, K), got shape {logits.shape}")
+        n, k = logits.shape
+        y = _as_one_hot(targets, k)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        log_probs = shifted - log_z
+        loss = float(-(y * log_probs).sum() / n)
+        probs = np.exp(log_probs)
+        grad = (probs - y) / n
+        return loss, grad
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error, averaged over batch and output dimensions."""
+
+    name = "mse"
+
+    def value_and_grad(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        p = np.asarray(predictions, dtype=np.float64)
+        t = np.asarray(targets, dtype=np.float64)
+        if p.shape != t.shape:
+            raise ValueError(f"shape mismatch: predictions {p.shape} vs targets {t.shape}")
+        diff = p - t
+        loss = float(np.mean(diff * diff))
+        grad = 2.0 * diff / diff.size
+        return loss, grad
+
+
+class NegativeLogit(Loss):
+    """Loss used by Algorithm 2's per-class synthesis: minimise ``-logit[target]``.
+
+    Driving this loss down with gradient descent on the *input* pushes the
+    network towards classifying the synthetic input as the target class, which
+    is exactly the behaviour Eq. (8) needs.  Cross-entropy works too; the raw
+    negative logit gives cleaner gradients when the softmax saturates.
+    """
+
+    name = "negative_logit"
+
+    def value_and_grad(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        logits = np.asarray(predictions, dtype=np.float64)
+        n, k = logits.shape
+        y = _as_one_hot(targets, k)
+        loss = float(-(y * logits).sum() / n)
+        grad = -y / n
+        return loss, grad
+
+
+_REGISTRY: Dict[str, Type[Loss]] = {
+    SoftmaxCrossEntropy.name: SoftmaxCrossEntropy,
+    MeanSquaredError.name: MeanSquaredError,
+    "cross_entropy": SoftmaxCrossEntropy,
+    NegativeLogit.name: NegativeLogit,
+}
+
+
+def get_loss(name_or_obj: str | Loss) -> Loss:
+    """Resolve a loss by name or pass an instance through."""
+    if isinstance(name_or_obj, Loss):
+        return name_or_obj
+    try:
+        return _REGISTRY[name_or_obj]()
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown loss {name_or_obj!r}; choose from {sorted(_REGISTRY)}"
+        ) from exc
+
+
+__all__ = [
+    "Loss",
+    "SoftmaxCrossEntropy",
+    "MeanSquaredError",
+    "NegativeLogit",
+    "one_hot",
+    "get_loss",
+]

@@ -1,0 +1,68 @@
+"""Classification metrics used by the trainer and the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct predictions.
+
+    ``predictions`` may be class indices (1-D) or logits/probabilities (2-D).
+    """
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.ndim == 2:
+        predictions = np.argmax(predictions, axis=1)
+    if labels.ndim == 2:
+        labels = np.argmax(labels, axis=1)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predictions.shape} vs labels {labels.shape}"
+        )
+    if predictions.size == 0:
+        raise ValueError("cannot compute accuracy of an empty batch")
+    return float(np.mean(predictions == labels))
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose true label is within the top-``k`` logits."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError("top_k_accuracy expects 2-D logits")
+    if k <= 0 or k > logits.shape[1]:
+        raise ValueError(f"k must be in [1, {logits.shape[1]}]")
+    top = np.argsort(-logits, axis=1)[:, :k]
+    return float(np.mean([labels[i] in top[i] for i in range(len(labels))]))
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """``num_classes x num_classes`` matrix: rows true class, columns predicted."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.ndim == 2:
+        predictions = np.argmax(predictions, axis=1)
+    mat = np.zeros((num_classes, num_classes), dtype=np.int64)
+    for t, p in zip(labels, predictions):
+        mat[int(t), int(p)] += 1
+    return mat
+
+
+def per_class_accuracy(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> Dict[int, float]:
+    """Per-class recall; classes absent from ``labels`` map to ``nan``."""
+    mat = confusion_matrix(predictions, labels, num_classes)
+    out: Dict[int, float] = {}
+    for c in range(num_classes):
+        total = mat[c].sum()
+        out[c] = float(mat[c, c] / total) if total else float("nan")
+    return out
+
+
+__all__ = ["accuracy", "top_k_accuracy", "confusion_matrix", "per_class_accuracy"]

@@ -1,0 +1,305 @@
+"""Sequential model: composition of layers plus the gradient queries the
+paper's method needs.
+
+Beyond the usual ``forward``/``predict``/``fit``-style API, the model exposes
+three gradient queries used throughout the library:
+
+* :meth:`Sequential.loss_gradients` — parameter gradients of a training loss
+  (used by the trainer and by the gradient-descent attack).
+* :meth:`Sequential.output_gradients` — parameter gradients of a scalarised
+  network output ``F(x)`` for a single sample (the quantity ``∇θ F(x)`` that
+  defines *activated parameters* in Section IV-A).
+* :meth:`Sequential.input_gradient` — gradient of a loss with respect to the
+  *input* (used by the gradient-based test generation of Algorithm 2 and by
+  adversarial-style updates).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.losses import Loss, SoftmaxCrossEntropy, get_loss
+from repro.nn.tensor import Parameter, ParameterView
+from repro.utils.rng import RngLike, as_generator
+
+#: supported scalarisations of the vector-valued network output F(x)
+SCALARIZATIONS = ("sum", "max", "predicted")
+
+
+class Sequential:
+    """A feed-forward stack of layers.
+
+    Parameters
+    ----------
+    layers:
+        Layers in execution order.  They may be unbuilt; :meth:`build` creates
+        their parameters for a concrete input shape.
+    name:
+        Model identifier used in serialisation and reporting.
+    """
+
+    def __init__(self, layers: Optional[Sequence[Layer]] = None, name: str = "model") -> None:
+        self.layers: List[Layer] = list(layers) if layers else []
+        self.name = name
+        self.input_shape: Optional[Tuple[int, ...]] = None
+        self._built = False
+
+    # -- construction ----------------------------------------------------------
+    def add(self, layer: Layer) -> "Sequential":
+        """Append a layer (before :meth:`build`)."""
+        if self._built:
+            raise RuntimeError("cannot add layers after the model has been built")
+        self.layers.append(layer)
+        return self
+
+    def build(self, input_shape: Tuple[int, ...], rng: RngLike = None) -> "Sequential":
+        """Create all layer parameters for a per-sample ``input_shape``.
+
+        ``input_shape`` excludes the batch dimension, e.g. ``(1, 28, 28)`` for
+        MNIST-like images or ``(features,)`` for flat inputs.
+        """
+        if not self.layers:
+            raise ValueError("model has no layers")
+        gen = as_generator(rng)
+        shape = tuple(int(s) for s in input_shape)
+        self.input_shape = shape
+        for layer in self.layers:
+            layer.build(shape, gen)
+            shape = layer.output_shape(shape)
+        self._built = True
+        return self
+
+    @property
+    def built(self) -> bool:
+        return self._built
+
+    @property
+    def output_shape(self) -> Tuple[int, ...]:
+        if not self._built or self.input_shape is None:
+            raise RuntimeError("model has not been built")
+        shape = self.input_shape
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        return shape
+
+    @property
+    def num_classes(self) -> int:
+        """Width of the output layer (number of classes for classifiers)."""
+        shape = self.output_shape
+        if len(shape) != 1:
+            raise ValueError(f"output shape {shape} is not a flat class vector")
+        return shape[0]
+
+    # -- parameters ---------------------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        """All parameters in layer order."""
+        params: List[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def parameter_view(self) -> ParameterView:
+        """Flat-indexed view over every scalar parameter in the network."""
+        return ParameterView(self.parameters())
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    # -- forward / backward ----------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the network on a batch and return the output logits."""
+        self._check_input(x)
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def forward_collect(self, x: np.ndarray) -> List[np.ndarray]:
+        """Run the network and return every layer's output (for neuron coverage)."""
+        self._check_input(x)
+        outputs: List[np.ndarray] = []
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=False)
+            outputs.append(out)
+        return outputs
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate an output gradient; returns the input gradient.
+
+        Parameter gradients are *accumulated*; call :meth:`zero_grad` first if
+        fresh gradients are required.
+        """
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x, training=False)
+
+    # -- inference helpers ----------------------------------------------------------
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Logits for a (possibly large) batch, evaluated in chunks."""
+        self._check_input(x)
+        chunks = []
+        for start in range(0, x.shape[0], batch_size):
+            chunks.append(self.forward(x[start : start + batch_size], training=False))
+        return np.concatenate(chunks, axis=0)
+
+    def predict_classes(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Predicted class index per sample."""
+        return np.argmax(self.predict(x, batch_size=batch_size), axis=1)
+
+    def predict_proba(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Softmax class probabilities per sample."""
+        logits = self.predict(x, batch_size=batch_size)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        e = np.exp(shifted)
+        return e / e.sum(axis=1, keepdims=True)
+
+    # -- gradient queries ---------------------------------------------------------------
+    def loss_gradients(
+        self, x: np.ndarray, targets: np.ndarray, loss: str | Loss = "cross_entropy"
+    ) -> Tuple[float, np.ndarray]:
+        """Loss value and parameter gradients for a batch.
+
+        Returns ``(loss_value, input_gradient)``; parameter gradients are left
+        accumulated in the parameters (read them via :meth:`parameter_view`).
+        """
+        loss_fn = get_loss(loss)
+        self.zero_grad()
+        logits = self.forward(x, training=True)
+        value, grad = loss_fn.value_and_grad(logits, targets)
+        input_grad = self.backward(grad)
+        return value, input_grad
+
+    def input_gradient(
+        self, x: np.ndarray, targets: np.ndarray, loss: str | Loss = "cross_entropy"
+    ) -> Tuple[float, np.ndarray]:
+        """Gradient of a loss with respect to the input batch.
+
+        Used by Algorithm 2 (gradient-based test generation) and the GDA
+        attack.  The parameter gradients computed along the way are discarded.
+        """
+        value, input_grad = self.loss_gradients(x, targets, loss)
+        self.zero_grad()
+        return value, input_grad
+
+    def output_gradients(
+        self, x: np.ndarray, scalarization: str = "sum"
+    ) -> np.ndarray:
+        """Flat parameter-gradient vector of the scalarised output ``F(x)``.
+
+        ``x`` must be a single sample (with or without the batch axis).  The
+        scalarisation determines which scalar the gradient is taken of:
+
+        * ``"sum"`` — the sum of all output logits (default; a perturbation of
+          θ is deemed detectable if it moves any logit).
+        * ``"max"`` — the largest logit.
+        * ``"predicted"`` — the logit of the predicted class.
+        """
+        if scalarization not in SCALARIZATIONS:
+            raise ValueError(
+                f"unknown scalarization {scalarization!r}; choose from {SCALARIZATIONS}"
+            )
+        sample = self._as_single_batch(x)
+        self.zero_grad()
+        logits = self.forward(sample, training=False)
+        grad_out = np.zeros_like(logits)
+        if scalarization == "sum":
+            grad_out[:] = 1.0
+        else:
+            idx = int(np.argmax(logits[0]))
+            grad_out[0, idx] = 1.0
+        self.backward(grad_out)
+        flat = self.parameter_view().flat_grads()
+        self.zero_grad()
+        return flat
+
+    # -- copying / state ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Mapping of parameter names to copies of their values."""
+        state: Dict[str, np.ndarray] = {}
+        for p in self.parameters():
+            if p.name in state:
+                raise ValueError(f"duplicate parameter name {p.name!r}")
+            state[p.name] = p.value.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter values by name; shapes must match."""
+        params = {p.name: p for p in self.parameters()}
+        missing = set(params) - set(state)
+        extra = set(state) - set(params)
+        if missing or extra:
+            raise ValueError(
+                f"state dict mismatch; missing={sorted(missing)} extra={sorted(extra)}"
+            )
+        for name, value in state.items():
+            params[name].assign(value)
+
+    def copy(self) -> "Sequential":
+        """Structural deep copy sharing nothing with the original.
+
+        The copy is built with the same architecture (via a fresh build) and
+        then loaded with this model's parameter values, so perturbing the copy
+        (as the attacks do) never touches the original.
+        """
+        import copy as _copy
+
+        clone = _copy.deepcopy(self)
+        return clone
+
+    # -- internals ---------------------------------------------------------------------------
+    def _check_input(self, x: np.ndarray) -> None:
+        if not self._built:
+            raise RuntimeError("model has not been built; call build(input_shape)")
+        if self.input_shape is not None and tuple(x.shape[1:]) != self.input_shape:
+            raise ValueError(
+                f"input per-sample shape {tuple(x.shape[1:])} does not match the "
+                f"model input shape {self.input_shape}"
+            )
+
+    def _as_single_batch(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if self.input_shape is None:
+            raise RuntimeError("model has not been built")
+        if x.shape == self.input_shape:
+            return x[None, ...]
+        if x.ndim == len(self.input_shape) + 1 and x.shape[0] == 1:
+            return x
+        raise ValueError(
+            "output_gradients expects a single sample of shape "
+            f"{self.input_shape} (optionally with a leading batch axis of 1), "
+            f"got {x.shape}"
+        )
+
+    def summary(self) -> str:
+        """Human-readable architecture summary."""
+        if not self._built or self.input_shape is None:
+            raise RuntimeError("model has not been built")
+        lines = [f"Model: {self.name}", f"Input shape: {self.input_shape}"]
+        shape = self.input_shape
+        total = 0
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+            count = sum(p.size for p in layer.parameters())
+            total += count
+            lines.append(
+                f"  {layer.name:<16} {layer.__class__.__name__:<12} "
+                f"out={shape!s:<18} params={count}"
+            )
+        lines.append(f"Total parameters: {total}")
+        return "\n".join(lines)
+
+
+__all__ = ["Sequential", "SCALARIZATIONS"]

@@ -1,0 +1,106 @@
+"""Model parameter serialisation and integrity digests.
+
+The vendor/user validation scheme (Section III) releases the IP through an
+*unsecure* distribution channel, so this module provides:
+
+* save/load of model parameters to ``.npz`` files, and
+* a deterministic digest over the parameter values, used by the test suite
+  and the validation harness to assert that a model copy was (or was not)
+  modified.  Note that in the paper's threat model the *user cannot compute
+  this digest* — they only see the black-box IP — which is exactly why
+  functional tests are needed; the digest here is an experimental-harness
+  convenience, not part of the defence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.nn.model import Sequential
+
+PathLike = Union[str, Path]
+
+
+def parameter_digest(model: Sequential, precision: int = 12) -> str:
+    """Deterministic SHA-256 digest of every parameter value.
+
+    Values are rounded to ``precision`` decimals before hashing so that the
+    digest is stable across platforms with differing extended-precision
+    behaviour, while still changing for any perturbation of practical size.
+    """
+    hasher = hashlib.sha256()
+    for param in model.parameters():
+        hasher.update(param.name.encode("utf-8"))
+        rounded = np.round(param.value, precision)
+        # normalise -0.0 to 0.0 so the digest does not depend on signed zeros
+        rounded = rounded + 0.0
+        hasher.update(rounded.tobytes())
+    return hasher.hexdigest()
+
+
+def save_model(model: Sequential, path: PathLike) -> Path:
+    """Save model parameters and metadata to a ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = model.state_dict()
+    meta = {
+        "name": model.name,
+        "input_shape": list(model.input_shape or ()),
+        "digest": parameter_digest(model),
+    }
+    np.savez(path, __meta__=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8), **state)
+    return path
+
+
+def load_parameters(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load the raw parameter mapping saved by :func:`save_model`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"model file not found: {path}")
+    with np.load(path) as data:
+        return {k: data[k].copy() for k in data.files if k != "__meta__"}
+
+
+def load_metadata(path: PathLike) -> Dict[str, object]:
+    """Load the metadata blob saved by :func:`save_model`."""
+    path = Path(path)
+    with np.load(path) as data:
+        if "__meta__" not in data.files:
+            raise ValueError(f"{path} does not contain model metadata")
+        raw = bytes(data["__meta__"].tobytes())
+    return json.loads(raw.decode("utf-8"))
+
+
+def load_model_into(model: Sequential, path: PathLike, verify_digest: bool = True) -> Sequential:
+    """Load parameters from ``path`` into an already-built ``model``.
+
+    With ``verify_digest=True`` (default) the loaded parameters are re-hashed
+    and compared with the digest stored at save time, catching corrupted or
+    tampered files.
+    """
+    state = load_parameters(path)
+    model.load_state_dict(state)
+    if verify_digest:
+        meta = load_metadata(path)
+        expected = meta.get("digest")
+        actual = parameter_digest(model)
+        if expected != actual:
+            raise ValueError(
+                f"parameter digest mismatch for {path}: file may be corrupted "
+                f"or tampered (expected {expected}, got {actual})"
+            )
+    return model
+
+
+__all__ = [
+    "parameter_digest",
+    "save_model",
+    "load_parameters",
+    "load_metadata",
+    "load_model_into",
+]

@@ -1,0 +1,21 @@
+"""Functional test generation: the paper's Algorithms 1 and 2, their
+combination, and the neuron-coverage / random baselines."""
+
+from repro.testgen.base import GenerationResult, TestGenerator, stack_samples
+from repro.testgen.combined import CombinedGenerator
+from repro.testgen.gradient_gen import TARGET_MODES, GradientTestGenerator
+from repro.testgen.neuron_testgen import NeuronCoverageSelector
+from repro.testgen.random_select import RandomSelector
+from repro.testgen.selection import TrainingSetSelector
+
+__all__ = [
+    "GenerationResult",
+    "TestGenerator",
+    "stack_samples",
+    "CombinedGenerator",
+    "TARGET_MODES",
+    "GradientTestGenerator",
+    "NeuronCoverageSelector",
+    "RandomSelector",
+    "TrainingSetSelector",
+]

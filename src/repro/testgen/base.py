@@ -1,0 +1,110 @@
+"""Common interfaces and result containers for functional test generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.coverage.activation import ActivationCriterion
+from repro.nn.model import Sequential
+
+
+@dataclass
+class GenerationResult:
+    """Outcome of a test-generation run.
+
+    Attributes
+    ----------
+    tests:
+        The generated functional tests, shape ``(N, *input_shape)``.
+    coverage_history:
+        ``coverage_history[i]`` is VC(X) after the first ``i + 1`` tests —
+        exactly the curves plotted in Fig. 3.
+    gains:
+        Marginal coverage gain contributed by each test, in order.
+    sources:
+        Per-test provenance label, e.g. ``"training"`` or ``"gradient"`` —
+        used by the combined method to report its switch point.
+    method:
+        Name of the generator that produced this result.
+    """
+
+    tests: np.ndarray
+    coverage_history: List[float] = field(default_factory=list)
+    gains: List[float] = field(default_factory=list)
+    sources: List[str] = field(default_factory=list)
+    method: str = "unknown"
+
+    def __post_init__(self) -> None:
+        self.tests = np.asarray(self.tests, dtype=np.float64)
+        n = self.tests.shape[0] if self.tests.ndim else 0
+        for name, seq in (
+            ("coverage_history", self.coverage_history),
+            ("gains", self.gains),
+            ("sources", self.sources),
+        ):
+            if seq and len(seq) != n:
+                raise ValueError(
+                    f"{name} has {len(seq)} entries but there are {n} tests"
+                )
+
+    @property
+    def num_tests(self) -> int:
+        return int(self.tests.shape[0])
+
+    @property
+    def final_coverage(self) -> float:
+        """VC(X) of the full generated test set."""
+        if not self.coverage_history:
+            raise ValueError("no coverage history recorded")
+        return self.coverage_history[-1]
+
+    def truncated(self, n: int) -> "GenerationResult":
+        """Result restricted to the first ``n`` tests (for budget sweeps)."""
+        if n <= 0 or n > self.num_tests:
+            raise ValueError(f"n must be in [1, {self.num_tests}], got {n}")
+        return GenerationResult(
+            tests=self.tests[:n].copy(),
+            coverage_history=list(self.coverage_history[:n]),
+            gains=list(self.gains[:n]),
+            sources=list(self.sources[:n]),
+            method=self.method,
+        )
+
+    def switch_index(self) -> Optional[int]:
+        """Index of the first non-training test (combined method's switch point)."""
+        for i, src in enumerate(self.sources):
+            if src != "training":
+                return i
+        return None
+
+
+class TestGenerator:
+    """Interface implemented by every functional test generator."""
+
+    #: short name used in reports and benchmark tables
+    method_name: str = "base"
+
+    def __init__(
+        self,
+        model: Sequential,
+        criterion: Optional[ActivationCriterion] = None,
+    ) -> None:
+        self.model = model
+        self.criterion = criterion
+
+    def generate(self, num_tests: int) -> GenerationResult:
+        """Produce ``num_tests`` functional tests for the wrapped model."""
+        raise NotImplementedError
+
+
+def stack_samples(samples: Sequence[np.ndarray]) -> np.ndarray:
+    """Stack a list of single samples into a test batch (empty-safe)."""
+    if not samples:
+        raise ValueError("no samples to stack")
+    return np.stack([np.asarray(s, dtype=np.float64) for s in samples], axis=0)
+
+
+__all__ = ["GenerationResult", "TestGenerator", "stack_samples"]

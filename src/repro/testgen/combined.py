@@ -1,0 +1,211 @@
+"""The combined functional test generation method (Section IV-D).
+
+Algorithm 1 (selection from the training set) is very effective for the first
+few tests but saturates; Algorithm 2 (gradient-based synthesis) keeps making
+progress but is less efficient early on.  The combined method starts with
+Algorithm 1 and switches to Algorithm 2 once the marginal coverage gain per
+test of the gradient method exceeds that of the best remaining training
+sample — the switch-point rule the paper proposes.
+
+Two switch policies are supported:
+
+* ``"adaptive"`` (paper) — at every step, compare the marginal gain of the
+  best remaining training candidate with the (per-test) gain a freshly
+  synthesised gradient batch would deliver, and take whichever is larger.
+  Once the gradient method wins it keeps winning in practice, so this
+  degenerates into "switch once" while remaining robust to noise.
+* ``"fixed:<n>"`` — switch unconditionally after ``n`` training-selected
+  tests (used by the switch-point ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.coverage.activation import ActivationCriterion, default_criterion_for
+from repro.coverage.parameter_coverage import (
+    ActivationMaskCache,
+    CoverageTracker,
+    activation_mask,
+)
+from repro.data.datasets import Dataset
+from repro.nn.model import Sequential
+from repro.testgen.base import GenerationResult, TestGenerator
+from repro.testgen.gradient_gen import GradientTestGenerator
+from repro.testgen.selection import TrainingSetSelector
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngLike, as_generator
+
+logger = get_logger("testgen.combined")
+
+
+def _parse_switch_policy(policy: str) -> Optional[int]:
+    """Return the fixed switch index, or ``None`` for the adaptive policy."""
+    if policy == "adaptive":
+        return None
+    if policy.startswith("fixed:"):
+        value = policy.split(":", 1)[1]
+        try:
+            n = int(value)
+        except ValueError as exc:
+            raise ValueError(f"invalid fixed switch policy {policy!r}") from exc
+        if n < 0:
+            raise ValueError("fixed switch point must be non-negative")
+        return n
+    raise ValueError(f"unknown switch policy {policy!r}")
+
+
+class CombinedGenerator(TestGenerator):
+    """Training-set selection followed by gradient-based synthesis.
+
+    Parameters
+    ----------
+    model: the trained (vendor-side) model.
+    training_set: dataset Algorithm 1 selects from.
+    switch_policy: ``"adaptive"`` (default) or ``"fixed:<n>"``.
+    candidate_pool: optional cap on the number of training candidates scanned.
+    gradient_kwargs: forwarded to :class:`GradientTestGenerator` (step size,
+        update count, targeting mode, ...).
+    """
+
+    method_name = "combined"
+
+    def __init__(
+        self,
+        model: Sequential,
+        training_set: Dataset,
+        criterion: Optional[ActivationCriterion] = None,
+        switch_policy: str = "adaptive",
+        candidate_pool: Optional[int] = None,
+        rng: RngLike = None,
+        **gradient_kwargs: object,
+    ) -> None:
+        super().__init__(model, criterion or default_criterion_for(model))
+        self.training_set = training_set
+        self.switch_policy = switch_policy
+        self._fixed_switch = _parse_switch_policy(switch_policy)
+        self._rng = as_generator(rng)
+        self._selector = TrainingSetSelector(
+            model,
+            training_set,
+            criterion=self.criterion,
+            candidate_pool=candidate_pool,
+            rng=self._rng,
+        )
+        self._gradient = GradientTestGenerator(
+            model, criterion=self.criterion, rng=self._rng, **gradient_kwargs  # type: ignore[arg-type]
+        )
+
+    # -- helpers -------------------------------------------------------------
+    def _gradient_batch_gain_per_test(
+        self, tracker: CoverageTracker
+    ) -> tuple[float, np.ndarray, np.ndarray]:
+        """Synthesise one trial batch and measure its average per-test gain.
+
+        Returns ``(gain_per_test, batch, batch_masks)`` so the batch can be
+        reused if the gradient method is chosen (the synthesis is the
+        expensive part).
+        """
+        if self._gradient.target == "residual":
+            synthesis_model = self._gradient._residual_model(tracker.covered_mask)
+        else:
+            synthesis_model = self.model
+        batch = self._gradient.synthesize_batch(synthesis_model)
+        masks = np.stack(
+            [activation_mask(self.model, s, self.criterion) for s in batch], axis=0
+        )
+        union = np.zeros(tracker.total_parameters, dtype=bool)
+        covered = tracker.covered_mask
+        new_total = 0
+        for mask in masks:
+            new_total += np.count_nonzero(mask & ~covered & ~union)
+            union |= mask
+        gain_per_test = new_total / masks.shape[0] / tracker.total_parameters
+        return gain_per_test, batch, masks
+
+    # -- generation ------------------------------------------------------------
+    def generate(self, num_tests: int) -> GenerationResult:
+        if num_tests <= 0:
+            raise ValueError("num_tests must be positive")
+
+        cache: ActivationMaskCache = self._selector._ensure_cache()
+        tracker = CoverageTracker(self.model, self.criterion)
+        available = np.ones(len(cache), dtype=bool)
+
+        tests: List[np.ndarray] = []
+        history: List[float] = []
+        gains: List[float] = []
+        sources: List[str] = []
+
+        pending_batch: List[np.ndarray] = []
+        pending_masks: List[np.ndarray] = []
+        switched = False
+
+        while len(tests) < num_tests:
+            use_gradient = False
+
+            if switched:
+                use_gradient = True
+            elif self._fixed_switch is not None:
+                use_gradient = len(tests) >= self._fixed_switch
+                switched = use_gradient
+            else:
+                # adaptive policy: compare best remaining training gain with
+                # the per-test gain of a fresh gradient batch
+                pool_gains = cache.marginal_gains(tracker.covered_mask)
+                pool_gains[~available] = -1.0
+                best_training_gain = float(pool_gains.max()) if available.any() else -1.0
+                grad_gain, batch, masks = self._gradient_batch_gain_per_test(tracker)
+                if grad_gain > best_training_gain:
+                    use_gradient = True
+                    switched = True
+                    pending_batch = list(batch)
+                    pending_masks = list(masks)
+                    logger.info(
+                        "combined method switching to gradient generation after "
+                        "%d tests (training gain %.4f < gradient gain %.4f)",
+                        len(tests),
+                        best_training_gain,
+                        grad_gain,
+                    )
+
+            if use_gradient:
+                if not pending_batch:
+                    if self._gradient.target == "residual":
+                        model = self._gradient._residual_model(tracker.covered_mask)
+                    else:
+                        model = self.model
+                    batch = self._gradient.synthesize_batch(model)
+                    pending_batch = list(batch)
+                    pending_masks = [
+                        activation_mask(self.model, s, self.criterion) for s in batch
+                    ]
+                sample = pending_batch.pop(0)
+                mask = pending_masks.pop(0)
+                gain = tracker.add_mask(mask)
+                tests.append(sample)
+                sources.append("gradient")
+            else:
+                pool_gains = cache.marginal_gains(tracker.covered_mask)
+                pool_gains[~available] = -1.0
+                best = int(np.argmax(pool_gains))
+                gain = tracker.add_mask(cache.mask(best))
+                available[best] = False
+                tests.append(cache.sample(best))
+                sources.append("training")
+
+            gains.append(gain)
+            history.append(tracker.coverage)
+
+        return GenerationResult(
+            tests=np.stack(tests, axis=0),
+            coverage_history=history,
+            gains=gains,
+            sources=sources,
+            method=self.method_name,
+        )
+
+
+__all__ = ["CombinedGenerator"]

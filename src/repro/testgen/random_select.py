@@ -1,0 +1,63 @@
+"""Baseline: uniformly random selection of tests from the training set.
+
+Not part of the paper's headline comparison, but a useful floor: it shows how
+much of the coverage of Algorithm 1 comes from the greedy criterion rather
+than from training samples being individually good (Fig. 2 already shows a
+single training sample covers a lot on its own).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.coverage.activation import ActivationCriterion, default_criterion_for
+from repro.coverage.parameter_coverage import CoverageTracker
+from repro.data.datasets import Dataset
+from repro.nn.model import Sequential
+from repro.testgen.base import GenerationResult, TestGenerator
+from repro.utils.rng import RngLike, as_generator
+
+
+class RandomSelector(TestGenerator):
+    """Select tests uniformly at random (without replacement) from a dataset."""
+
+    method_name = "random-selection"
+
+    def __init__(
+        self,
+        model: Sequential,
+        training_set: Dataset,
+        criterion: Optional[ActivationCriterion] = None,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__(model, criterion or default_criterion_for(model))
+        if len(training_set) == 0:
+            raise ValueError("training set is empty")
+        self.training_set = training_set
+        self._rng = as_generator(rng)
+
+    def generate(self, num_tests: int) -> GenerationResult:
+        if num_tests <= 0:
+            raise ValueError("num_tests must be positive")
+        n = min(num_tests, len(self.training_set))
+        idx = self._rng.choice(len(self.training_set), size=n, replace=False)
+        tests = self.training_set.images[idx]
+
+        tracker = CoverageTracker(self.model, self.criterion)
+        history, gains = [], []
+        for sample in tests:
+            gains.append(tracker.add_sample(sample))
+            history.append(tracker.coverage)
+
+        return GenerationResult(
+            tests=tests,
+            coverage_history=history,
+            gains=gains,
+            sources=["training"] * n,
+            method=self.method_name,
+        )
+
+
+__all__ = ["RandomSelector"]

@@ -1,0 +1,138 @@
+"""Algorithm 1 — greedy selection of functional tests from the training set.
+
+Each iteration picks the training sample with the largest marginal validation
+coverage gain ``VC(X + s) − VC(X)`` (Eq. 7) and adds it to the validation set,
+until the budget ``Nt`` is exhausted.  With an
+:class:`~repro.coverage.parameter_coverage.ActivationMaskCache` the per-sample
+gradients are computed exactly once, so each greedy iteration is a vectorised
+mask operation over the whole candidate pool.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.coverage.activation import ActivationCriterion, default_criterion_for
+from repro.coverage.parameter_coverage import ActivationMaskCache, CoverageTracker
+from repro.data.datasets import Dataset
+from repro.nn.model import Sequential
+from repro.testgen.base import GenerationResult, TestGenerator
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngLike, as_generator
+
+logger = get_logger("testgen.selection")
+
+
+class TrainingSetSelector(TestGenerator):
+    """Greedy coverage-maximising selection from the training set (Algorithm 1).
+
+    Parameters
+    ----------
+    model: the trained (vendor-side) model.
+    training_set: the training dataset (or any candidate dataset) to select from.
+    criterion: activation criterion; defaults to the model-appropriate one.
+    candidate_pool: optionally subsample the training set to this many
+        candidates before the greedy loop (the paper scans the full set; a
+        pool bounds the number of backward passes on CPU).
+    rng: randomness used only for candidate-pool subsampling and tie breaks.
+    """
+
+    method_name = "training-selection"
+
+    def __init__(
+        self,
+        model: Sequential,
+        training_set: Dataset,
+        criterion: Optional[ActivationCriterion] = None,
+        candidate_pool: Optional[int] = None,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__(model, criterion or default_criterion_for(model))
+        if len(training_set) == 0:
+            raise ValueError("training set is empty")
+        self.training_set = training_set
+        self.candidate_pool = candidate_pool
+        self._rng = as_generator(rng)
+        self._cache: Optional[ActivationMaskCache] = None
+        self._pool_indices: Optional[np.ndarray] = None
+
+    # -- candidate pool -----------------------------------------------------
+    def _ensure_cache(self) -> ActivationMaskCache:
+        if self._cache is None:
+            n = len(self.training_set)
+            if self.candidate_pool is not None and self.candidate_pool < n:
+                idx = self._rng.choice(n, size=self.candidate_pool, replace=False)
+            else:
+                idx = np.arange(n)
+            self._pool_indices = idx
+            images = self.training_set.images[idx]
+            logger.info(
+                "building activation-mask cache for %d candidates", images.shape[0]
+            )
+            self._cache = ActivationMaskCache(self.model, images, self.criterion)
+        return self._cache
+
+    @property
+    def pool_size(self) -> int:
+        """Number of candidates the greedy loop scans."""
+        return len(self._ensure_cache())
+
+    # -- generation -----------------------------------------------------------
+    def generate(self, num_tests: int) -> GenerationResult:
+        """Run Algorithm 1 for a budget of ``num_tests`` functional tests.
+
+        If the budget exceeds the candidate pool, all candidates are selected
+        (in greedy order) and the result simply contains fewer tests.
+        """
+        if num_tests <= 0:
+            raise ValueError("num_tests must be positive")
+        cache = self._ensure_cache()
+        tracker = CoverageTracker(self.model, self.criterion)
+
+        selected: list[int] = []
+        history: list[float] = []
+        gains: list[float] = []
+        available = np.ones(len(cache), dtype=bool)
+
+        budget = min(num_tests, len(cache))
+        for _ in range(budget):
+            pool_gains = cache.marginal_gains(tracker.covered_mask)
+            pool_gains[~available] = -1.0
+            best = int(np.argmax(pool_gains))
+            gain = tracker.add_mask(cache.mask(best))
+            available[best] = False
+            selected.append(best)
+            gains.append(gain)
+            history.append(tracker.coverage)
+
+        tests = cache.images[selected]
+        return GenerationResult(
+            tests=tests,
+            coverage_history=history,
+            gains=gains,
+            sources=["training"] * len(selected),
+            method=self.method_name,
+        )
+
+    def selected_dataset_indices(self, result: GenerationResult) -> np.ndarray:
+        """Map a result's tests back to indices in the original training set.
+
+        Only valid for results produced by this selector instance (it relies
+        on the cached candidate pool).
+        """
+        cache = self._ensure_cache()
+        assert self._pool_indices is not None
+        indices = []
+        for test in result.tests:
+            matches = np.where(
+                np.all(cache.images.reshape(len(cache), -1) == test.ravel(), axis=1)
+            )[0]
+            if matches.size == 0:
+                raise ValueError("test does not originate from this selector's pool")
+            indices.append(int(self._pool_indices[matches[0]]))
+        return np.asarray(indices, dtype=np.int64)
+
+
+__all__ = ["TrainingSetSelector"]

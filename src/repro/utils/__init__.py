@@ -1,0 +1,36 @@
+"""Shared utilities: seeded RNG handling, logging and experiment configs."""
+
+from repro.utils.config import (
+    CoverageConfig,
+    DetectionConfig,
+    ExperimentConfig,
+    TestGenConfig,
+    TrainingConfig,
+)
+from repro.utils.logging import Timer, enable_console_logging, get_logger, progress
+from repro.utils.rng import (
+    RngLike,
+    as_generator,
+    check_probability,
+    choice_without_replacement,
+    derive_seed,
+    spawn,
+)
+
+__all__ = [
+    "CoverageConfig",
+    "DetectionConfig",
+    "ExperimentConfig",
+    "TestGenConfig",
+    "TrainingConfig",
+    "Timer",
+    "enable_console_logging",
+    "get_logger",
+    "progress",
+    "RngLike",
+    "as_generator",
+    "check_probability",
+    "choice_without_replacement",
+    "derive_seed",
+    "spawn",
+]

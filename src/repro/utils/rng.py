@@ -1,0 +1,87 @@
+"""Seeded random-number-generator helpers.
+
+Every stochastic component in the library (dataset synthesis, weight
+initialisation, training shuffles, attack sampling) takes either an integer
+seed or a :class:`numpy.random.Generator`.  Centralising the conversion here
+keeps experiments reproducible: the same seed always yields the same
+generator, and child generators can be spawned deterministically for
+independent subsystems.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+RngLike = Union[int, np.random.Generator, None]
+
+_DEFAULT_SEED = 0x5EED
+
+
+def as_generator(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (use the library default seed), an integer seed, or an
+        existing generator (returned unchanged).
+    """
+    if rng is None:
+        return np.random.default_rng(_DEFAULT_SEED)
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"cannot build a Generator from {type(rng)!r}")
+
+
+def spawn(rng: RngLike, n: int) -> Sequence[np.random.Generator]:
+    """Spawn ``n`` independent child generators from ``rng``.
+
+    Children are derived through :class:`numpy.random.SeedSequence` spawning,
+    so they are statistically independent and reproducible.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    base = as_generator(rng)
+    seeds = base.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_seed(rng: RngLike, salt: int = 0) -> int:
+    """Derive a deterministic integer seed from ``rng`` and ``salt``."""
+    base = as_generator(rng)
+    return int(base.integers(0, 2**31 - 1)) ^ (salt * 0x9E3779B1 & 0x7FFFFFFF)
+
+
+def check_probability(p: float, name: str = "p") -> float:
+    """Validate that ``p`` is a probability in ``[0, 1]`` and return it."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {p}")
+    return float(p)
+
+
+def choice_without_replacement(
+    rng: RngLike, n: int, k: int
+) -> np.ndarray:
+    """Choose ``k`` distinct indices from ``range(n)``.
+
+    Raises ``ValueError`` when ``k > n`` instead of silently clamping, so
+    callers notice undersized pools.
+    """
+    if k > n:
+        raise ValueError(f"cannot choose {k} items from a pool of {n}")
+    gen = as_generator(rng)
+    return gen.choice(n, size=k, replace=False)
+
+
+__all__ = [
+    "RngLike",
+    "as_generator",
+    "spawn",
+    "derive_seed",
+    "check_probability",
+    "choice_without_replacement",
+]

@@ -1,0 +1,28 @@
+"""The vendor/user functional-validation scheme (Fig. 1) and the
+detection-rate experiment harness (Tables II/III)."""
+
+from repro.validation.detection import (
+    DetectionCell,
+    DetectionExperiment,
+    DetectionTable,
+    default_attack_factories,
+    run_detection_experiment,
+)
+from repro.validation.package import DEFAULT_OUTPUT_ATOL, ValidationPackage
+from repro.validation.user import BlackBoxIP, IPUser, ValidationReport, validate_ip
+from repro.validation.vendor import IPVendor
+
+__all__ = [
+    "DetectionCell",
+    "DetectionExperiment",
+    "DetectionTable",
+    "default_attack_factories",
+    "run_detection_experiment",
+    "DEFAULT_OUTPUT_ATOL",
+    "ValidationPackage",
+    "BlackBoxIP",
+    "IPUser",
+    "ValidationReport",
+    "validate_ip",
+    "IPVendor",
+]

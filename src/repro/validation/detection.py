@@ -1,0 +1,257 @@
+"""Detection-rate experiments (Tables II and III).
+
+For a given victim model, a set of functional-test packages (one per
+generation method / budget) and a set of attacks, the experiment repeatedly:
+
+1. perturbs a fresh copy of the victim with the attack,
+2. replays each package against the perturbed copy, and
+3. records whether the perturbation was detected (any output mismatch).
+
+The detection rate of a (package, attack) cell is the fraction of perturbation
+trials that were detected — exactly the quantity reported in Tables II/III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.base import ParameterAttack
+from repro.attacks.bitflip import BitFlipAttack
+from repro.attacks.gda import GradientDescentAttack
+from repro.attacks.random_noise import RandomPerturbation
+from repro.attacks.sba import SingleBiasAttack
+from repro.data.datasets import Dataset
+from repro.nn.model import Sequential
+from repro.utils.config import DetectionConfig
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngLike, as_generator, spawn
+from repro.validation.package import ValidationPackage
+from repro.validation.user import validate_ip
+
+logger = get_logger("validation.detection")
+
+AttackFactory = Callable[[np.random.Generator], ParameterAttack]
+
+
+@dataclass
+class DetectionCell:
+    """One cell of a detection-rate table."""
+
+    method: str
+    attack: str
+    num_tests: int
+    trials: int
+    detections: int
+
+    @property
+    def detection_rate(self) -> float:
+        if self.trials == 0:
+            raise ValueError("cell has no trials")
+        return self.detections / self.trials
+
+
+@dataclass
+class DetectionTable:
+    """Collection of detection cells, indexable by (method, attack, budget)."""
+
+    cells: List[DetectionCell] = field(default_factory=list)
+
+    def add(self, cell: DetectionCell) -> None:
+        self.cells.append(cell)
+
+    def rate(self, method: str, attack: str, num_tests: int) -> float:
+        for cell in self.cells:
+            if (
+                cell.method == method
+                and cell.attack == attack
+                and cell.num_tests == num_tests
+            ):
+                return cell.detection_rate
+        raise KeyError(f"no cell for ({method!r}, {attack!r}, N={num_tests})")
+
+    def methods(self) -> List[str]:
+        seen: List[str] = []
+        for cell in self.cells:
+            if cell.method not in seen:
+                seen.append(cell.method)
+        return seen
+
+    def attacks(self) -> List[str]:
+        seen: List[str] = []
+        for cell in self.cells:
+            if cell.attack not in seen:
+                seen.append(cell.attack)
+        return seen
+
+    def budgets(self) -> List[int]:
+        return sorted({cell.num_tests for cell in self.cells})
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Flat list of dict rows (for CSV/markdown rendering)."""
+        return [
+            {
+                "method": c.method,
+                "attack": c.attack,
+                "num_tests": c.num_tests,
+                "trials": c.trials,
+                "detections": c.detections,
+                "detection_rate": c.detection_rate,
+            }
+            for c in self.cells
+        ]
+
+
+def default_attack_factories(
+    reference_inputs: np.ndarray,
+    sba_magnitude: float = 10.0,
+    gda_parameters: int = 20,
+    random_parameters: int = 10,
+    random_relative_std: float = 2.0,
+) -> Dict[str, AttackFactory]:
+    """The paper's three attacks (plus the bit-flip extension) as factories.
+
+    Each factory takes a per-trial RNG so that every perturbation trial draws
+    an independent fault, matching the "implement each kind of parameter
+    perturbation 10000 times" protocol of Section V-C.
+    """
+    reference_inputs = np.asarray(reference_inputs, dtype=np.float64)
+    if reference_inputs.shape[0] == 0:
+        raise ValueError("reference_inputs must be a non-empty batch")
+
+    def sba(rng: np.random.Generator) -> ParameterAttack:
+        return SingleBiasAttack(
+            magnitude=sba_magnitude, reference_inputs=reference_inputs, rng=rng
+        )
+
+    def gda(rng: np.random.Generator) -> ParameterAttack:
+        return GradientDescentAttack(
+            target_inputs=reference_inputs, num_parameters=gda_parameters, rng=rng
+        )
+
+    def random(rng: np.random.Generator) -> ParameterAttack:
+        return RandomPerturbation(
+            num_parameters=random_parameters,
+            relative_std=random_relative_std,
+            rng=rng,
+        )
+
+    def bitflip(rng: np.random.Generator) -> ParameterAttack:
+        return BitFlipAttack(num_parameters=1, rng=rng)
+
+    return {"sba": sba, "gda": gda, "random": random, "bitflip": bitflip}
+
+
+class DetectionExperiment:
+    """Detection-rate sweep over methods × attacks × test budgets.
+
+    Parameters
+    ----------
+    model: the untampered victim model (the vendor's reference copy).
+    packages: mapping from method name to a validation package holding *at
+        least* ``max(test_budgets)`` tests generated by that method; budget
+        sweeps reuse prefixes of each package.
+    attack_factories: mapping from attack name to a factory building a fresh
+        attack from a per-trial RNG; see :func:`default_attack_factories`.
+    config: trial counts, budgets, attack list, tolerance and seed.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        packages: Dict[str, ValidationPackage],
+        attack_factories: Dict[str, AttackFactory],
+        config: Optional[DetectionConfig] = None,
+    ) -> None:
+        if not packages:
+            raise ValueError("at least one validation package is required")
+        self.model = model
+        self.packages = dict(packages)
+        self.attack_factories = dict(attack_factories)
+        self.config = config or DetectionConfig()
+        self.config.validate()
+        missing = set(self.config.attacks) - set(self.attack_factories)
+        if missing:
+            raise ValueError(f"no attack factory for: {sorted(missing)}")
+        max_budget = max(self.config.test_budgets)
+        for method, pkg in self.packages.items():
+            if pkg.num_tests < max_budget:
+                raise ValueError(
+                    f"package for method {method!r} has only {pkg.num_tests} tests "
+                    f"but the largest budget is {max_budget}"
+                )
+
+    def run(self) -> DetectionTable:
+        """Run every (method, attack, budget) cell and return the table.
+
+        The same sequence of perturbed models is reused across methods and
+        budgets within an attack (paired trials), so differences between
+        methods are not washed out by attack sampling noise.
+        """
+        cfg = self.config
+        table = DetectionTable()
+        attack_rngs = spawn(cfg.seed, len(cfg.attacks))
+
+        for attack_name, attack_rng in zip(cfg.attacks, attack_rngs):
+            factory = self.attack_factories[attack_name]
+            trial_rngs = spawn(attack_rng, cfg.trials)
+            logger.info(
+                "running %d %s perturbation trials", cfg.trials, attack_name
+            )
+
+            # detections[method][budget] -> count
+            detections: Dict[str, Dict[int, int]] = {
+                method: {n: 0 for n in cfg.test_budgets} for method in self.packages
+            }
+            for trial_rng in trial_rngs:
+                attack = factory(trial_rng)
+                outcome = attack.apply(self.model)
+                perturbed = outcome.model
+                for method, package in self.packages.items():
+                    # evaluate once with the largest budget, derive smaller
+                    # budgets from the same outputs via prefix slicing
+                    observed = perturbed.predict(
+                        package.tests[: max(cfg.test_budgets)]
+                    )
+                    deviations = np.abs(
+                        observed - package.expected_outputs[: max(cfg.test_budgets)]
+                    ).max(axis=1)
+                    for n in cfg.test_budgets:
+                        if np.any(deviations[:n] > cfg.output_atol):
+                            detections[method][n] += 1
+
+            for method in self.packages:
+                for n in cfg.test_budgets:
+                    table.add(
+                        DetectionCell(
+                            method=method,
+                            attack=attack_name,
+                            num_tests=n,
+                            trials=cfg.trials,
+                            detections=detections[method][n],
+                        )
+                    )
+        return table
+
+
+def run_detection_experiment(
+    model: Sequential,
+    packages: Dict[str, ValidationPackage],
+    reference_inputs: np.ndarray,
+    config: Optional[DetectionConfig] = None,
+    **factory_kwargs: object,
+) -> DetectionTable:
+    """Convenience wrapper with the paper's default attack set."""
+    factories = default_attack_factories(reference_inputs, **factory_kwargs)  # type: ignore[arg-type]
+    return DetectionExperiment(model, packages, factories, config).run()
+
+
+__all__ = [
+    "DetectionCell",
+    "DetectionTable",
+    "DetectionExperiment",
+    "default_attack_factories",
+    "run_detection_experiment",
+]

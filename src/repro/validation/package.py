@@ -1,0 +1,146 @@
+"""The validation package an IP vendor releases alongside the DNN IP.
+
+Figure 1 of the paper: the vendor generates functional tests ``X``, computes
+the reference outputs ``Y = F(X)`` on the untampered model, and ships
+``(X, Y)`` (encrypted/signed in practice) together with the black-box IP.  The
+user replays ``X`` against the received IP and compares the observed outputs
+``Y'`` against ``Y``; any mismatch means the IP was perturbed.
+
+:class:`ValidationPackage` captures exactly that artefact, including an
+integrity digest over its own contents (standing in for the
+encryption/signing the paper assumes) and serialisation to ``.npz`` so vendor
+and user can genuinely be separate processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+#: default absolute tolerance when comparing observed and reference logits.
+DEFAULT_OUTPUT_ATOL = 1e-6
+
+
+def _digest_arrays(tests: np.ndarray, outputs: np.ndarray) -> str:
+    """SHA-256 digest binding the tests to their reference outputs."""
+    hasher = hashlib.sha256()
+    hasher.update(np.ascontiguousarray(np.round(tests, 12)).tobytes())
+    hasher.update(np.ascontiguousarray(np.round(outputs, 12)).tobytes())
+    return hasher.hexdigest()
+
+
+@dataclass
+class ValidationPackage:
+    """Functional tests plus their reference outputs.
+
+    Attributes
+    ----------
+    tests: the functional test inputs, shape ``(N, *input_shape)``.
+    expected_outputs: reference logits ``Y = F(X)`` from the untampered model,
+        shape ``(N, num_classes)``.
+    expected_labels: reference predicted classes (redundant with the logits
+        but convenient for label-only comparison modes).
+    output_atol: tolerance used when comparing observed logits against the
+        reference (accounts for benign numeric differences across platforms).
+    metadata: free-form information (model name, generator, coverage
+        achieved, creation settings).
+    """
+
+    tests: np.ndarray
+    expected_outputs: np.ndarray
+    expected_labels: np.ndarray = field(default=None)  # type: ignore[assignment]
+    output_atol: float = DEFAULT_OUTPUT_ATOL
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.tests = np.asarray(self.tests, dtype=np.float64)
+        self.expected_outputs = np.asarray(self.expected_outputs, dtype=np.float64)
+        if self.tests.shape[0] == 0:
+            raise ValueError("a validation package must contain at least one test")
+        if self.tests.shape[0] != self.expected_outputs.shape[0]:
+            raise ValueError(
+                f"test count {self.tests.shape[0]} does not match output count "
+                f"{self.expected_outputs.shape[0]}"
+            )
+        if self.expected_outputs.ndim != 2:
+            raise ValueError("expected_outputs must be a 2-D (N, num_classes) array")
+        if self.output_atol < 0:
+            raise ValueError("output_atol must be non-negative")
+        if self.expected_labels is None:
+            self.expected_labels = np.argmax(self.expected_outputs, axis=1)
+        else:
+            self.expected_labels = np.asarray(self.expected_labels, dtype=np.int64)
+            if self.expected_labels.shape[0] != self.tests.shape[0]:
+                raise ValueError("expected_labels length does not match test count")
+
+    # -- properties --------------------------------------------------------
+    @property
+    def num_tests(self) -> int:
+        return int(self.tests.shape[0])
+
+    def digest(self) -> str:
+        """Integrity digest binding tests and reference outputs together."""
+        return _digest_arrays(self.tests, self.expected_outputs)
+
+    def subset(self, n: int) -> "ValidationPackage":
+        """Package restricted to the first ``n`` tests (budget sweeps)."""
+        if n <= 0 or n > self.num_tests:
+            raise ValueError(f"n must be in [1, {self.num_tests}], got {n}")
+        return ValidationPackage(
+            tests=self.tests[:n].copy(),
+            expected_outputs=self.expected_outputs[:n].copy(),
+            expected_labels=self.expected_labels[:n].copy(),
+            output_atol=self.output_atol,
+            metadata=dict(self.metadata),
+        )
+
+    # -- serialisation -------------------------------------------------------
+    def save(self, path: PathLike) -> Path:
+        """Serialise the package (with its digest) to an ``.npz`` file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "output_atol": self.output_atol,
+            "digest": self.digest(),
+            "metadata": self.metadata,
+        }
+        np.savez(
+            path,
+            tests=self.tests,
+            expected_outputs=self.expected_outputs,
+            expected_labels=self.expected_labels,
+            __meta__=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike, verify_digest: bool = True) -> "ValidationPackage":
+        """Load a package, verifying its integrity digest by default."""
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"validation package not found: {path}")
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["__meta__"].tobytes()).decode("utf-8"))
+            package = cls(
+                tests=data["tests"],
+                expected_outputs=data["expected_outputs"],
+                expected_labels=data["expected_labels"],
+                output_atol=float(meta["output_atol"]),
+                metadata=dict(meta.get("metadata", {})),
+            )
+        if verify_digest and package.digest() != meta.get("digest"):
+            raise ValueError(
+                f"validation package {path} failed its integrity check: "
+                "contents were modified after creation"
+            )
+        return package
+
+
+__all__ = ["ValidationPackage", "DEFAULT_OUTPUT_ATOL"]

@@ -1,0 +1,114 @@
+"""The IP user's side of the validation scheme (right half of Fig. 1).
+
+The user receives the DNN IP through an untrusted channel and can only query
+it as a black box.  Validation is: run the vendor's functional tests, compare
+the observed outputs against the packaged reference outputs, and flag the IP
+as tampered on any mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Union
+
+import numpy as np
+
+from repro.nn.model import Sequential
+from repro.validation.package import ValidationPackage
+
+#: anything the user can query like a black box: a model object or a callable
+#: mapping an input batch to output logits.
+BlackBoxIP = Union[Sequential, Callable[[np.ndarray], np.ndarray]]
+
+
+@dataclass
+class ValidationReport:
+    """Result of validating one IP against one package.
+
+    Attributes
+    ----------
+    passed: True when every test produced outputs matching the reference.
+    num_tests: number of functional tests that were replayed.
+    mismatched_indices: indices of tests whose outputs differed.
+    max_output_deviation: largest absolute logit difference observed.
+    label_mismatches: number of tests whose *predicted class* changed (a
+        stricter signal than logit deviation; always ≤ the mismatch count).
+    """
+
+    passed: bool
+    num_tests: int
+    mismatched_indices: List[int] = field(default_factory=list)
+    max_output_deviation: float = 0.0
+    label_mismatches: int = 0
+
+    @property
+    def num_mismatched(self) -> int:
+        return len(self.mismatched_indices)
+
+    @property
+    def detected(self) -> bool:
+        """Convenience alias: a failed validation means tampering was detected."""
+        return not self.passed
+
+    def summary(self) -> str:
+        verdict = "SECURE" if self.passed else "TAMPERED"
+        return (
+            f"{verdict}: {self.num_mismatched}/{self.num_tests} tests mismatched, "
+            f"max output deviation {self.max_output_deviation:.3e}, "
+            f"{self.label_mismatches} predicted labels changed"
+        )
+
+
+def _query(ip: BlackBoxIP, inputs: np.ndarray) -> np.ndarray:
+    """Query the black-box IP, accepting either a model or a callable."""
+    if isinstance(ip, Sequential):
+        return ip.predict(inputs)
+    outputs = ip(inputs)
+    return np.asarray(outputs, dtype=np.float64)
+
+
+class IPUser:
+    """User-side workflow: replay a validation package against a black-box IP."""
+
+    def __init__(self, package: ValidationPackage) -> None:
+        if package.num_tests == 0:
+            raise ValueError("validation package contains no tests")
+        self.package = package
+
+    def validate(self, ip: BlackBoxIP) -> ValidationReport:
+        """Run every functional test through ``ip`` and compare outputs.
+
+        A test mismatches when any of its output logits deviates from the
+        reference by more than the package's ``output_atol``.
+        """
+        pkg = self.package
+        observed = _query(ip, pkg.tests)
+        if observed.shape != pkg.expected_outputs.shape:
+            # output shape change is itself unambiguous tampering
+            return ValidationReport(
+                passed=False,
+                num_tests=pkg.num_tests,
+                mismatched_indices=list(range(pkg.num_tests)),
+                max_output_deviation=float("inf"),
+                label_mismatches=pkg.num_tests,
+            )
+        deviations = np.abs(observed - pkg.expected_outputs)
+        per_test_max = deviations.max(axis=1)
+        mismatched = np.where(per_test_max > pkg.output_atol)[0]
+        observed_labels = np.argmax(observed, axis=1)
+        label_mismatches = int(np.sum(observed_labels != pkg.expected_labels))
+        return ValidationReport(
+            passed=mismatched.size == 0,
+            num_tests=pkg.num_tests,
+            mismatched_indices=[int(i) for i in mismatched],
+            max_output_deviation=float(per_test_max.max()) if pkg.num_tests else 0.0,
+            label_mismatches=label_mismatches,
+        )
+
+
+def validate_ip(ip: BlackBoxIP, package: ValidationPackage) -> ValidationReport:
+    """Functional shortcut for ``IPUser(package).validate(ip)``."""
+    return IPUser(package).validate(ip)
+
+
+__all__ = ["IPUser", "ValidationReport", "validate_ip", "BlackBoxIP"]

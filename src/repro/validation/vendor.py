@@ -1,0 +1,124 @@
+"""The IP vendor's side of the validation scheme (left half of Fig. 1).
+
+The vendor owns the trained model (white-box access) and therefore can compute
+parameter gradients.  Their job is to (1) generate a small set of functional
+tests with high validation coverage and (2) package those tests with the
+model's reference outputs for release to IP users.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.coverage.activation import ActivationCriterion, default_criterion_for
+from repro.coverage.parameter_coverage import set_validation_coverage
+from repro.data.datasets import Dataset
+from repro.nn.model import Sequential
+from repro.testgen.base import GenerationResult, TestGenerator
+from repro.testgen.combined import CombinedGenerator
+from repro.validation.package import DEFAULT_OUTPUT_ATOL, ValidationPackage
+
+
+class IPVendor:
+    """Vendor-side workflow: generate functional tests and release a package.
+
+    Parameters
+    ----------
+    model: the trained DNN IP (white-box, vendor side).
+    training_set: the vendor's training data, used by the selection-based
+        generators.
+    criterion: activation criterion for coverage accounting; defaults to the
+        model-appropriate choice (ε = 0 for ReLU, small ε for Tanh).
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        training_set: Optional[Dataset] = None,
+        criterion: Optional[ActivationCriterion] = None,
+    ) -> None:
+        if not model.built:
+            raise ValueError("the vendor's model must be built and trained")
+        self.model = model
+        self.training_set = training_set
+        self.criterion = criterion or default_criterion_for(model)
+
+    # -- test generation -----------------------------------------------------
+    def default_generator(self, **kwargs: object) -> CombinedGenerator:
+        """The paper's recommended generator: the combined method."""
+        if self.training_set is None:
+            raise ValueError(
+                "a training set is required for the combined/selection generators"
+            )
+        return CombinedGenerator(
+            self.model, self.training_set, criterion=self.criterion, **kwargs  # type: ignore[arg-type]
+        )
+
+    def generate_tests(
+        self,
+        num_tests: int,
+        generator: Optional[TestGenerator] = None,
+        **generator_kwargs: object,
+    ) -> GenerationResult:
+        """Generate ``num_tests`` functional tests.
+
+        Uses the combined method by default; any other
+        :class:`~repro.testgen.base.TestGenerator` can be supplied.
+        """
+        gen = generator or self.default_generator(**generator_kwargs)
+        return gen.generate(num_tests)
+
+    # -- packaging ------------------------------------------------------------
+    def build_package(
+        self,
+        tests: np.ndarray | GenerationResult,
+        output_atol: float = DEFAULT_OUTPUT_ATOL,
+        extra_metadata: Optional[Dict[str, object]] = None,
+    ) -> ValidationPackage:
+        """Compute reference outputs for ``tests`` and wrap them in a package."""
+        if isinstance(tests, GenerationResult):
+            metadata: Dict[str, object] = {
+                "generator": tests.method,
+                "coverage": tests.final_coverage if tests.coverage_history else None,
+            }
+            test_array = tests.tests
+        else:
+            metadata = {}
+            test_array = np.asarray(tests, dtype=np.float64)
+        if test_array.shape[0] == 0:
+            raise ValueError("cannot build a package with zero tests")
+
+        expected = self.model.predict(test_array)
+        metadata.update(
+            {
+                "model": self.model.name,
+                "num_tests": int(test_array.shape[0]),
+                "validation_coverage": set_validation_coverage(
+                    self.model, test_array, self.criterion
+                ),
+            }
+        )
+        if extra_metadata:
+            metadata.update(extra_metadata)
+        return ValidationPackage(
+            tests=test_array,
+            expected_outputs=expected,
+            output_atol=output_atol,
+            metadata=metadata,
+        )
+
+    def release(
+        self,
+        num_tests: int,
+        generator: Optional[TestGenerator] = None,
+        output_atol: float = DEFAULT_OUTPUT_ATOL,
+        **generator_kwargs: object,
+    ) -> ValidationPackage:
+        """End-to-end vendor flow: generate tests, then build the package."""
+        result = self.generate_tests(num_tests, generator, **generator_kwargs)
+        return self.build_package(result, output_atol=output_atol)
+
+
+__all__ = ["IPVendor"]

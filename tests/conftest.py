@@ -1,0 +1,117 @@
+"""Shared fixtures: tiny datasets and trained models sized for fast tests.
+
+The fixtures are deliberately small (12×12 images, a few hundred parameters)
+so the whole suite runs in well under a minute; behaviour-level assertions do
+not depend on model size.  Session scope keeps each expensive artefact (a
+trained model) built exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import Dataset
+from repro.data.synth_digits import generate_digits
+from repro.models.training import Trainer
+from repro.models.zoo import small_cnn, small_mlp
+from repro.utils.config import TrainingConfig
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def blob_dataset() -> Dataset:
+    """A tiny, linearly-separable 4-class dataset of flat feature vectors."""
+    gen = np.random.default_rng(7)
+    centers = gen.normal(0.0, 2.0, size=(4, 16))
+    images = []
+    labels = []
+    for i in range(160):
+        cls = i % 4
+        sample = centers[cls] + gen.normal(0.0, 0.4, size=16)
+        images.append(sample.reshape(1, 4, 4))
+        labels.append(cls)
+    images = np.clip((np.stack(images) + 4.0) / 8.0, 0.0, 1.0)
+    return Dataset(images=images, labels=np.array(labels), name="blobs")
+
+
+@pytest.fixture(scope="session")
+def digit_dataset() -> Dataset:
+    """Small synthetic-digit dataset (12×12) used by CNN-level tests."""
+    return generate_digits(120, rng=5, size=12, name="tiny-digits")
+
+
+@pytest.fixture(scope="session")
+def trained_mlp(blob_dataset: Dataset):
+    """A small trained MLP (ReLU) on the blob dataset."""
+    flat = Dataset(
+        images=blob_dataset.images.copy(),
+        labels=blob_dataset.labels.copy(),
+        name="blobs",
+    )
+    model = small_mlp(input_features=16, hidden_units=24, num_classes=4, rng=3)
+    # flatten images to vectors for the MLP
+    flat_images = flat.images.reshape(len(flat), -1)
+    flat_ds = _FlatDataset(flat_images, flat.labels)
+    Trainer(TrainingConfig(epochs=30, batch_size=32, learning_rate=5e-3, seed=3)).fit(
+        model, flat_ds
+    )
+    return model
+
+
+class _FlatDataset:
+    """Minimal Dataset-like wrapper for flat feature vectors."""
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray) -> None:
+        self.images = images
+        self.labels = labels
+        self.name = "flat"
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    def batches(self, batch_size: int, shuffle: bool = False, rng=None):
+        order = np.arange(len(self))
+        if shuffle:
+            order = np.random.default_rng(0).permutation(len(self))
+        for start in range(0, len(self), batch_size):
+            idx = order[start : start + batch_size]
+            yield self.images[idx], self.labels[idx]
+
+
+@pytest.fixture(scope="session")
+def trained_cnn(digit_dataset: Dataset):
+    """A small trained ReLU CNN on 12×12 synthetic digits."""
+    model = small_cnn(
+        channels=4,
+        dense_units=16,
+        input_shape=(1, 12, 12),
+        num_classes=10,
+        activation="relu",
+        rng=11,
+    )
+    Trainer(TrainingConfig(epochs=10, batch_size=16, learning_rate=3e-3, seed=11)).fit(
+        model, digit_dataset
+    )
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_tanh_cnn(digit_dataset: Dataset):
+    """A small trained Tanh CNN on 12×12 synthetic digits (saturating case)."""
+    model = small_cnn(
+        channels=4,
+        dense_units=16,
+        input_shape=(1, 12, 12),
+        num_classes=10,
+        activation="tanh",
+        rng=13,
+    )
+    Trainer(TrainingConfig(epochs=10, batch_size=16, learning_rate=3e-3, seed=13)).fit(
+        model, digit_dataset
+    )
+    return model

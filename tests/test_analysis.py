@@ -1,0 +1,134 @@
+"""Tests for reporting helpers, figure builders and experiment sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ascii_bar_chart,
+    ascii_line_chart,
+    coverage_vs_budget,
+    detection_table_markdown,
+    epsilon_sweep,
+    format_csv,
+    format_markdown_table,
+    format_percentage,
+    image_set_coverage,
+    scalarization_sweep,
+    synthetic_sample_report,
+    write_csv,
+)
+from repro.analysis.figures import CoverageCurves
+from repro.testgen import TrainingSetSelector
+
+
+class TestReporting:
+    def test_markdown_table_contains_rows_and_headers(self):
+        rows = [{"a": 1, "b": 0.5}, {"a": 2, "b": 0.25}]
+        text = format_markdown_table(rows)
+        assert "| a | b |" in text
+        assert "| 2 | 0.250 |" in text
+
+    def test_markdown_table_rejects_empty(self):
+        with pytest.raises(ValueError):
+            format_markdown_table([])
+
+    def test_csv_output(self, tmp_path):
+        rows = [{"x": 1, "y": "foo"}]
+        text = format_csv(rows)
+        assert text.splitlines()[0] == "x,y"
+        path = write_csv(rows, tmp_path / "out" / "rows.csv")
+        assert path.exists()
+
+    def test_format_percentage(self):
+        assert format_percentage(0.872) == "87.2%"
+        with pytest.raises(ValueError):
+            format_percentage(1.5)
+
+    def test_ascii_bar_chart(self):
+        chart = ascii_bar_chart({"noise": 0.12, "train": 0.46})
+        assert "noise" in chart and "train" in chart
+        assert chart.count("\n") == 1
+        with pytest.raises(ValueError):
+            ascii_bar_chart({})
+
+    def test_ascii_line_chart(self):
+        chart = ascii_line_chart({"a": [0.1, 0.5, 0.9], "b": [0.2, 0.3, 0.4]})
+        assert "a" in chart and "b" in chart
+        with pytest.raises(ValueError):
+            ascii_line_chart({})
+
+    def test_detection_table_markdown_layout(self):
+        rows = [
+            {"method": "m1", "attack": "sba", "num_tests": 10, "detection_rate": 0.9},
+            {"method": "m1", "attack": "gda", "num_tests": 10, "detection_rate": 0.8},
+        ]
+        text = detection_table_markdown(rows, budgets=[10], methods=["m1"], attacks=["sba", "gda"])
+        assert "m1:sba" in text
+        assert "90.0%" in text
+
+
+class TestFigureBuilders:
+    def test_image_set_coverage_structure(self, trained_cnn, digit_dataset):
+        result = image_set_coverage(trained_cnn, digit_dataset, num_samples=5, rng=0)
+        assert set(result.coverage_by_set) == {"noise", "imagenet-proxy", "training-set"}
+        assert all(0.0 <= v <= 1.0 for v in result.coverage_by_set.values())
+        rows = result.as_rows()
+        assert len(rows) == 3
+
+    def test_image_set_coverage_rejects_zero_samples(self, trained_cnn, digit_dataset):
+        with pytest.raises(ValueError):
+            image_set_coverage(trained_cnn, digit_dataset, num_samples=0)
+
+    def test_coverage_vs_budget_curves(self, trained_cnn, digit_dataset):
+        curves = coverage_vs_budget(
+            trained_cnn,
+            digit_dataset,
+            max_tests=5,
+            candidate_pool=20,
+            rng=0,
+            gradient_kwargs={"max_updates": 8},
+            include_combined=True,
+        )
+        assert set(curves.curves) == {
+            "training-selection",
+            "gradient-generation",
+            "combined",
+        }
+        for values in curves.curves.values():
+            assert len(values) == 5
+            assert all(0.0 <= v <= 1.0 for v in values)
+        assert len(curves.as_rows()) == 15
+
+    def test_crossover_budget(self):
+        curves = CoverageCurves(
+            model_name="m",
+            budgets=[1, 2, 3],
+            curves={"a": [0.5, 0.6, 0.6], "b": [0.3, 0.65, 0.9]},
+        )
+        assert curves.crossover_budget("a", "b") == 2
+        flat = CoverageCurves(
+            model_name="m",
+            budgets=[1, 2],
+            curves={"a": [0.5, 0.9], "b": [0.4, 0.8]},
+        )
+        assert flat.crossover_budget("a", "b") is None
+
+    def test_synthetic_sample_report(self, trained_cnn, digit_dataset):
+        report = synthetic_sample_report(trained_cnn, digit_dataset, rng=0)
+        assert 0.0 <= report.synthesis_accuracy <= 1.0
+        assert len(report.per_class_similarity) == 10
+        assert -1.0 <= report.mean_similarity <= 1.0
+
+
+class TestSweeps:
+    def test_epsilon_sweep_monotone_non_increasing(self, trained_tanh_cnn, digit_dataset):
+        tests = digit_dataset.images[:4]
+        result = epsilon_sweep(trained_tanh_cnn, tests, epsilons=(0.0, 1e-3, 1e-1))
+        assert result.coverages == sorted(result.coverages, reverse=True)
+        assert len(result.as_rows()) == 3
+
+    def test_scalarization_sweep_covers_all_modes(self, trained_cnn, digit_dataset):
+        tests = digit_dataset.images[:3]
+        result = scalarization_sweep(trained_cnn, tests)
+        assert result.values == ["sum", "max", "predicted"]
+        assert all(0.0 <= c <= 1.0 for c in result.coverages)

@@ -1,0 +1,169 @@
+"""Tests for the parameter-perturbation attacks (SBA, GDA, random, bit-flip)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    BitFlipAttack,
+    GradientDescentAttack,
+    PerturbationRecord,
+    RandomPerturbation,
+    SingleBiasAttack,
+    apply_record,
+    bias_flat_indices,
+    flip_bit,
+    revert_record,
+    weight_flat_indices,
+)
+
+
+class TestPerturbationRecord:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            PerturbationRecord("x", np.array([1, 2]), np.array([0.1]))
+
+    def test_statistics(self):
+        record = PerturbationRecord(
+            "x", np.array([3, 7]), np.array([0.5, -2.0]), parameter_names=["a", "b"]
+        )
+        assert record.num_modified == 2
+        assert record.max_abs_delta == 2.0
+        assert record.l2_norm == pytest.approx(np.sqrt(0.25 + 4.0))
+
+
+class TestIndexHelpers:
+    def test_bias_and_weight_indices_partition_parameters(self, trained_cnn):
+        total = trained_cnn.num_parameters()
+        biases = bias_flat_indices(trained_cnn)
+        weights = weight_flat_indices(trained_cnn)
+        assert biases.size + weights.size == total
+        assert np.intersect1d(biases, weights).size == 0
+
+    def test_apply_and_revert_record(self, trained_cnn):
+        record = PerturbationRecord("x", np.array([0, 5]), np.array([1.0, -1.0]))
+        perturbed = apply_record(trained_cnn, record)
+        assert perturbed.parameter_view().get_scalar(0) == pytest.approx(
+            trained_cnn.parameter_view().get_scalar(0) + 1.0
+        )
+        restored = revert_record(perturbed, record)
+        np.testing.assert_allclose(
+            restored.parameter_view().flat_values(),
+            trained_cnn.parameter_view().flat_values(),
+        )
+
+
+class TestSingleBiasAttack:
+    def test_modifies_exactly_one_bias(self, trained_cnn):
+        attack = SingleBiasAttack(rng=0)
+        outcome = attack.apply(trained_cnn)
+        assert outcome.record.num_modified == 1
+        assert outcome.record.attack == "sba"
+        assert outcome.record.parameter_names[0].endswith("/bias")
+
+    def test_original_model_untouched(self, trained_cnn):
+        before = trained_cnn.parameter_view().flat_values()
+        SingleBiasAttack(rng=1).apply(trained_cnn)
+        np.testing.assert_array_equal(before, trained_cnn.parameter_view().flat_values())
+
+    def test_perturbation_is_large(self, trained_cnn):
+        outcome = SingleBiasAttack(magnitude=10.0, rng=2).apply(trained_cnn)
+        scale = np.sqrt(np.mean(trained_cnn.parameter_view().flat_values() ** 2))
+        assert outcome.record.max_abs_delta > scale
+
+    def test_with_reference_inputs_changes_predictions(self, trained_cnn, digit_dataset):
+        refs = digit_dataset.images[:16]
+        attack = SingleBiasAttack(magnitude=20.0, reference_inputs=refs, rng=3)
+        outcome = attack.apply(trained_cnn)
+        before = trained_cnn.predict_classes(refs)
+        after = outcome.model.predict_classes(refs)
+        assert np.any(before != after)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            SingleBiasAttack(magnitude=0.0)
+        with pytest.raises(ValueError):
+            SingleBiasAttack(max_attempts=0)
+
+
+class TestGradientDescentAttack:
+    def test_touches_limited_parameter_count(self, trained_cnn, digit_dataset):
+        attack = GradientDescentAttack(digit_dataset.images[:8], num_parameters=15, rng=0)
+        outcome = attack.apply(trained_cnn)
+        assert 0 < outcome.record.num_modified <= 15
+        assert outcome.record.attack == "gda"
+
+    def test_perturbations_are_bounded(self, trained_cnn, digit_dataset):
+        attack = GradientDescentAttack(
+            digit_dataset.images[:8], num_parameters=10, max_relative_change=1.0, rng=1
+        )
+        outcome = attack.apply(trained_cnn)
+        scale = np.sqrt(np.mean(trained_cnn.parameter_view().flat_values() ** 2))
+        assert outcome.record.max_abs_delta <= 1.0 * scale + 1e-9
+
+    def test_changes_model_outputs(self, trained_cnn, digit_dataset):
+        refs = digit_dataset.images[:8]
+        outcome = GradientDescentAttack(refs, rng=2).apply(trained_cnn)
+        assert not np.allclose(outcome.model.predict(refs), trained_cnn.predict(refs))
+
+    def test_rejects_bad_arguments(self, digit_dataset):
+        refs = digit_dataset.images[:4]
+        with pytest.raises(ValueError):
+            GradientDescentAttack(np.zeros((0, 1, 12, 12)))
+        with pytest.raises(ValueError):
+            GradientDescentAttack(refs, num_parameters=0)
+        with pytest.raises(ValueError):
+            GradientDescentAttack(refs, step_size=0)
+        with pytest.raises(ValueError):
+            GradientDescentAttack(refs, max_steps=0)
+        with pytest.raises(ValueError):
+            GradientDescentAttack(refs, max_relative_change=0)
+
+
+class TestRandomPerturbation:
+    def test_touches_requested_parameter_count(self, trained_cnn):
+        outcome = RandomPerturbation(num_parameters=7, rng=0).apply(trained_cnn)
+        assert outcome.record.num_modified == 7
+        assert outcome.record.attack == "random"
+
+    def test_deltas_scale_with_relative_std(self, trained_cnn):
+        small = RandomPerturbation(num_parameters=50, relative_std=0.1, rng=1).apply(
+            trained_cnn
+        )
+        large = RandomPerturbation(num_parameters=50, relative_std=5.0, rng=1).apply(
+            trained_cnn
+        )
+        assert large.record.l2_norm > small.record.l2_norm
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            RandomPerturbation(num_parameters=0)
+        with pytest.raises(ValueError):
+            RandomPerturbation(relative_std=0.0)
+
+
+class TestBitFlip:
+    def test_flip_bit_round_trip(self):
+        value = 0.7853981
+        for bit in (0, 20, 52, 60, 63):
+            assert flip_bit(flip_bit(value, bit), bit) == pytest.approx(value)
+
+    def test_flip_sign_bit(self):
+        assert flip_bit(1.5, 63) == -1.5
+
+    def test_flip_bit_rejects_bad_position(self):
+        with pytest.raises(ValueError):
+            flip_bit(1.0, 64)
+
+    def test_attack_keeps_model_finite(self, trained_cnn, digit_dataset):
+        outcome = BitFlipAttack(num_parameters=3, rng=0).apply(trained_cnn)
+        assert outcome.record.num_modified == 3
+        outputs = outcome.model.predict(digit_dataset.images[:4])
+        assert np.isfinite(outputs).all()
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            BitFlipAttack(num_parameters=0)
+        with pytest.raises(ValueError):
+            BitFlipAttack(bits=[70])
+        with pytest.raises(ValueError):
+            BitFlipAttack(bits=[])

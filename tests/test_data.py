@@ -1,0 +1,204 @@
+"""Tests for the Dataset container and the synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Dataset,
+    generate_digits,
+    generate_imagenet_proxy,
+    generate_noise_images,
+    generate_objects,
+    generate_uniform_noise_images,
+    load_synth_cifar,
+    load_synth_mnist,
+    normalize_images,
+    render_digit,
+    render_object,
+)
+from repro.data.synth_digits import CLASS_NAMES as DIGIT_NAMES
+from repro.data.synth_objects import CLASS_NAMES as OBJECT_NAMES
+
+
+class TestDataset:
+    def _dataset(self, n=20):
+        rng = np.random.default_rng(0)
+        return Dataset(
+            images=rng.random((n, 1, 4, 4)),
+            labels=rng.integers(0, 4, size=n),
+            class_names=[str(i) for i in range(4)],
+            name="toy",
+        )
+
+    def test_basic_properties(self):
+        ds = self._dataset()
+        assert len(ds) == 20
+        assert ds.sample_shape == (1, 4, 4)
+        assert ds.num_classes == 4
+        image, label = ds[3]
+        assert image.shape == (1, 4, 4)
+        assert isinstance(label, int)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError, match="shape"):
+            Dataset(images=np.zeros((3, 4, 4)), labels=np.zeros(3))
+        with pytest.raises(ValueError, match="count"):
+            Dataset(images=np.zeros((3, 1, 4, 4)), labels=np.zeros(2))
+        with pytest.raises(ValueError, match="class_names"):
+            Dataset(
+                images=np.zeros((2, 1, 4, 4)),
+                labels=np.array([0, 5]),
+                class_names=["a", "b"],
+            )
+
+    def test_subset_and_take(self):
+        ds = self._dataset()
+        sub = ds.subset([0, 5, 7])
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.labels, ds.labels[[0, 5, 7]])
+        taken = ds.take(5, rng=1)
+        assert len(taken) == 5
+        with pytest.raises(ValueError):
+            ds.take(100)
+
+    def test_split_partitions_everything(self):
+        ds = self._dataset()
+        train, test = ds.split(0.75, rng=0)
+        assert len(train) + len(test) == len(ds)
+        assert len(train) == 15
+        with pytest.raises(ValueError):
+            ds.split(1.5)
+
+    def test_batches_cover_all_samples(self):
+        ds = self._dataset()
+        seen = 0
+        for images, labels in ds.batches(6):
+            assert images.shape[0] == labels.shape[0]
+            seen += images.shape[0]
+        assert seen == len(ds)
+
+    def test_batches_shuffle_changes_order_not_content(self):
+        ds = self._dataset()
+        plain = np.concatenate([l for _, l in ds.batches(4)])
+        shuffled = np.concatenate([l for _, l in ds.batches(4, shuffle=True, rng=3)])
+        assert sorted(plain.tolist()) == sorted(shuffled.tolist())
+
+    def test_merged_with(self):
+        a, b = self._dataset(8), self._dataset(6)
+        merged = a.merged_with(b)
+        assert len(merged) == 14
+
+    def test_class_counts(self):
+        ds = self._dataset()
+        assert ds.class_counts().sum() == len(ds)
+
+    def test_normalize_images_clips(self):
+        out = normalize_images(np.array([[-1.0, 0.5, 2.0]]))
+        np.testing.assert_allclose(out, [[0.0, 0.5, 1.0]])
+
+
+class TestSynthDigits:
+    def test_render_digit_shape_and_range(self):
+        img = render_digit(7, rng=0)
+        assert img.shape == (1, 28, 28)
+        assert img.min() >= 0.0
+        assert img.max() <= 1.0
+        assert img.max() > 0.5  # the stroke is actually drawn
+
+    def test_render_digit_rejects_bad_class(self):
+        with pytest.raises(ValueError):
+            render_digit(10)
+
+    def test_render_is_deterministic_for_fixed_seed(self):
+        np.testing.assert_array_equal(render_digit(3, rng=5), render_digit(3, rng=5))
+
+    def test_different_digits_look_different(self):
+        a = render_digit(0, rng=1, noise_std=0.0)
+        b = render_digit(1, rng=1, noise_std=0.0)
+        assert np.abs(a - b).mean() > 0.01
+
+    def test_generate_digits_balanced(self):
+        ds = generate_digits(50, rng=0)
+        assert len(ds) == 50
+        assert ds.num_classes == 10
+        assert ds.class_names == DIGIT_NAMES
+        counts = ds.class_counts()
+        assert counts.max() - counts.min() <= 1
+
+    def test_load_synth_mnist_shapes(self):
+        train, test = load_synth_mnist(30, 10, rng=0)
+        assert train.sample_shape == (1, 28, 28)
+        assert len(train) == 30
+        assert len(test) == 10
+
+    def test_generate_digits_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            generate_digits(0)
+
+
+class TestSynthObjects:
+    def test_render_object_shape_and_range(self):
+        img = render_object(4, rng=0)
+        assert img.shape == (3, 32, 32)
+        assert img.min() >= 0.0
+        assert img.max() <= 1.0
+
+    def test_all_classes_render(self):
+        for cls in range(len(OBJECT_NAMES)):
+            img = render_object(cls, rng=cls)
+            assert np.isfinite(img).all()
+
+    def test_render_object_rejects_bad_class(self):
+        with pytest.raises(ValueError):
+            render_object(10)
+
+    def test_generate_objects_balanced(self):
+        ds = generate_objects(40, rng=0)
+        assert len(ds) == 40
+        assert ds.class_names == OBJECT_NAMES
+        counts = ds.class_counts()
+        assert counts.max() - counts.min() <= 1
+
+    def test_load_synth_cifar_shapes(self):
+        train, test = load_synth_cifar(20, 10, rng=0)
+        assert train.sample_shape == (3, 32, 32)
+        assert len(train) == 20 and len(test) == 10
+
+
+class TestNoiseAndProxy:
+    def test_noise_images_shape_and_clipping(self):
+        ds = generate_noise_images(10, (1, 8, 8), rng=0, mean=0.5, std=0.5)
+        assert ds.images.shape == (10, 1, 8, 8)
+        assert ds.images.min() >= 0.0
+        assert ds.images.max() <= 1.0
+
+    def test_noise_mean_parameter_shifts_brightness(self):
+        dark = generate_noise_images(20, (1, 8, 8), rng=0, mean=0.0, std=0.2)
+        bright = generate_noise_images(20, (1, 8, 8), rng=0, mean=0.8, std=0.2)
+        assert dark.images.mean() < bright.images.mean()
+
+    def test_uniform_noise_images(self):
+        ds = generate_uniform_noise_images(5, (3, 4, 4), rng=1)
+        assert ds.images.shape == (5, 3, 4, 4)
+
+    def test_noise_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            generate_noise_images(0, (1, 4, 4))
+        with pytest.raises(ValueError):
+            generate_noise_images(2, (4, 4))
+        with pytest.raises(ValueError):
+            generate_noise_images(2, (1, 4, 4), std=0.0)
+
+    def test_imagenet_proxy_shapes_and_structure(self):
+        grey = generate_imagenet_proxy(4, (1, 16, 16), rng=0)
+        rgb = generate_imagenet_proxy(4, (3, 16, 16), rng=0)
+        assert grey.images.shape == (4, 1, 16, 16)
+        assert rgb.images.shape == (4, 3, 16, 16)
+        # structured images should have spatial variation, unlike flat fields
+        assert grey.images.std() > 0.01
+
+    def test_imagenet_proxy_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            generate_imagenet_proxy(0, (1, 8, 8))
+        with pytest.raises(ValueError):
+            generate_imagenet_proxy(2, (8, 8))

@@ -1,0 +1,135 @@
+"""Tests for the model zoo and the trainer."""
+
+import numpy as np
+import pytest
+
+from repro.data.synth_digits import generate_digits
+from repro.models.training import Trainer, TrainingHistory, train_model
+from repro.models.zoo import (
+    build_model,
+    cifar_cnn,
+    cifar_cnn_scaled,
+    mnist_cnn,
+    mnist_cnn_scaled,
+    small_cnn,
+    small_mlp,
+)
+from repro.nn.layers import Conv2D, Dense
+from repro.utils.config import TrainingConfig
+
+
+class TestZoo:
+    def test_mnist_cnn_matches_table1_topology(self):
+        model = mnist_cnn(width_multiplier=1.0, build=False)
+        conv_layers = [l for l in model.layers if isinstance(l, Conv2D)]
+        dense_layers = [l for l in model.layers if isinstance(l, Dense)]
+        assert [c.filters for c in conv_layers] == [32, 32, 64, 64]
+        assert [d.units for d in dense_layers] == [128, 10]
+        assert all(c.activation.name == "tanh" for c in conv_layers)
+
+    def test_cifar_cnn_matches_table1_topology(self):
+        model = cifar_cnn(width_multiplier=1.0, build=False)
+        conv_layers = [l for l in model.layers if isinstance(l, Conv2D)]
+        dense_layers = [l for l in model.layers if isinstance(l, Dense)]
+        assert [c.filters for c in conv_layers] == [64, 64, 128, 128]
+        assert [d.units for d in dense_layers] == [512, 10]
+        assert all(c.activation.name == "relu" for c in conv_layers)
+
+    def test_width_multiplier_scales_parameters(self):
+        small = mnist_cnn(width_multiplier=0.125)
+        smaller = mnist_cnn(width_multiplier=0.0625)
+        assert small.num_parameters() > smaller.num_parameters()
+
+    def test_scaled_builders_produce_working_models(self):
+        m = mnist_cnn_scaled(rng=0)
+        c = cifar_cnn_scaled(rng=0)
+        assert m.forward(np.zeros((1, 1, 28, 28))).shape == (1, 10)
+        assert c.forward(np.zeros((1, 3, 32, 32))).shape == (1, 10)
+
+    def test_small_builders(self):
+        cnn = small_cnn(rng=0)
+        mlp = small_mlp(rng=0)
+        assert cnn.num_classes == 10
+        assert mlp.num_classes == 4
+
+    def test_build_model_by_name(self):
+        assert build_model("small_mlp", rng=0).name == "small_mlp"
+        with pytest.raises(ValueError):
+            build_model("resnet50")
+
+    def test_invalid_width_multiplier(self):
+        with pytest.raises(ValueError):
+            mnist_cnn(width_multiplier=0.0)
+        with pytest.raises(ValueError):
+            cifar_cnn(width_multiplier=-1.0)
+
+    def test_small_mlp_depth_validation(self):
+        with pytest.raises(ValueError):
+            small_mlp(depth=0)
+
+
+class TestTrainer:
+    def test_training_reduces_loss_and_learns(self):
+        data = generate_digits(80, rng=0, size=12)
+        model = small_cnn(
+            channels=4, dense_units=16, input_shape=(1, 12, 12), num_classes=10, rng=0
+        )
+        config = TrainingConfig(epochs=10, batch_size=16, learning_rate=3e-3, seed=0)
+        history = Trainer(config).fit(model, data, data)
+        assert history.epochs_run == 10
+        assert history.train_loss[-1] < history.train_loss[0]
+        assert history.final_test_accuracy > 0.5
+
+    def test_early_stopping(self):
+        data = generate_digits(60, rng=1, size=12)
+        model = small_cnn(
+            channels=4, dense_units=16, input_shape=(1, 12, 12), num_classes=10, rng=1
+        )
+        config = TrainingConfig(
+            epochs=50, batch_size=16, learning_rate=3e-3, early_stop_accuracy=0.6, seed=1
+        )
+        history = Trainer(config).fit(model, data, data)
+        assert history.epochs_run < 50
+
+    def test_empty_dataset_raises(self):
+        model = small_mlp(rng=0)
+
+        class Empty:
+            images = np.zeros((0, 16))
+            labels = np.zeros((0,), dtype=int)
+
+            def __len__(self):
+                return 0
+
+        with pytest.raises(ValueError):
+            Trainer().fit(model, Empty())
+
+    def test_history_to_dict_and_final_accuracy_guard(self):
+        history = TrainingHistory()
+        with pytest.raises(ValueError):
+            _ = history.final_test_accuracy
+        history.train_loss.append(1.0)
+        history.train_accuracy.append(0.5)
+        history.test_accuracy.append(0.5)
+        d = history.to_dict()
+        assert set(d) == {"train_loss", "train_accuracy", "test_accuracy"}
+
+    def test_train_model_wrapper(self):
+        data = generate_digits(40, rng=2, size=12)
+        model = small_cnn(
+            channels=3, dense_units=8, input_shape=(1, 12, 12), num_classes=10, rng=2
+        )
+        history = train_model(
+            model, data, config=TrainingConfig(epochs=2, batch_size=16, learning_rate=2e-3)
+        )
+        assert history.epochs_run == 2
+
+    def test_evaluate(self, trained_cnn, digit_dataset):
+        acc = Trainer().evaluate(trained_cnn, digit_dataset)
+        assert 0.0 <= acc <= 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0).validate()
+        with pytest.raises(ValueError):
+            TrainingConfig(optimizer="lbfgs").validate()

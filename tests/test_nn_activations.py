@@ -1,0 +1,123 @@
+"""Tests for activation functions: values, gradients and registry behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import (
+    Identity,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    get_activation,
+    is_exact_zero_gradient,
+)
+
+
+def _numeric_grad(act, x, grad_out, eps=1e-6):
+    """Central-difference gradient of sum(act(x) * grad_out) wrt x."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        plus = np.sum(act.forward(x) * grad_out)
+        x[idx] = orig - eps
+        minus = np.sum(act.forward(x) * grad_out)
+        x[idx] = orig
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+@pytest.mark.parametrize(
+    "activation",
+    [Identity(), ReLU(), LeakyReLU(0.1), Tanh(), Sigmoid(), Softmax()],
+    ids=lambda a: a.name,
+)
+def test_backward_matches_numeric_gradient(activation):
+    rng = np.random.default_rng(0)
+    x = rng.normal(0.0, 1.5, size=(4, 5))
+    # keep ReLU away from the non-differentiable kink
+    x[np.abs(x) < 1e-3] = 0.5
+    grad_out = rng.normal(size=(4, 5))
+    y = activation.forward(x)
+    analytic = activation.backward(x, y, grad_out)
+    numeric = _numeric_grad(activation, x.copy(), grad_out)
+    np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+
+class TestReLU:
+    def test_forward_clamps_negatives(self):
+        x = np.array([-2.0, -0.1, 0.0, 0.1, 3.0])
+        np.testing.assert_allclose(ReLU().forward(x), [0, 0, 0, 0.1, 3.0])
+
+    def test_gradient_exactly_zero_in_inactive_region(self):
+        relu = ReLU()
+        x = np.array([-5.0, -1e-9, 2.0])
+        y = relu.forward(x)
+        grad = relu.backward(x, y, np.ones_like(x))
+        assert grad[0] == 0.0
+        assert grad[1] == 0.0
+        assert grad[2] == 1.0
+
+
+class TestTanhSigmoid:
+    def test_tanh_saturation_gradient_is_small_but_nonzero(self):
+        tanh = Tanh()
+        x = np.array([20.0])
+        y = tanh.forward(x)
+        grad = tanh.backward(x, y, np.ones(1))
+        assert grad[0] != 0.0 or y[0] == 1.0  # float saturation may hit exactly 1
+        assert abs(grad[0]) < 1e-6
+
+    def test_sigmoid_output_range(self):
+        x = np.linspace(-50, 50, 101)
+        y = Sigmoid().forward(x)
+        assert np.all(y >= 0.0)
+        assert np.all(y <= 1.0)
+        assert y[0] < 1e-10
+        assert y[-1] > 1 - 1e-10
+
+    def test_sigmoid_is_numerically_stable_for_large_negatives(self):
+        y = Sigmoid().forward(np.array([-1000.0]))
+        assert np.isfinite(y).all()
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(6, 4)) * 10
+        y = Softmax().forward(x)
+        np.testing.assert_allclose(y.sum(axis=1), np.ones(6))
+
+    def test_invariant_to_constant_shift(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        sm = Softmax()
+        np.testing.assert_allclose(sm.forward(x), sm.forward(x + 100.0))
+
+
+class TestRegistry:
+    def test_get_activation_by_name(self):
+        assert isinstance(get_activation("relu"), ReLU)
+        assert isinstance(get_activation("tanh"), Tanh)
+        assert isinstance(get_activation(None), Identity)
+
+    def test_get_activation_passes_instances_through(self):
+        act = LeakyReLU(0.2)
+        assert get_activation(act) is act
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            get_activation("swishish")
+
+    def test_leaky_relu_rejects_negative_slope(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(-0.1)
+
+    def test_exact_zero_gradient_classification(self):
+        assert is_exact_zero_gradient("relu")
+        assert not is_exact_zero_gradient("tanh")
+        assert not is_exact_zero_gradient("sigmoid")

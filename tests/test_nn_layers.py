@@ -1,0 +1,238 @@
+"""Tests for layers: shapes, forward values, and numeric gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    ActivationLayer,
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    col2im,
+    im2col,
+)
+from repro.nn.tensor import Parameter
+
+
+def _rng():
+    return np.random.default_rng(42)
+
+
+def _check_layer_gradients(layer, x, rtol=1e-5, atol=1e-7):
+    """Numeric check of input and parameter gradients of sum(layer(x))."""
+    y = layer.forward(x, training=False)
+    grad_out = np.ones_like(y)
+    layer.zero_grad()
+    grad_in = layer.backward(grad_out)
+
+    eps = 1e-6
+
+    # input gradient on a handful of entries
+    rng = _rng()
+    flat_idx = rng.choice(x.size, size=min(12, x.size), replace=False)
+    for fi in flat_idx:
+        idx = np.unravel_index(fi, x.shape)
+        orig = x[idx]
+        x[idx] = orig + eps
+        plus = layer.forward(x, training=False).sum()
+        x[idx] = orig - eps
+        minus = layer.forward(x, training=False).sum()
+        x[idx] = orig
+        numeric = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(grad_in[idx], numeric, rtol=rtol, atol=atol)
+
+    # parameter gradients on a handful of entries per parameter
+    for param in layer.parameters():
+        analytic = param.grad.copy()
+        flat_idx = rng.choice(param.size, size=min(10, param.size), replace=False)
+        for fi in flat_idx:
+            idx = np.unravel_index(fi, param.value.shape)
+            orig = param.value[idx]
+            param.value[idx] = orig + eps
+            plus = layer.forward(x, training=False).sum()
+            param.value[idx] = orig - eps
+            minus = layer.forward(x, training=False).sum()
+            param.value[idx] = orig
+            numeric = (plus - minus) / (2 * eps)
+            np.testing.assert_allclose(analytic[idx], numeric, rtol=rtol, atol=atol)
+
+
+class TestIm2Col:
+    def test_round_trip_shapes(self):
+        x = _rng().random((2, 3, 6, 6))
+        cols, oh, ow = im2col(x, 3, 3, stride=1, padding=1)
+        assert cols.shape == (2, 3 * 9, 36)
+        assert (oh, ow) == (6, 6)
+
+    def test_col2im_accumulates_overlaps(self):
+        x = np.ones((1, 1, 4, 4))
+        cols, _, _ = im2col(x, 3, 3, stride=1, padding=0)
+        back = col2im(np.ones_like(cols), (1, 1, 4, 4), 3, 3, stride=1, padding=0)
+        # centre pixels belong to 4 overlapping 3x3 patches
+        assert back[0, 0, 1, 1] == 4.0
+        assert back[0, 0, 0, 0] == 1.0
+
+    def test_invalid_geometry_raises(self):
+        x = np.ones((1, 1, 2, 2))
+        with pytest.raises(ValueError):
+            im2col(x, 5, 5, stride=1, padding=0)
+
+
+class TestDense:
+    def test_build_and_output_shape(self):
+        layer = Dense(7, activation="relu")
+        layer.build((5,), _rng())
+        assert layer.weight.shape == (5, 7)
+        assert layer.bias.shape == (7,)
+        assert layer.output_shape((5,)) == (7,)
+
+    def test_requires_flat_input(self):
+        layer = Dense(3)
+        with pytest.raises(ValueError, match="Flatten"):
+            layer.build((2, 4, 4), _rng())
+
+    def test_forward_linear_values(self):
+        layer = Dense(2, activation=None, use_bias=True)
+        layer.build((3,), _rng())
+        layer.weight.assign(np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]))
+        layer.bias.assign(np.array([0.5, -0.5]))
+        out = layer.forward(np.array([[1.0, 2.0, 3.0]]))
+        np.testing.assert_allclose(out, [[4.5, 4.5]])
+
+    @pytest.mark.parametrize("activation", [None, "relu", "tanh", "sigmoid"])
+    def test_gradients(self, activation):
+        layer = Dense(4, activation=activation)
+        layer.build((6,), _rng())
+        x = _rng().normal(size=(3, 6))
+        _check_layer_gradients(layer, x)
+
+    def test_no_bias_option(self):
+        layer = Dense(4, use_bias=False)
+        layer.build((3,), _rng())
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_rejects_nonpositive_units(self):
+        with pytest.raises(ValueError):
+            Dense(0)
+
+    def test_forward_before_build_raises(self):
+        with pytest.raises(RuntimeError):
+            Dense(3).forward(np.zeros((1, 3)))
+
+
+class TestConv2D:
+    def test_output_shapes_same_and_valid(self):
+        conv_same = Conv2D(8, 3, padding="same")
+        conv_valid = Conv2D(8, 3, padding="valid")
+        assert conv_same.output_shape((3, 10, 10)) == (8, 10, 10)
+        assert conv_valid.output_shape((3, 10, 10)) == (8, 8, 8)
+
+    def test_stride_two_output_shape(self):
+        conv = Conv2D(4, 3, stride=2, padding=0)
+        assert conv.output_shape((1, 9, 9)) == (4, 4, 4)
+
+    def test_same_padding_requires_stride_one(self):
+        conv = Conv2D(4, 3, stride=2, padding="same")
+        with pytest.raises(ValueError, match="stride 1"):
+            conv.output_shape((1, 8, 8))
+
+    def test_known_convolution_value(self):
+        conv = Conv2D(1, 3, padding="valid", activation=None, use_bias=True)
+        conv.build((1, 3, 3), _rng())
+        conv.weight.assign(np.ones((1, 1, 3, 3)))
+        conv.bias.assign(np.array([1.0]))
+        x = np.arange(9, dtype=float).reshape(1, 1, 3, 3)
+        out = conv.forward(x)
+        assert out.shape == (1, 1, 1, 1)
+        assert out[0, 0, 0, 0] == pytest.approx(np.arange(9).sum() + 1.0)
+
+    @pytest.mark.parametrize("activation", [None, "relu", "tanh"])
+    @pytest.mark.parametrize("padding", ["same", "valid"])
+    def test_gradients(self, activation, padding):
+        conv = Conv2D(3, 3, padding=padding, activation=activation)
+        conv.build((2, 6, 6), _rng())
+        x = _rng().normal(size=(2, 2, 6, 6))
+        _check_layer_gradients(conv, x)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            Conv2D(0)
+        with pytest.raises(ValueError):
+            Conv2D(4, stride=0)
+        with pytest.raises(ValueError):
+            Conv2D(4, padding="weird").output_shape((1, 8, 8))
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        pool = MaxPool2D(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        out = pool.forward(x)
+        assert out.shape == (1, 1, 1, 1)
+        assert out[0, 0, 0, 0] == 4.0
+
+    def test_maxpool_backward_routes_to_argmax(self):
+        pool = MaxPool2D(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        pool.forward(x)
+        grad = pool.backward(np.array([[[[5.0]]]]))
+        expected = np.zeros_like(x)
+        expected[0, 0, 1, 1] = 5.0
+        np.testing.assert_allclose(grad, expected)
+
+    def test_avgpool_values_and_backward(self):
+        pool = AvgPool2D(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        out = pool.forward(x)
+        assert out[0, 0, 0, 0] == pytest.approx(2.5)
+        grad = pool.backward(np.array([[[[4.0]]]]))
+        np.testing.assert_allclose(grad, np.ones_like(x))
+
+    def test_maxpool_gradients_numeric(self):
+        pool = MaxPool2D(2)
+        x = _rng().normal(size=(2, 3, 6, 6))
+        _check_layer_gradients(pool, x)
+
+    def test_output_shapes(self):
+        assert MaxPool2D(2).output_shape((4, 8, 8)) == (4, 4, 4)
+        assert AvgPool2D(2).output_shape((4, 8, 8)) == (4, 4, 4)
+
+
+class TestFlattenDropoutActivationLayer:
+    def test_flatten_round_trip(self):
+        flat = Flatten()
+        x = _rng().random((2, 3, 4, 4))
+        y = flat.forward(x)
+        assert y.shape == (2, 48)
+        back = flat.backward(np.ones_like(y))
+        assert back.shape == x.shape
+
+    def test_flatten_output_shape(self):
+        assert Flatten().output_shape((3, 4, 4)) == (48,)
+
+    def test_dropout_identity_at_inference(self):
+        drop = Dropout(0.5, seed=0)
+        x = _rng().random((4, 10))
+        np.testing.assert_array_equal(drop.forward(x, training=False), x)
+
+    def test_dropout_masks_during_training(self):
+        drop = Dropout(0.5, seed=0)
+        x = np.ones((10, 100))
+        y = drop.forward(x, training=True)
+        zero_fraction = np.mean(y == 0.0)
+        assert 0.3 < zero_fraction < 0.7
+        # surviving activations are scaled up
+        assert np.allclose(y[y != 0], 2.0)
+
+    def test_dropout_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_activation_layer_gradients(self):
+        layer = ActivationLayer("tanh")
+        x = _rng().normal(size=(3, 7))
+        _check_layer_gradients(layer, x)

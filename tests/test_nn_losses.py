@@ -1,0 +1,131 @@
+"""Tests for loss functions: values, gradients and input validation."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import (
+    MeanSquaredError,
+    NegativeLogit,
+    SoftmaxCrossEntropy,
+    get_loss,
+    one_hot,
+)
+
+
+def _numeric_grad(loss, logits, targets, eps=1e-6):
+    grad = np.zeros_like(logits)
+    it = np.nditer(logits, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = logits[idx]
+        logits[idx] = orig + eps
+        plus, _ = loss.value_and_grad(logits, targets)
+        logits[idx] = orig - eps
+        minus, _ = loss.value_and_grad(logits, targets)
+        logits[idx] = orig
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestOneHot:
+    def test_basic_encoding(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        expected = np.array([[1, 0, 0], [0, 0, 1], [0, 1, 0]], dtype=float)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_rejects_out_of_range_labels(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([0, 3]), 3)
+
+    def test_rejects_2d_labels(self):
+        with pytest.raises(ValueError):
+            one_hot(np.zeros((2, 2)), 3)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_gives_small_loss(self):
+        logits = np.array([[100.0, 0.0, 0.0]])
+        loss, _ = SoftmaxCrossEntropy().value_and_grad(logits, np.array([0]))
+        assert loss < 1e-6
+
+    def test_uniform_logits_give_log_k(self):
+        logits = np.zeros((4, 5))
+        loss, _ = SoftmaxCrossEntropy().value_and_grad(logits, np.array([0, 1, 2, 3]))
+        assert loss == pytest.approx(np.log(5), rel=1e-6)
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(3)
+        logits = rng.normal(size=(5, 4))
+        targets = rng.integers(0, 4, size=5)
+        loss = SoftmaxCrossEntropy()
+        _, analytic = loss.value_and_grad(logits, targets)
+        numeric = _numeric_grad(loss, logits.copy(), targets)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-5, atol=1e-8)
+
+    def test_accepts_one_hot_targets(self):
+        logits = np.array([[1.0, 2.0], [3.0, 0.0]])
+        labels = np.array([1, 0])
+        l1, g1 = SoftmaxCrossEntropy().value_and_grad(logits, labels)
+        l2, g2 = SoftmaxCrossEntropy().value_and_grad(logits, one_hot(labels, 2))
+        assert l1 == pytest.approx(l2)
+        np.testing.assert_allclose(g1, g2)
+
+    def test_stable_for_extreme_logits(self):
+        logits = np.array([[1e4, -1e4]])
+        loss, grad = SoftmaxCrossEntropy().value_and_grad(logits, np.array([1]))
+        assert np.isfinite(loss)
+        assert np.all(np.isfinite(grad))
+
+    def test_rejects_non_2d_logits(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy().value_and_grad(np.zeros(3), np.array([0]))
+
+
+class TestMeanSquaredError:
+    def test_zero_for_identical_inputs(self):
+        x = np.random.default_rng(0).random((3, 4))
+        loss, grad = MeanSquaredError().value_and_grad(x, x.copy())
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, np.zeros_like(x))
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(5)
+        pred = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 3))
+        loss = MeanSquaredError()
+        _, analytic = loss.value_and_grad(pred, target)
+        numeric = _numeric_grad(loss, pred.copy(), target)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-5, atol=1e-8)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MeanSquaredError().value_and_grad(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestNegativeLogit:
+    def test_gradient_is_minus_one_hot_over_n(self):
+        logits = np.zeros((2, 3))
+        _, grad = NegativeLogit().value_and_grad(logits, np.array([0, 2]))
+        expected = -one_hot(np.array([0, 2]), 3) / 2
+        np.testing.assert_allclose(grad, expected)
+
+    def test_value_is_mean_negative_target_logit(self):
+        logits = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        value, _ = NegativeLogit().value_and_grad(logits, np.array([2, 0]))
+        assert value == pytest.approx(-(3.0 + 4.0) / 2)
+
+
+class TestRegistry:
+    def test_get_loss_by_name(self):
+        assert isinstance(get_loss("cross_entropy"), SoftmaxCrossEntropy)
+        assert isinstance(get_loss("mse"), MeanSquaredError)
+        assert isinstance(get_loss("negative_logit"), NegativeLogit)
+
+    def test_get_loss_passes_instances_through(self):
+        loss = MeanSquaredError()
+        assert get_loss(loss) is loss
+
+    def test_unknown_loss_raises(self):
+        with pytest.raises(ValueError):
+            get_loss("hinge")

@@ -1,0 +1,179 @@
+"""Tests for the Sequential model: building, gradients, state and queries."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.model import Sequential
+from repro.models.zoo import small_cnn, small_mlp
+
+
+def _tiny_cnn(activation="relu", rng=0):
+    return small_cnn(
+        channels=3,
+        dense_units=8,
+        input_shape=(1, 8, 8),
+        num_classes=4,
+        activation=activation,
+        rng=rng,
+    )
+
+
+class TestConstruction:
+    def test_build_sets_shapes(self):
+        model = _tiny_cnn()
+        assert model.built
+        assert model.input_shape == (1, 8, 8)
+        assert model.output_shape == (4,)
+        assert model.num_classes == 4
+
+    def test_cannot_add_after_build(self):
+        model = _tiny_cnn()
+        with pytest.raises(RuntimeError):
+            model.add(Dense(3))
+
+    def test_empty_model_build_raises(self):
+        with pytest.raises(ValueError):
+            Sequential([]).build((4,))
+
+    def test_forward_before_build_raises(self):
+        model = Sequential([Dense(3)])
+        with pytest.raises(RuntimeError):
+            model.forward(np.zeros((1, 4)))
+
+    def test_wrong_input_shape_raises(self):
+        model = _tiny_cnn()
+        with pytest.raises(ValueError, match="does not match"):
+            model.forward(np.zeros((2, 1, 9, 9)))
+
+    def test_num_parameters_counts_all(self):
+        model = small_mlp(input_features=5, hidden_units=7, num_classes=3, depth=1, rng=0)
+        # (5*7 + 7) + (7*3 + 3)
+        assert model.num_parameters() == 5 * 7 + 7 + 7 * 3 + 3
+
+    def test_summary_contains_layers_and_total(self):
+        model = _tiny_cnn()
+        text = model.summary()
+        assert "conv1" in text
+        assert "Total parameters" in text
+
+
+class TestForwardBackward:
+    def test_full_model_gradient_check(self):
+        model = _tiny_cnn(activation="tanh", rng=2)
+        rng = np.random.default_rng(0)
+        x = rng.random((2, 1, 8, 8))
+        y = np.array([0, 3])
+        loss_fn = SoftmaxCrossEntropy()
+
+        model.zero_grad()
+        logits = model.forward(x, training=True)
+        _, grad = loss_fn.value_and_grad(logits, y)
+        model.backward(grad)
+        analytic = model.parameter_view().flat_grads()
+
+        eps = 1e-6
+        view = model.parameter_view()
+        idx = rng.choice(view.total_size, size=25, replace=False)
+        for i in idx:
+            orig = view.get_scalar(int(i))
+            view.set_scalar(int(i), orig + eps)
+            plus = loss_fn.value_and_grad(model.forward(x), y)[0]
+            view.set_scalar(int(i), orig - eps)
+            minus = loss_fn.value_and_grad(model.forward(x), y)[0]
+            view.set_scalar(int(i), orig)
+            numeric = (plus - minus) / (2 * eps)
+            assert analytic[i] == pytest.approx(numeric, rel=1e-4, abs=1e-8)
+
+    def test_predict_matches_forward_in_chunks(self):
+        model = _tiny_cnn()
+        x = np.random.default_rng(1).random((7, 1, 8, 8))
+        np.testing.assert_allclose(model.predict(x, batch_size=3), model.forward(x))
+
+    def test_predict_classes_and_proba(self):
+        model = _tiny_cnn()
+        x = np.random.default_rng(1).random((5, 1, 8, 8))
+        proba = model.predict_proba(x)
+        np.testing.assert_allclose(proba.sum(axis=1), np.ones(5))
+        assert np.array_equal(model.predict_classes(x), np.argmax(proba, axis=1))
+
+    def test_forward_collect_returns_every_layer_output(self):
+        model = _tiny_cnn()
+        x = np.random.default_rng(2).random((1, 1, 8, 8))
+        outputs = model.forward_collect(x)
+        assert len(outputs) == len(model.layers)
+        np.testing.assert_allclose(outputs[-1], model.forward(x))
+
+
+class TestGradientQueries:
+    def test_output_gradients_shape_and_reset(self):
+        model = _tiny_cnn()
+        x = np.random.default_rng(3).random((1, 8, 8))
+        grads = model.output_gradients(x)
+        assert grads.shape == (model.num_parameters(),)
+        # the query must not leave stale gradients behind
+        assert np.all(model.parameter_view().flat_grads() == 0.0)
+
+    def test_output_gradients_accepts_batched_single_sample(self):
+        model = _tiny_cnn()
+        x = np.random.default_rng(3).random((1, 1, 8, 8))
+        grads = model.output_gradients(x)
+        assert grads.shape == (model.num_parameters(),)
+
+    def test_output_gradients_rejects_batches(self):
+        model = _tiny_cnn()
+        with pytest.raises(ValueError):
+            model.output_gradients(np.zeros((2, 1, 8, 8)))
+
+    def test_output_gradients_rejects_unknown_scalarization(self):
+        model = _tiny_cnn()
+        with pytest.raises(ValueError):
+            model.output_gradients(np.zeros((1, 8, 8)), scalarization="median")
+
+    def test_scalarizations_differ(self):
+        model = _tiny_cnn(rng=5)
+        x = np.random.default_rng(4).random((1, 8, 8))
+        g_sum = model.output_gradients(x, "sum")
+        g_max = model.output_gradients(x, "max")
+        assert not np.allclose(g_sum, g_max)
+
+    def test_input_gradient_shape_and_descent_direction(self):
+        model = _tiny_cnn(rng=6)
+        x = np.random.default_rng(5).random((2, 1, 8, 8))
+        y = np.array([1, 2])
+        loss_before, grad = model.input_gradient(x, y)
+        stepped = x - 0.05 * grad
+        loss_after, _ = model.input_gradient(stepped, y)
+        assert grad.shape == x.shape
+        assert loss_after < loss_before
+
+
+class TestState:
+    def test_state_dict_round_trip(self):
+        model = _tiny_cnn(rng=7)
+        state = model.state_dict()
+        other = _tiny_cnn(rng=8)
+        assert not np.allclose(
+            other.parameter_view().flat_values(), model.parameter_view().flat_values()
+        )
+        other.load_state_dict(state)
+        np.testing.assert_allclose(
+            other.parameter_view().flat_values(), model.parameter_view().flat_values()
+        )
+
+    def test_load_state_dict_rejects_mismatched_keys(self):
+        model = _tiny_cnn()
+        state = model.state_dict()
+        del state["fc1/weight"]
+        with pytest.raises(ValueError, match="mismatch"):
+            model.load_state_dict(state)
+
+    def test_copy_is_deep(self):
+        model = _tiny_cnn(rng=9)
+        clone = model.copy()
+        clone.parameter_view().set_scalar(0, 123.0)
+        assert model.parameter_view().get_scalar(0) != 123.0
+        x = np.random.default_rng(0).random((1, 1, 8, 8))
+        # clone still computes (structure intact)
+        assert clone.forward(x).shape == (1, 4)

@@ -1,0 +1,177 @@
+"""Property-based tests (hypothesis) for core numeric building blocks and
+coverage invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.coverage import ActivationCriterion, CoverageTracker
+from repro.nn.activations import ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.layers import col2im, im2col
+from repro.nn.losses import SoftmaxCrossEntropy, one_hot
+from repro.nn.tensor import Parameter, ParameterView
+
+finite_floats = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(np.float64, array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=6), elements=finite_floats)
+)
+def test_softmax_rows_are_probability_distributions(x):
+    y = Softmax().forward(x)
+    assert np.all(y >= 0.0)
+    np.testing.assert_allclose(y.sum(axis=-1), np.ones(x.shape[0]), atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(np.float64, array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=8), elements=finite_floats)
+)
+def test_relu_is_idempotent_and_nonnegative(x):
+    relu = ReLU()
+    y = relu.forward(x)
+    assert np.all(y >= 0.0)
+    np.testing.assert_array_equal(relu.forward(y), y)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(np.float64, array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=8), elements=finite_floats)
+)
+def test_tanh_and_sigmoid_ranges(x):
+    assert np.all(np.abs(Tanh().forward(x)) <= 1.0)
+    s = Sigmoid().forward(x)
+    assert np.all((s >= 0.0) & (s <= 1.0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 3),
+    c=st.integers(1, 3),
+    size=st.integers(3, 8),
+    kernel=st.integers(1, 3),
+    padding=st.integers(0, 2),
+)
+def test_im2col_col2im_adjointness(n, c, size, kernel, padding):
+    """<im2col(x), y> == <x, col2im(y)> — the two operators are adjoint,
+    which is exactly the property the convolution backward pass relies on."""
+    rng = np.random.default_rng(42)
+    x = rng.normal(size=(n, c, size, size))
+    cols, oh, ow = im2col(x, kernel, kernel, stride=1, padding=padding)
+    y = rng.normal(size=cols.shape)
+    lhs = float(np.sum(cols * y))
+    rhs = float(np.sum(x * col2im(y, x.shape, kernel, kernel, stride=1, padding=padding)))
+    assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    labels=st.lists(st.integers(0, 6), min_size=1, max_size=12),
+)
+def test_one_hot_rows_sum_to_one(labels):
+    labels = np.array(labels)
+    out = one_hot(labels, 7)
+    np.testing.assert_array_equal(out.sum(axis=1), np.ones(len(labels)))
+    np.testing.assert_array_equal(np.argmax(out, axis=1), labels)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        st.tuples(st.integers(1, 6), st.integers(2, 5)),
+        elements=st.floats(-50, 50, allow_nan=False),
+    ),
+)
+def test_cross_entropy_is_nonnegative_and_grad_rows_sum_to_zero(logits):
+    n, k = logits.shape
+    targets = np.arange(n) % k
+    loss, grad = SoftmaxCrossEntropy().value_and_grad(logits, targets)
+    assert loss >= -1e-12
+    np.testing.assert_allclose(grad.sum(axis=1), np.zeros(n), atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.floats(-10, 10, allow_nan=False), min_size=1, max_size=30),
+    epsilon=st.floats(0, 1),
+)
+def test_activation_criterion_threshold_monotonicity(values, epsilon):
+    grads = np.array(values)
+    strict = ActivationCriterion(epsilon=epsilon)
+    loose = ActivationCriterion(epsilon=0.0)
+    assert strict.activated(grads).sum() <= loose.activated(grads).sum()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    shapes=st.lists(
+        st.tuples(st.integers(1, 4), st.integers(1, 4)), min_size=1, max_size=4
+    ),
+    data=st.data(),
+)
+def test_parameter_view_flat_round_trip(shapes, data):
+    params = [
+        Parameter(np.zeros(shape), name=f"p{i}") for i, shape in enumerate(shapes)
+    ]
+    view = ParameterView(params)
+    flat = np.array(
+        data.draw(
+            st.lists(
+                finite_floats, min_size=view.total_size, max_size=view.total_size
+            )
+        )
+    )
+    view.set_flat_values(flat)
+    np.testing.assert_allclose(view.flat_values(), flat)
+    # locate() round-trips every index to the right scalar
+    for idx in range(view.total_size):
+        assert view.get_scalar(idx) == flat[idx]
+
+
+class _MaskModel:
+    """Stand-in exposing just enough of the Sequential API for CoverageTracker."""
+
+    def __init__(self, n):
+        self._n = n
+        self.layers = []
+
+    def num_parameters(self):
+        return self._n
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_params=st.integers(4, 64),
+    n_masks=st.integers(1, 8),
+    data=st.data(),
+)
+def test_coverage_tracker_union_invariants(n_params, n_masks, data):
+    """Union coverage equals the OR of all masks; marginal gains sum to coverage."""
+    from repro.coverage.activation import ActivationCriterion
+
+    tracker = CoverageTracker.__new__(CoverageTracker)
+    tracker._model = _MaskModel(n_params)
+    tracker.criterion = ActivationCriterion()
+    tracker._total = n_params
+    tracker._covered = np.zeros(n_params, dtype=bool)
+    tracker._num_tests = 0
+
+    union = np.zeros(n_params, dtype=bool)
+    total_gain = 0.0
+    for _ in range(n_masks):
+        mask = np.array(
+            data.draw(st.lists(st.booleans(), min_size=n_params, max_size=n_params))
+        )
+        gain = tracker.add_mask(mask)
+        union |= mask
+        total_gain += gain
+        assert 0.0 <= gain <= 1.0
+    assert tracker.num_covered == union.sum()
+    assert tracker.coverage == pytest.approx(total_gain)
+    assert tracker.coverage == pytest.approx(union.mean())

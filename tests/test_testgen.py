@@ -1,0 +1,269 @@
+"""Tests for the test-generation algorithms: greedy selection (Algorithm 1),
+gradient-based synthesis (Algorithm 2), the combined method and baselines."""
+
+import numpy as np
+import pytest
+
+from repro.coverage import CoverageTracker, set_validation_coverage
+from repro.testgen import (
+    CombinedGenerator,
+    GenerationResult,
+    GradientTestGenerator,
+    NeuronCoverageSelector,
+    RandomSelector,
+    TrainingSetSelector,
+    stack_samples,
+)
+
+
+class TestGenerationResult:
+    def test_validates_history_lengths(self):
+        with pytest.raises(ValueError):
+            GenerationResult(
+                tests=np.zeros((3, 1, 4, 4)), coverage_history=[0.1, 0.2]
+            )
+
+    def test_truncated(self):
+        result = GenerationResult(
+            tests=np.zeros((4, 2)),
+            coverage_history=[0.1, 0.2, 0.3, 0.4],
+            gains=[0.1, 0.1, 0.1, 0.1],
+            sources=["training"] * 4,
+            method="x",
+        )
+        cut = result.truncated(2)
+        assert cut.num_tests == 2
+        assert cut.final_coverage == 0.2
+        with pytest.raises(ValueError):
+            result.truncated(9)
+
+    def test_switch_index(self):
+        result = GenerationResult(
+            tests=np.zeros((3, 2)),
+            coverage_history=[0.1, 0.2, 0.3],
+            gains=[0.1, 0.1, 0.1],
+            sources=["training", "training", "gradient"],
+        )
+        assert result.switch_index() == 2
+        all_training = GenerationResult(
+            tests=np.zeros((2, 2)),
+            coverage_history=[0.1, 0.2],
+            gains=[0.1, 0.1],
+            sources=["training", "training"],
+        )
+        assert all_training.switch_index() is None
+
+    def test_final_coverage_requires_history(self):
+        with pytest.raises(ValueError):
+            GenerationResult(tests=np.zeros((1, 2))).final_coverage
+
+    def test_stack_samples(self):
+        out = stack_samples([np.zeros((1, 2, 2)), np.ones((1, 2, 2))])
+        assert out.shape == (2, 1, 2, 2)
+        with pytest.raises(ValueError):
+            stack_samples([])
+
+
+class TestTrainingSetSelector:
+    def test_coverage_history_is_monotone(self, trained_cnn, digit_dataset):
+        selector = TrainingSetSelector(trained_cnn, digit_dataset, candidate_pool=30, rng=0)
+        result = selector.generate(8)
+        assert result.num_tests == 8
+        diffs = np.diff([0.0] + result.coverage_history)
+        assert np.all(diffs >= -1e-12)
+
+    def test_greedy_beats_random_selection(self, trained_cnn, digit_dataset):
+        budget = 6
+        greedy = TrainingSetSelector(
+            trained_cnn, digit_dataset, candidate_pool=40, rng=0
+        ).generate(budget)
+        random = RandomSelector(trained_cnn, digit_dataset, rng=0).generate(budget)
+        assert greedy.final_coverage >= random.final_coverage - 1e-9
+
+    def test_first_pick_is_the_best_single_sample(self, trained_cnn, digit_dataset):
+        selector = TrainingSetSelector(trained_cnn, digit_dataset, candidate_pool=20, rng=1)
+        cache = selector._ensure_cache()
+        best_single = cache.per_sample_coverage().max()
+        result = selector.generate(1)
+        assert result.coverage_history[0] == pytest.approx(best_single)
+
+    def test_history_matches_recomputed_coverage(self, trained_cnn, digit_dataset):
+        selector = TrainingSetSelector(trained_cnn, digit_dataset, candidate_pool=25, rng=2)
+        result = selector.generate(5)
+        recomputed = set_validation_coverage(trained_cnn, result.tests)
+        assert result.final_coverage == pytest.approx(recomputed)
+
+    def test_budget_larger_than_pool_is_clamped(self, trained_cnn, digit_dataset):
+        selector = TrainingSetSelector(trained_cnn, digit_dataset, candidate_pool=5, rng=0)
+        result = selector.generate(10)
+        assert result.num_tests == 5
+
+    def test_selected_dataset_indices_round_trip(self, trained_cnn, digit_dataset):
+        selector = TrainingSetSelector(trained_cnn, digit_dataset, candidate_pool=15, rng=3)
+        result = selector.generate(3)
+        indices = selector.selected_dataset_indices(result)
+        np.testing.assert_allclose(digit_dataset.images[indices], result.tests)
+
+    def test_rejects_bad_arguments(self, trained_cnn, digit_dataset):
+        with pytest.raises(ValueError):
+            TrainingSetSelector(trained_cnn, digit_dataset).generate(0)
+        empty = digit_dataset.subset([])
+        with pytest.raises(ValueError):
+            TrainingSetSelector(trained_cnn, empty)
+
+    def test_sources_all_training(self, trained_cnn, digit_dataset):
+        result = TrainingSetSelector(
+            trained_cnn, digit_dataset, candidate_pool=10, rng=0
+        ).generate(3)
+        assert set(result.sources) == {"training"}
+
+
+class TestGradientTestGenerator:
+    def test_batch_has_one_sample_per_class(self, trained_cnn):
+        gen = GradientTestGenerator(trained_cnn, rng=0, max_updates=10)
+        batch = gen.synthesize_batch()
+        assert batch.shape == (trained_cnn.num_classes, *trained_cnn.input_shape)
+
+    def test_samples_respect_clip_range(self, trained_cnn):
+        gen = GradientTestGenerator(trained_cnn, rng=0, max_updates=10, clip_range=(0, 1))
+        batch = gen.synthesize_batch()
+        assert batch.min() >= 0.0
+        assert batch.max() <= 1.0
+
+    def test_synthesis_reduces_per_class_loss(self, trained_cnn):
+        """Gradient descent on the input must actually decrease the loss (Eq. 8)."""
+        from repro.nn.losses import SoftmaxCrossEntropy
+
+        gen = GradientTestGenerator(
+            trained_cnn, rng=0, max_updates=30, target="model", init_noise_std=0.0
+        )
+        k = trained_cnn.num_classes
+        zeros = np.zeros((k, *trained_cnn.input_shape))
+        targets = np.arange(k)
+        loss_fn = SoftmaxCrossEntropy()
+        loss_before, _ = loss_fn.value_and_grad(trained_cnn.predict(zeros), targets)
+        batch = gen.synthesize_batch()
+        loss_after, _ = loss_fn.value_and_grad(trained_cnn.predict(batch), targets)
+        assert loss_after < loss_before
+
+    def test_generation_coverage_monotone_and_counts(self, trained_cnn):
+        gen = GradientTestGenerator(trained_cnn, rng=0, max_updates=15)
+        result = gen.generate(7)
+        assert result.num_tests == 7
+        assert set(result.sources) == {"gradient"}
+        diffs = np.diff([0.0] + result.coverage_history)
+        assert np.all(diffs >= -1e-12)
+
+    def test_generate_continues_from_existing_tracker(self, trained_cnn, digit_dataset):
+        tracker = CoverageTracker(trained_cnn)
+        tracker.add_sample(digit_dataset.images[0])
+        start = tracker.coverage
+        gen = GradientTestGenerator(trained_cnn, rng=0, max_updates=10)
+        result = gen.generate(3, tracker=tracker)
+        assert result.coverage_history[0] >= start - 1e-12
+
+    def test_residual_mode_differs_from_model_mode(self, trained_cnn):
+        residual = GradientTestGenerator(
+            trained_cnn, rng=0, max_updates=10, target="residual"
+        ).generate(4)
+        plain = GradientTestGenerator(
+            trained_cnn, rng=0, max_updates=10, target="model"
+        ).generate(4)
+        assert residual.num_tests == plain.num_tests == 4
+
+    def test_synthesis_accuracy_in_unit_interval(self, trained_cnn):
+        gen = GradientTestGenerator(trained_cnn, rng=0, max_updates=20)
+        acc = gen.synthesis_accuracy()
+        assert 0.0 <= acc <= 1.0
+
+    def test_rejects_bad_arguments(self, trained_cnn):
+        with pytest.raises(ValueError):
+            GradientTestGenerator(trained_cnn, step_size=0)
+        with pytest.raises(ValueError):
+            GradientTestGenerator(trained_cnn, max_updates=0)
+        with pytest.raises(ValueError):
+            GradientTestGenerator(trained_cnn, target="other")
+        with pytest.raises(ValueError):
+            GradientTestGenerator(trained_cnn, clip_range=(1.0, 0.0))
+        with pytest.raises(ValueError):
+            GradientTestGenerator(trained_cnn).generate(0)
+
+
+class TestCombinedGenerator:
+    def test_switch_policy_parsing(self, trained_cnn, digit_dataset):
+        with pytest.raises(ValueError):
+            CombinedGenerator(trained_cnn, digit_dataset, switch_policy="never")
+        with pytest.raises(ValueError):
+            CombinedGenerator(trained_cnn, digit_dataset, switch_policy="fixed:x")
+        with pytest.raises(ValueError):
+            CombinedGenerator(trained_cnn, digit_dataset, switch_policy="fixed:-1")
+
+    def test_fixed_switch_point_respected(self, trained_cnn, digit_dataset):
+        gen = CombinedGenerator(
+            trained_cnn,
+            digit_dataset,
+            switch_policy="fixed:3",
+            candidate_pool=20,
+            rng=0,
+            max_updates=10,
+        )
+        result = gen.generate(6)
+        assert result.sources[:3] == ["training"] * 3
+        assert set(result.sources[3:]) == {"gradient"}
+
+    def test_adaptive_combined_at_least_matches_selection(self, trained_cnn, digit_dataset):
+        budget = 8
+        combined = CombinedGenerator(
+            trained_cnn, digit_dataset, candidate_pool=25, rng=0, max_updates=10
+        ).generate(budget)
+        selection = TrainingSetSelector(
+            trained_cnn, digit_dataset, candidate_pool=25, rng=0
+        ).generate(budget)
+        assert combined.final_coverage >= selection.final_coverage - 0.02
+
+    def test_coverage_history_monotone(self, trained_cnn, digit_dataset):
+        result = CombinedGenerator(
+            trained_cnn, digit_dataset, candidate_pool=20, rng=1, max_updates=10
+        ).generate(6)
+        diffs = np.diff([0.0] + result.coverage_history)
+        assert np.all(diffs >= -1e-12)
+
+    def test_rejects_zero_budget(self, trained_cnn, digit_dataset):
+        with pytest.raises(ValueError):
+            CombinedGenerator(trained_cnn, digit_dataset).generate(0)
+
+
+class TestBaselines:
+    def test_neuron_selector_histories(self, trained_cnn, digit_dataset):
+        selector = NeuronCoverageSelector(trained_cnn, digit_dataset, candidate_pool=25, rng=0)
+        result = selector.generate(6)
+        assert result.num_tests == 6
+        diffs = np.diff([0.0] + result.coverage_history)
+        assert np.all(diffs >= -1e-12)
+        assert result.final_coverage <= 1.0
+
+    def test_neuron_selector_parameter_coverage_below_combined(
+        self, trained_cnn, digit_dataset
+    ):
+        """Key claim behind Tables II/III: neuron-coverage tests achieve lower
+        *parameter* coverage than the proposed method at equal budget."""
+        budget = 8
+        neuron_tests = NeuronCoverageSelector(
+            trained_cnn, digit_dataset, candidate_pool=30, rng=0
+        ).generate(budget)
+        combined_tests = CombinedGenerator(
+            trained_cnn, digit_dataset, candidate_pool=30, rng=0, max_updates=10
+        ).generate(budget)
+        neuron_pcov = set_validation_coverage(trained_cnn, neuron_tests.tests)
+        combined_pcov = set_validation_coverage(trained_cnn, combined_tests.tests)
+        assert combined_pcov >= neuron_pcov - 0.02
+
+    def test_random_selector(self, trained_cnn, digit_dataset):
+        result = RandomSelector(trained_cnn, digit_dataset, rng=0).generate(5)
+        assert result.num_tests == 5
+        with pytest.raises(ValueError):
+            RandomSelector(trained_cnn, digit_dataset, rng=0).generate(0)
+
+    def test_neuron_selector_rejects_empty_dataset(self, trained_cnn, digit_dataset):
+        with pytest.raises(ValueError):
+            NeuronCoverageSelector(trained_cnn, digit_dataset.subset([]))

@@ -1,0 +1,187 @@
+"""Tests for the vendor/user validation scheme and the detection experiments."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import RandomPerturbation, SingleBiasAttack
+from repro.testgen import TrainingSetSelector
+from repro.utils.config import DetectionConfig
+from repro.validation import (
+    DetectionExperiment,
+    IPUser,
+    IPVendor,
+    ValidationPackage,
+    default_attack_factories,
+    validate_ip,
+)
+
+
+@pytest.fixture(scope="module")
+def vendor_package(trained_cnn, digit_dataset):
+    vendor = IPVendor(trained_cnn, digit_dataset)
+    generator = TrainingSetSelector(trained_cnn, digit_dataset, candidate_pool=30, rng=0)
+    return vendor.build_package(generator.generate(10))
+
+
+class TestValidationPackage:
+    def test_construction_and_labels(self, vendor_package):
+        assert vendor_package.num_tests == 10
+        assert vendor_package.expected_labels.shape == (10,)
+        np.testing.assert_array_equal(
+            vendor_package.expected_labels,
+            np.argmax(vendor_package.expected_outputs, axis=1),
+        )
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            ValidationPackage(tests=np.zeros((2, 4)), expected_outputs=np.zeros((3, 5)))
+        with pytest.raises(ValueError):
+            ValidationPackage(
+                tests=np.zeros((2, 4)), expected_outputs=np.zeros((2, 5)), output_atol=-1
+            )
+        with pytest.raises(ValueError):
+            ValidationPackage(tests=np.zeros((2, 4)), expected_outputs=np.zeros(2))
+
+    def test_subset(self, vendor_package):
+        sub = vendor_package.subset(4)
+        assert sub.num_tests == 4
+        with pytest.raises(ValueError):
+            vendor_package.subset(0)
+        with pytest.raises(ValueError):
+            vendor_package.subset(99)
+
+    def test_digest_changes_when_contents_change(self, vendor_package):
+        modified = ValidationPackage(
+            tests=vendor_package.tests + 0.01,
+            expected_outputs=vendor_package.expected_outputs,
+        )
+        assert modified.digest() != vendor_package.digest()
+
+    def test_save_load_round_trip(self, vendor_package, tmp_path):
+        path = vendor_package.save(tmp_path / "pkg.npz")
+        loaded = ValidationPackage.load(path)
+        np.testing.assert_allclose(loaded.tests, vendor_package.tests)
+        np.testing.assert_allclose(loaded.expected_outputs, vendor_package.expected_outputs)
+        assert loaded.metadata["num_tests"] == 10
+
+    def test_load_detects_tampering(self, vendor_package, tmp_path):
+        path = vendor_package.save(tmp_path / "pkg.npz")
+        with np.load(path) as data:
+            arrays = {k: data[k].copy() for k in data.files}
+        arrays["expected_outputs"] = arrays["expected_outputs"] + 1.0
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="integrity"):
+            ValidationPackage.load(path)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ValidationPackage.load(tmp_path / "nope.npz")
+
+
+class TestVendor:
+    def test_release_end_to_end(self, trained_cnn, digit_dataset):
+        vendor = IPVendor(trained_cnn, digit_dataset)
+        package = vendor.release(num_tests=6, candidate_pool=20, rng=0, max_updates=10)
+        assert package.num_tests == 6
+        assert package.metadata["generator"] == "combined"
+        assert 0.0 < package.metadata["validation_coverage"] <= 1.0
+
+    def test_build_package_requires_tests(self, trained_cnn, digit_dataset):
+        vendor = IPVendor(trained_cnn, digit_dataset)
+        with pytest.raises(ValueError):
+            vendor.build_package(np.zeros((0, 1, 12, 12)))
+
+    def test_default_generator_requires_training_set(self, trained_cnn):
+        vendor = IPVendor(trained_cnn)
+        with pytest.raises(ValueError):
+            vendor.default_generator()
+
+    def test_unbuilt_model_rejected(self):
+        from repro.nn.layers import Dense
+        from repro.nn.model import Sequential
+
+        with pytest.raises(ValueError):
+            IPVendor(Sequential([Dense(3)]))
+
+
+class TestUser:
+    def test_clean_ip_passes(self, trained_cnn, vendor_package):
+        report = validate_ip(trained_cnn, vendor_package)
+        assert report.passed
+        assert not report.detected
+        assert report.num_mismatched == 0
+        assert "SECURE" in report.summary()
+
+    def test_perturbed_ip_detected(self, trained_cnn, vendor_package):
+        tampered = SingleBiasAttack(magnitude=20.0, rng=0).apply(trained_cnn).model
+        report = validate_ip(tampered, vendor_package)
+        assert report.detected
+        assert report.num_mismatched > 0
+        assert "TAMPERED" in report.summary()
+
+    def test_callable_black_box_interface(self, trained_cnn, vendor_package):
+        report = validate_ip(lambda x: trained_cnn.predict(x), vendor_package)
+        assert report.passed
+
+    def test_output_shape_change_is_detected(self, vendor_package):
+        report = validate_ip(lambda x: np.zeros((x.shape[0], 3)), vendor_package)
+        assert report.detected
+        assert report.max_output_deviation == np.inf
+
+    def test_tolerance_allows_tiny_numeric_noise(self, trained_cnn, vendor_package):
+        def noisy_ip(x):
+            return trained_cnn.predict(x) + 1e-9
+
+        report = IPUser(vendor_package).validate(noisy_ip)
+        assert report.passed
+
+    def test_empty_package_rejected(self):
+        with pytest.raises(ValueError):
+            ValidationPackage(tests=np.zeros((0, 2)), expected_outputs=np.zeros((0, 3)))
+
+
+class TestDetectionExperiment:
+    def test_detection_rates_and_structure(self, trained_cnn, digit_dataset, vendor_package):
+        config = DetectionConfig(trials=8, test_budgets=(2, 5, 10), attacks=("sba", "random"), seed=0)
+        factories = default_attack_factories(digit_dataset.images[:10])
+        experiment = DetectionExperiment(
+            trained_cnn, {"proposed": vendor_package}, factories, config
+        )
+        table = experiment.run()
+        assert set(table.attacks()) == {"sba", "random"}
+        assert table.budgets() == [2, 5, 10]
+        for attack in table.attacks():
+            rates = [table.rate("proposed", attack, n) for n in table.budgets()]
+            assert all(0.0 <= r <= 1.0 for r in rates)
+            # more tests can only help (paired trials make this exact)
+            assert rates == sorted(rates)
+
+    def test_missing_factory_rejected(self, trained_cnn, digit_dataset, vendor_package):
+        config = DetectionConfig(trials=2, test_budgets=(2,), attacks=("gda",))
+        with pytest.raises(ValueError, match="factory"):
+            DetectionExperiment(trained_cnn, {"p": vendor_package}, {}, config)
+
+    def test_package_too_small_rejected(self, trained_cnn, digit_dataset, vendor_package):
+        config = DetectionConfig(trials=2, test_budgets=(50,), attacks=("random",))
+        factories = default_attack_factories(digit_dataset.images[:4])
+        with pytest.raises(ValueError, match="budget"):
+            DetectionExperiment(trained_cnn, {"p": vendor_package}, factories, config)
+
+    def test_table_lookup_missing_cell(self, trained_cnn, digit_dataset, vendor_package):
+        config = DetectionConfig(trials=2, test_budgets=(2,), attacks=("random",))
+        factories = default_attack_factories(digit_dataset.images[:4])
+        table = DetectionExperiment(
+            trained_cnn, {"p": vendor_package}, factories, config
+        ).run()
+        with pytest.raises(KeyError):
+            table.rate("p", "sba", 2)
+        rows = table.as_rows()
+        assert rows and {"method", "attack", "num_tests", "detection_rate"} <= set(rows[0])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DetectionConfig(trials=0).validate()
+        with pytest.raises(ValueError):
+            DetectionConfig(test_budgets=()).validate()
+        with pytest.raises(ValueError):
+            DetectionConfig(attacks=("voodoo",)).validate()
