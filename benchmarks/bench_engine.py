@@ -1,0 +1,107 @@
+"""Micro-benchmark: batched execution engine vs. the per-sample reference path.
+
+Measures mean validation coverage (the Fig. 2 quantity) over a 100-image pool
+on a Table-I-style MNIST model, comparing
+
+* ``mean_validation_coverage_reference`` — one forward/backward pass per
+  image (the pre-engine hot path), against
+* ``mean_validation_coverage`` — chunked batched passes through
+  :class:`repro.engine.Engine`,
+
+and additionally reports the memoized revisit time (the greedy loop /
+ablation-sweep access pattern).  The script asserts the acceptance criteria
+of the batched-engine change: ≥5× wall-clock speedup and ≤1e-8 numerical
+equivalence.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+
+Set ``BENCH_ENGINE_SKIP_SPEEDUP=1`` to enforce only the numerical-equivalence
+assertion (for shared CI runners whose wall-clock is too noisy for a
+reliable speedup ratio).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.coverage.parameter_coverage import (
+    mean_validation_coverage,
+    mean_validation_coverage_reference,
+)
+from repro.data.synth_digits import generate_digits
+from repro.engine import Engine
+from repro.models.zoo import mnist_cnn
+
+POOL_SIZE = 100
+REQUIRED_SPEEDUP = 5.0
+TOLERANCE = 1e-8
+
+
+def _best_of(repeats: int, fn) -> tuple[float, float]:
+    """Return ``(best_seconds, value)`` over ``repeats`` timed calls.
+
+    One untimed warm-up call precedes the measurements so allocator and
+    index-cache effects do not pollute either side of the comparison.
+    """
+    value = fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def main() -> None:
+    model = mnist_cnn(width_multiplier=0.125, input_size=28, rng=0)
+    images = generate_digits(POOL_SIZE, rng=1, size=28).images
+    print(f"model: {model.name} ({model.num_parameters()} parameters)")
+    print(f"pool:  {POOL_SIZE} images of shape {images.shape[1:]}")
+
+    ref_time, ref_value = _best_of(
+        3, lambda: mean_validation_coverage_reference(model, images)
+    )
+    print(f"per-sample reference: {ref_time * 1e3:9.1f} ms  (coverage {ref_value:.6f})")
+
+    # fresh uncached engine each call: measures the batched compute, not the
+    # memo cache
+    batched_time, batched_value = _best_of(
+        5,
+        lambda: mean_validation_coverage(
+            model, images, engine=Engine(model, cache=False)
+        ),
+    )
+    print(f"batched engine:       {batched_time * 1e3:9.1f} ms  (coverage {batched_value:.6f})")
+
+    engine = Engine(model)
+    engine.mean_validation_coverage(images)  # warm the memo cache
+    cached_time, cached_value = _best_of(
+        3, lambda: engine.mean_validation_coverage(images)
+    )
+    print(f"memoized revisit:     {cached_time * 1e3:9.1f} ms  (coverage {cached_value:.6f})")
+
+    speedup = ref_time / batched_time
+    error = abs(ref_value - batched_value)
+    print(f"\nspeedup (batched vs per-sample): {speedup:.1f}x")
+    print(f"numerical difference:            {error:.2e}")
+
+    assert error <= TOLERANCE, (
+        f"batched coverage differs from reference by {error:.2e} > {TOLERANCE:.0e}"
+    )
+    assert abs(cached_value - batched_value) <= TOLERANCE
+    if os.environ.get("BENCH_ENGINE_SKIP_SPEEDUP"):
+        print(f"OK: ≤{TOLERANCE:.0e} equivalence holds (speedup assertion skipped)")
+        return
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"batched path is only {speedup:.1f}x faster; required ≥{REQUIRED_SPEEDUP}x"
+    )
+    print(f"OK: ≥{REQUIRED_SPEEDUP:g}x speedup and ≤{TOLERANCE:.0e} equivalence hold")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,12 +4,22 @@ Network IPs" (Luo, Li, Wei, Xu — DATE 2019).
 The package is organised as:
 
 * :mod:`repro.nn` — from-scratch NumPy deep-learning substrate (layers,
-  losses, optimisers, gradient queries).
+  losses, optimisers, gradient queries, batched per-sample gradient
+  extraction).
+* :mod:`repro.engine` — the batched execution engine: one
+  :class:`~repro.engine.Engine` per model vectorizes forward/backward
+  queries (logits, per-sample parameter gradients, activation and neuron
+  masks) across whole candidate pools, memoizes immutable results keyed by
+  parameter digest + array fingerprint, and routes execution through a
+  pluggable backend.  Every coverage/testgen/attack/validation hot path
+  runs through it; prefer it over raw ``Model.forward`` whenever the same
+  model is queried for more than a handful of samples.
 * :mod:`repro.data` — synthetic stand-ins for MNIST, CIFAR-10, ImageNet and
   noise image populations.
 * :mod:`repro.models` — the Table-I architectures and a trainer.
 * :mod:`repro.coverage` — validation (parameter) coverage and the
-  neuron-coverage baseline.
+  neuron-coverage baseline, batched through the engine with per-sample
+  reference implementations retained for equivalence testing.
 * :mod:`repro.testgen` — Algorithms 1 and 2, the combined method, and
   baselines.
 * :mod:`repro.attacks` — SBA, GDA, random and bit-flip parameter

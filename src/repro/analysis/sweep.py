@@ -21,8 +21,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.coverage.activation import ActivationCriterion, default_criterion_for
-from repro.coverage.parameter_coverage import set_validation_coverage
 from repro.data.datasets import Dataset
+from repro.engine import Engine
 from repro.data.synth_digits import load_synth_mnist
 from repro.data.synth_objects import load_synth_cifar
 from repro.models.training import Trainer, TrainingHistory
@@ -154,17 +154,29 @@ def epsilon_sweep(
     tests: np.ndarray,
     epsilons: Sequence[float] = (0.0, 1e-8, 1e-6, 1e-4, 1e-2),
     scalarization: str = "sum",
+    engine: Optional[Engine] = None,
 ) -> SweepResult:
     """Ablation A2: how the activation threshold ε changes measured coverage.
 
     Larger ε counts fewer gradients as "activated", so coverage is
     monotonically non-increasing in ε; the sweep quantifies how sensitive the
     metric is for saturating-activation networks.
+
+    The per-sample gradient matrix is computed once (batched); each ε is
+    then a pure thresholding pass over it.
     """
+    tests = np.asarray(tests)
+    if tests.shape[0] == 0:  # an empty test set covers nothing at any ε
+        return SweepResult(
+            parameter="epsilon", values=list(epsilons), coverages=[0.0] * len(epsilons)
+        )
+    # single-query fallback engine: memoization would never be hit again
+    eng = engine or Engine(model, cache=False)
+    grads = eng.output_gradients(tests, scalarization)
     result = SweepResult(parameter="epsilon")
     for eps in epsilons:
         criterion = ActivationCriterion(epsilon=eps, scalarization=scalarization)
-        coverage = set_validation_coverage(model, tests, criterion)
+        coverage = float(criterion.activated(grads).any(axis=0).mean())
         result.values.append(eps)
         result.coverages.append(coverage)
     return result
@@ -175,14 +187,21 @@ def scalarization_sweep(
     tests: np.ndarray,
     scalarizations: Sequence[str] = ("sum", "max", "predicted"),
     epsilon: Optional[float] = None,
+    engine: Optional[Engine] = None,
 ) -> SweepResult:
-    """Ablation A3: effect of how F(x) is scalarised before taking ∇θ."""
+    """Ablation A3: effect of how F(x) is scalarised before taking ∇θ.
+
+    One batched backward pass per distinct scalarization — ``max`` and
+    ``predicted`` seed the backward identically, so the engine serves them
+    from one memoized gradient matrix.
+    """
+    eng = engine or Engine(model)
     result = SweepResult(parameter="scalarization")
     base = default_criterion_for(model)
     eps = base.epsilon if epsilon is None else epsilon
     for name in scalarizations:
         criterion = ActivationCriterion(epsilon=eps, scalarization=name)
-        coverage = set_validation_coverage(model, tests, criterion)
+        coverage = eng.set_validation_coverage(tests, criterion)
         result.values.append(name)
         result.coverages.append(coverage)
     return result

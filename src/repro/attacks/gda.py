@@ -20,6 +20,7 @@ from typing import Optional
 import numpy as np
 
 from repro.attacks.base import ParameterAttack, PerturbationRecord, parameter_name_of
+from repro.engine import Engine
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.model import Sequential
 from repro.utils.rng import RngLike
@@ -81,28 +82,21 @@ class GradientDescentAttack(ParameterAttack):
         original = view.flat_values()
         scale = max(float(np.sqrt(np.mean(original**2))), 1e-3)
 
+        # the model's parameters change on every ascent step, so run through
+        # an uncached engine (memoization keys would never repeat anyway)
+        engine = Engine(model, cache=False)
         loss_fn = SoftmaxCrossEntropy()
-        label = int(model.predict_classes(x)[0])
+        label = int(engine.predict_classes(x)[0])
         targets = np.array([label])
 
         # pick the parameters with the largest loss gradient for this input
-        model.zero_grad()
-        logits = model.forward(x, training=False)
-        _, grad_logits = loss_fn.value_and_grad(logits, targets)
-        model.backward(grad_logits)
-        grads = view.flat_grads()
-        model.zero_grad()
+        _, grads = engine.loss_parameter_gradients(x, targets, loss_fn)
         k = min(self.num_parameters, grads.size)
         chosen = np.argsort(-np.abs(grads))[:k]
 
         limit = self.max_relative_change * scale
         for _ in range(self.max_steps):
-            model.zero_grad()
-            logits = model.forward(x, training=False)
-            _, grad_logits = loss_fn.value_and_grad(logits, targets)
-            model.backward(grad_logits)
-            grads = view.flat_grads()
-            model.zero_grad()
+            _, grads = engine.loss_parameter_gradients(x, targets, loss_fn)
 
             flat = view.flat_values()
             flat[chosen] += self.step_size * scale * np.sign(grads[chosen])
@@ -112,7 +106,7 @@ class GradientDescentAttack(ParameterAttack):
             )
             view.set_flat_values(flat)
 
-            if int(model.predict_classes(x)[0]) != label:
+            if int(engine.predict_classes(x)[0]) != label:
                 break
 
         deltas = view.flat_values()[chosen] - original[chosen]

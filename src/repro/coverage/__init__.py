@@ -1,5 +1,8 @@
 """Coverage metrics: the paper's parameter (validation) coverage and the
-neuron-coverage baseline it is compared against."""
+neuron-coverage baseline it is compared against.
+
+Batched mask/coverage computation runs through :mod:`repro.engine`; the
+single-sample functions remain as reference implementations."""
 
 from repro.coverage.activation import ActivationCriterion, default_criterion_for
 from repro.coverage.neuron_coverage import (
@@ -7,13 +10,17 @@ from repro.coverage.neuron_coverage import (
     NeuronMaskCache,
     count_neurons,
     neuron_activation_mask,
+    neuron_activation_masks,
     neuron_coverage,
 )
 from repro.coverage.parameter_coverage import (
     ActivationMaskCache,
     CoverageTracker,
     activation_mask,
+    activation_masks,
     average_sample_coverage,
+    mean_validation_coverage,
+    mean_validation_coverage_reference,
     set_validation_coverage,
     validation_coverage,
 )
@@ -25,11 +32,15 @@ __all__ = [
     "NeuronMaskCache",
     "count_neurons",
     "neuron_activation_mask",
+    "neuron_activation_masks",
     "neuron_coverage",
     "ActivationMaskCache",
     "CoverageTracker",
     "activation_mask",
+    "activation_masks",
     "average_sample_coverage",
+    "mean_validation_coverage",
+    "mean_validation_coverage_reference",
     "set_validation_coverage",
     "validation_coverage",
 ]

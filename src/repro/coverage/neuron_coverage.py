@@ -26,19 +26,18 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine import Engine, neuron_layer_indices, resolve_engine
 from repro.nn.layers import ActivationLayer, Conv2D, Dense
 from repro.nn.model import Sequential
 
 
 def _covered_layer_indices(model: Sequential) -> List[int]:
-    """Indices of layers whose outputs count as neurons."""
-    indices = []
-    for i, layer in enumerate(model.layers):
-        if isinstance(layer, (Conv2D, Dense, ActivationLayer)):
-            indices.append(i)
-    if not indices:
-        raise ValueError("model has no neuron-bearing layers")
-    return indices
+    """Indices of layers whose outputs count as neurons.
+
+    Delegates to :func:`repro.engine.neuron_layer_indices`, the single
+    definition shared with the batched execution engine.
+    """
+    return neuron_layer_indices(model)
 
 
 def count_neurons(model: Sequential) -> int:
@@ -73,6 +72,22 @@ def neuron_activation_mask(
         if i in indices:
             parts.append((out[0] > threshold).ravel())
     return np.concatenate(parts)
+
+
+def neuron_activation_masks(
+    model: Sequential,
+    images: np.ndarray,
+    threshold: float = 0.0,
+    engine: Optional[Engine] = None,
+) -> np.ndarray:
+    """Batched :func:`neuron_activation_mask`: ``(N, num_neurons)`` matrix.
+
+    Row ``i`` equals ``neuron_activation_mask(model, images[i], threshold)``,
+    computed with chunked batched forward passes through the execution
+    engine.
+    """
+    eng = resolve_engine(model, engine=engine, cache=False)
+    return eng.neuron_masks(np.asarray(images), threshold)
 
 
 def neuron_coverage(
@@ -151,18 +166,26 @@ class NeuronCoverageTracker:
 
 
 class NeuronMaskCache:
-    """Precomputed neuron-activation masks for a candidate pool."""
+    """Precomputed neuron-activation masks for a candidate pool.
+
+    Masks are built in chunked batched forward passes through the execution
+    engine instead of one pass per candidate.
+    """
 
     def __init__(
-        self, model: Sequential, images: np.ndarray, threshold: float = 0.0
+        self,
+        model: Sequential,
+        images: np.ndarray,
+        threshold: float = 0.0,
+        engine: Optional[Engine] = None,
     ) -> None:
         images = np.asarray(images)
         self.threshold = float(threshold)
         self._images = images
-        masks = np.zeros((images.shape[0], count_neurons(model)), dtype=bool)
-        for i in range(images.shape[0]):
-            masks[i] = neuron_activation_mask(model, images[i], threshold)
-        self._masks = masks
+        if images.shape[0] == 0:
+            self._masks = np.zeros((0, count_neurons(model)), dtype=bool)
+        else:
+            self._masks = neuron_activation_masks(model, images, threshold, engine)
 
     def __len__(self) -> int:
         return int(self._masks.shape[0])
@@ -191,6 +214,7 @@ class NeuronMaskCache:
 __all__ = [
     "count_neurons",
     "neuron_activation_mask",
+    "neuron_activation_masks",
     "neuron_coverage",
     "NeuronCoverageTracker",
     "NeuronMaskCache",

@@ -1,0 +1,58 @@
+"""Batched execution engine: the vectorised forward/backward hot path.
+
+This subsystem is the library's answer to "make coverage measurement, test
+generation, attacks and validation run as fast as the hardware allows": one
+:class:`~repro.engine.engine.Engine` per model batches every gradient/mask
+query across whole candidate pools, memoizes immutable results keyed by
+``(parameter digest, array fingerprint)``, and routes all execution through a
+pluggable :class:`~repro.engine.backend.ExecutionBackend` so alternative
+executors (multiprocessing, other array libraries) can be added without
+touching the consumers.
+
+Layering: ``repro.engine`` depends only on ``repro.nn`` (plus a lazy default
+criterion lookup); ``repro.coverage``, ``repro.testgen``, ``repro.attacks``,
+``repro.validation`` and ``repro.analysis`` all consume it.
+"""
+
+from repro.engine.backend import (
+    BackendSpec,
+    ExecutionBackend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.engine.cache import (
+    DEFAULT_CACHE_BYTES,
+    DEFAULT_CACHE_ENTRIES,
+    BatchResultCache,
+    CacheStats,
+    array_fingerprint,
+)
+from repro.engine.engine import (
+    DEFAULT_BATCH_SIZE,
+    Engine,
+    neuron_layer_indices,
+    resolve_engine,
+)
+
+__all__ = [
+    # backends
+    "BackendSpec",
+    "ExecutionBackend",
+    "NumpyBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    # cache
+    "DEFAULT_CACHE_BYTES",
+    "DEFAULT_CACHE_ENTRIES",
+    "BatchResultCache",
+    "CacheStats",
+    "array_fingerprint",
+    # engine
+    "DEFAULT_BATCH_SIZE",
+    "Engine",
+    "neuron_layer_indices",
+    "resolve_engine",
+]

@@ -1,0 +1,167 @@
+"""Pluggable execution backends for the batched engine.
+
+The :class:`~repro.engine.engine.Engine` never touches a model's forward or
+backward passes directly — it goes through an :class:`ExecutionBackend`.  The
+default :class:`NumpyBackend` simply delegates to the model's own NumPy
+implementation; the seam exists so future work can add multiprocessing,
+sharded or alternative array backends (the ROADMAP's scaling directions)
+without another cross-cutting rewrite of the coverage/testgen/attack
+consumers.
+
+Backends are registered by name through :func:`register_backend` and resolved
+with :func:`get_backend`, which accepts a name, a backend instance or a
+backend class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Type, Union
+
+import numpy as np
+
+from repro.nn.losses import Loss, get_loss
+from repro.nn.model import Sequential
+
+
+class ExecutionBackend:
+    """Abstract executor of a model's batched forward/backward primitives.
+
+    All methods take the model explicitly so one backend instance can serve
+    several engines (backends are stateless policy objects, not model
+    wrappers).
+    """
+
+    #: registry name; subclasses must override
+    name: str = "backend"
+
+    def forward(self, model: Sequential, x: np.ndarray) -> np.ndarray:
+        """Inference-mode logits for a batch."""
+        raise NotImplementedError
+
+    def forward_collect(self, model: Sequential, x: np.ndarray) -> List[np.ndarray]:
+        """Every layer's output for a batch (neuron-coverage primitive)."""
+        raise NotImplementedError
+
+    def output_gradients(
+        self, model: Sequential, x: np.ndarray, scalarization: str
+    ) -> np.ndarray:
+        """Per-sample flat parameter gradients of the scalarised output,
+        shape ``(N, num_parameters)``."""
+        raise NotImplementedError
+
+    def input_gradients(
+        self,
+        model: Sequential,
+        x: np.ndarray,
+        targets: np.ndarray,
+        loss: Union[str, Loss],
+    ) -> Tuple[float, np.ndarray]:
+        """Loss value and gradient of the loss with respect to the input batch."""
+        raise NotImplementedError
+
+    def loss_parameter_gradients(
+        self,
+        model: Sequential,
+        x: np.ndarray,
+        targets: np.ndarray,
+        loss: Union[str, Loss],
+    ) -> Tuple[float, np.ndarray]:
+        """Loss value and flat parameter gradients of a loss, summed over the
+        batch.
+
+        Runs in inference mode (no dropout): the engine serves analysis and
+        attacks, not training — the :class:`~repro.models.training.Trainer`
+        keeps its own training-mode loop.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.__class__.__name__}()"
+
+
+class NumpyBackend(ExecutionBackend):
+    """Default backend: the model's own single-process NumPy implementation."""
+
+    name = "numpy"
+
+    def forward(self, model: Sequential, x: np.ndarray) -> np.ndarray:
+        return model.forward(x, training=False)
+
+    def forward_collect(self, model: Sequential, x: np.ndarray) -> List[np.ndarray]:
+        return model.forward_collect(x)
+
+    def output_gradients(
+        self, model: Sequential, x: np.ndarray, scalarization: str
+    ) -> np.ndarray:
+        return model.output_gradients_batch(x, scalarization)
+
+    def input_gradients(
+        self,
+        model: Sequential,
+        x: np.ndarray,
+        targets: np.ndarray,
+        loss: Union[str, Loss],
+    ) -> Tuple[float, np.ndarray]:
+        return model.input_gradient(x, targets, loss)
+
+    def loss_parameter_gradients(
+        self,
+        model: Sequential,
+        x: np.ndarray,
+        targets: np.ndarray,
+        loss: Union[str, Loss],
+    ) -> Tuple[float, np.ndarray]:
+        loss_fn = get_loss(loss)
+        model.zero_grad()
+        logits = model.forward(x, training=False)
+        value, grad_logits = loss_fn.value_and_grad(logits, targets)
+        model.backward(grad_logits)
+        flat = model.parameter_view().flat_grads()
+        model.zero_grad()
+        return value, flat
+
+
+_BACKENDS: Dict[str, Type[ExecutionBackend]] = {}
+
+BackendSpec = Union[str, ExecutionBackend, Type[ExecutionBackend]]
+
+
+def register_backend(cls: Type[ExecutionBackend]) -> Type[ExecutionBackend]:
+    """Register a backend class under its ``name`` (usable as a decorator)."""
+    name = cls.name
+    if not name or name == ExecutionBackend.name:
+        raise ValueError(f"backend class {cls.__name__} must define a unique name")
+    _BACKENDS[name] = cls
+    return cls
+
+
+def available_backends() -> List[str]:
+    """Names of all registered backends."""
+    return sorted(_BACKENDS)
+
+
+def get_backend(spec: BackendSpec = "numpy") -> ExecutionBackend:
+    """Resolve a backend from a name, instance or class."""
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if isinstance(spec, type) and issubclass(spec, ExecutionBackend):
+        return spec()
+    try:
+        return _BACKENDS[spec]()
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown backend {spec!r}; choose from {available_backends()}"
+        ) from exc
+
+
+register_backend(NumpyBackend)
+
+
+__all__ = [
+    "ExecutionBackend",
+    "NumpyBackend",
+    "BackendSpec",
+    "register_backend",
+    "available_backends",
+    "get_backend",
+]

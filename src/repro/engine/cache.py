@@ -1,0 +1,155 @@
+"""Memoization layer for the batched execution engine.
+
+The engine repeatedly evaluates the *same* immutable quantities — forward
+logits, per-sample output-gradient matrices, activation masks — for the same
+(model, batch) pairs: the greedy selection loop, the combined method's
+switch-point probe and the ablation sweeps all revisit the candidate pool.
+This module provides the two pieces that make those revisits free:
+
+* :func:`array_fingerprint` — a content hash of an ndarray (dtype, shape and
+  raw bytes), used together with the model's parameter digest to key results;
+* :class:`BatchResultCache` — a small bounded LRU mapping from those keys to
+  computed arrays, with hit/miss statistics for observability.
+
+Keys include the model's parameter digest, so a cache never returns results
+computed against parameters that have since been perturbed (entries for the
+old parameters simply stop matching and age out of the LRU).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional, Tuple
+
+import numpy as np
+
+#: default number of memoized results kept per engine
+DEFAULT_CACHE_ENTRIES = 128
+
+#: default cap on the total ndarray bytes a cache may pin (256 MiB); large
+#: per-sample gradient matrices are evicted LRU-first once the budget is hit
+DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+
+
+def array_fingerprint(array: np.ndarray) -> str:
+    """Content fingerprint of an array: SHA-1 over dtype, shape and bytes.
+
+    Two arrays get the same fingerprint exactly when they compare equal
+    elementwise with identical dtype and shape.  The array is made contiguous
+    if needed; the cost is one linear pass over the data, which is orders of
+    magnitude cheaper than the forward/backward passes the fingerprint
+    memoizes.
+    """
+    arr = np.ascontiguousarray(array)
+    hasher = hashlib.sha1()
+    hasher.update(str(arr.dtype).encode("utf-8"))
+    hasher.update(repr(arr.shape).encode("utf-8"))
+    hasher.update(arr.tobytes())
+    return hasher.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of a :class:`BatchResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+def _value_nbytes(value: Any) -> int:
+    """Approximate resident size of a cached value (ndarray-aware)."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (tuple, list)):
+        return sum(_value_nbytes(v) for v in value)
+    return 0
+
+
+class BatchResultCache:
+    """LRU cache from hashable keys to computed results, bounded both by
+    entry count and by total ndarray bytes.
+
+    The byte bound matters more than the entry count in practice: one
+    memoized per-sample gradient matrix for a large candidate pool can be
+    hundreds of megabytes, so a count-only bound could pin gigabytes.
+
+    Values are stored as-is (no copies); callers must treat returned arrays
+    as read-only.  The engine enforces this by setting ``writeable=False`` on
+    arrays it caches.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_CACHE_ENTRIES,
+        max_bytes: int = DEFAULT_CACHE_BYTES,
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._nbytes = 0
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Total ndarray bytes currently pinned by the cache."""
+        return self._nbytes
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Look up a key, refreshing its LRU position; ``None`` on miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting least-recently-used entries
+        until both the entry-count and byte budgets are satisfied.
+
+        A single value larger than ``max_bytes`` is not cached at all (it
+        would only evict everything else and then be evicted next)."""
+        size = _value_nbytes(value)
+        if size > self.max_bytes:
+            return
+        if key in self._entries:
+            self._nbytes -= _value_nbytes(self._entries[key])
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        self._nbytes += size
+        while len(self._entries) > self.max_entries or self._nbytes > self.max_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._nbytes -= _value_nbytes(evicted)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._nbytes = 0
+
+
+__all__ = [
+    "DEFAULT_CACHE_ENTRIES",
+    "array_fingerprint",
+    "CacheStats",
+    "BatchResultCache",
+]

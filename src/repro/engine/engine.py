@@ -1,0 +1,398 @@
+"""The batched execution engine.
+
+Every experiment in the reproduction — coverage measurement (Fig. 2), greedy
+test selection (Alg. 1), gradient-based generation (Alg. 2) and the
+detection-rate sweeps (Tables II/III) — ultimately needs one of a small set
+of quantities: forward logits, per-sample parameter gradients of the
+scalarised output, activation masks, neuron masks, input gradients.  The
+:class:`Engine` computes all of them *batched*, so NumPy amortizes each layer
+operation across the whole candidate pool instead of re-dispatching per
+image, and memoizes the immutable ones so revisits (the greedy loop, the
+combined method's switch probe, the ablation sweeps) are free.
+
+Key properties:
+
+* **Batched** — one forward/backward over ``N`` samples instead of ``N``
+  single-sample passes; large pools are processed in chunks of
+  ``batch_size`` to bound transient memory.
+* **Memoizing** — results are cached keyed by ``(operation, parameter
+  digest, array fingerprint, options)``.  Because the model's parameter
+  digest is part of the key, perturbing the model (as the attacks do) can
+  never yield stale results; entries for old parameters simply stop
+  matching.
+* **Backend-pluggable** — all execution goes through an
+  :class:`~repro.engine.backend.ExecutionBackend`; the default
+  :class:`~repro.engine.backend.NumpyBackend` runs the model's own NumPy
+  passes in-process.
+
+Use :class:`Engine` whenever the same model is queried for more than a
+handful of samples; use raw ``Model.forward`` for one-off single-sample
+queries where the engine's hashing overhead is not worth paying.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.engine.backend import BackendSpec, ExecutionBackend, get_backend
+from repro.engine.cache import (
+    DEFAULT_CACHE_BYTES,
+    DEFAULT_CACHE_ENTRIES,
+    BatchResultCache,
+    CacheStats,
+    array_fingerprint,
+)
+from repro.nn.layers import ActivationLayer, Conv2D, Dense
+from repro.nn.losses import Loss
+from repro.nn.model import SCALARIZATIONS, Sequential
+from repro.nn.serialization import parameter_digest
+from repro.utils.logging import get_logger
+
+logger = get_logger("engine")
+
+#: default chunk size for processing large candidate pools
+DEFAULT_BATCH_SIZE = 64
+
+
+def resolve_engine(
+    model: Sequential,
+    criterion: Optional[object] = None,
+    engine: Optional["Engine"] = None,
+    cache: bool = True,
+) -> "Engine":
+    """Return the caller's engine after checking ownership, or build one.
+
+    The single shared implementation of the "optional ``engine`` parameter"
+    convention: a provided engine must be bound to ``model``; otherwise a
+    fresh engine is built.  Callers constructing an engine for a single
+    query should pass ``cache=False`` — memoizing a one-shot result would
+    only pay hashing costs for keys that can never be hit again.
+    """
+    if engine is not None:
+        if engine.model is not model:
+            raise ValueError("engine is bound to a different model")
+        return engine
+    return Engine(model, criterion=criterion, cache=cache)
+
+
+def neuron_layer_indices(model: Sequential) -> List[int]:
+    """Indices of layers whose outputs count as neurons.
+
+    "Neurons" are the scalar post-activation outputs of every layer that has
+    parameters or applies a non-linearity (convolution feature-map cells,
+    dense units, standalone activations); pooling/flatten outputs introduce
+    no new neurons.  This is the single definition shared by the engine and
+    :mod:`repro.coverage.neuron_coverage`.
+    """
+    indices = [
+        i
+        for i, layer in enumerate(model.layers)
+        if isinstance(layer, (Conv2D, Dense, ActivationLayer))
+    ]
+    if not indices:
+        raise ValueError("model has no neuron-bearing layers")
+    return indices
+
+
+class Engine:
+    """Batched, memoizing executor of a model's coverage-relevant queries.
+
+    Parameters
+    ----------
+    model:
+        The built model this engine serves.  The engine never mutates it
+        (parameter gradients are read out per sample, not accumulated).
+    criterion:
+        Default activation criterion for :meth:`activation_masks`; resolved
+        with :func:`repro.coverage.activation.default_criterion_for` when
+        omitted.
+    backend:
+        Backend name, instance or class; see :mod:`repro.engine.backend`.
+    batch_size:
+        Chunk size used when a query's batch is larger; bounds the transient
+        memory of im2col buffers and per-sample gradient stacks.
+    cache:
+        Whether to memoize results.  Disable for models whose parameters
+        change on every call (e.g. inside attack loops) to skip the hashing
+        work.
+    cache_entries:
+        LRU entry capacity of the memo cache.
+    cache_bytes:
+        LRU byte budget of the memo cache (per-sample gradient matrices for
+        large pools dominate; least-recently-used entries are evicted once
+        the budget is exceeded).
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        criterion: Optional[object] = None,
+        backend: BackendSpec = "numpy",
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        cache: bool = True,
+        cache_entries: int = DEFAULT_CACHE_ENTRIES,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+    ) -> None:
+        if not model.built:
+            raise ValueError("Engine requires a built model")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.model = model
+        if criterion is None:
+            # imported lazily: repro.coverage depends on repro.engine, not
+            # the other way around
+            from repro.coverage.activation import default_criterion_for
+
+            criterion = default_criterion_for(model)
+        self.criterion = criterion
+        self.backend: ExecutionBackend = get_backend(backend)
+        self.batch_size = int(batch_size)
+        self._cache: Optional[BatchResultCache] = (
+            BatchResultCache(cache_entries, cache_bytes) if cache else None
+        )
+
+    # -- cache plumbing ------------------------------------------------------
+    @property
+    def cache_enabled(self) -> bool:
+        return self._cache is not None
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss statistics (zeros when caching is disabled)."""
+        return self._cache.stats if self._cache is not None else CacheStats()
+
+    def invalidate(self) -> None:
+        """Drop all memoized results.
+
+        Not required for correctness after the model's parameters change —
+        keys embed the parameter digest, so stale entries can never be
+        returned — but frees their memory immediately.
+        """
+        if self._cache is not None:
+            self._cache.clear()
+
+    def _memoized(self, op: str, batch: np.ndarray, extra: tuple, compute):
+        if self._cache is None:
+            return compute()
+        key = (op, parameter_digest(self.model), array_fingerprint(batch), extra)
+        value = self._cache.get(key)
+        if value is None:
+            value = compute()
+            if isinstance(value, np.ndarray):
+                value.setflags(write=False)
+            self._cache.put(key, value)
+        return value
+
+    # -- batching plumbing ---------------------------------------------------
+    def _as_batch(self, batch: np.ndarray) -> np.ndarray:
+        batch = np.asarray(batch, dtype=np.float64)
+        expected = self.model.input_shape or ()
+        if batch.ndim == len(expected):
+            # promote a single sample to a batch of one
+            batch = batch[None, ...]
+        if batch.ndim != len(expected) + 1 or tuple(batch.shape[1:]) != tuple(expected):
+            raise ValueError(
+                f"batch must have per-sample shape {expected}, got array of "
+                f"shape {batch.shape}"
+            )
+        if batch.shape[0] == 0:
+            raise ValueError("cannot execute an empty batch")
+        return batch
+
+    def _chunks(self, n: int) -> Iterator[slice]:
+        for start in range(0, n, self.batch_size):
+            yield slice(start, min(start + self.batch_size, n))
+
+    # -- forward queries -----------------------------------------------------
+    def forward(self, batch: np.ndarray) -> np.ndarray:
+        """Inference-mode logits for a batch, chunked and memoized."""
+        batch = self._as_batch(batch)
+
+        def compute() -> np.ndarray:
+            return np.concatenate(
+                [self.backend.forward(self.model, batch[s]) for s in self._chunks(batch.shape[0])],
+                axis=0,
+            )
+
+        return self._memoized("forward", batch, (), compute)
+
+    def predict_classes(self, batch: np.ndarray) -> np.ndarray:
+        """Predicted class index per sample (through the memoized forward)."""
+        return np.argmax(self.forward(batch), axis=1)
+
+    # -- gradient queries ----------------------------------------------------
+    def output_gradients(
+        self, batch: np.ndarray, scalarization: Optional[str] = None
+    ) -> np.ndarray:
+        """Per-sample flat parameter gradients ``∇θ F(x_i)``, shape ``(N, P)``.
+
+        Row ``i`` matches ``model.output_gradients(batch[i])`` to floating-
+        point equivalence, computed in one batched backward pass per chunk.
+        """
+        batch = self._as_batch(batch)
+        scal = scalarization or getattr(self.criterion, "scalarization", "sum")
+        if scal not in SCALARIZATIONS:
+            raise ValueError(
+                f"unknown scalarization {scal!r}; choose from {SCALARIZATIONS}"
+            )
+
+        def compute() -> np.ndarray:
+            return np.concatenate(
+                [
+                    self.backend.output_gradients(self.model, batch[s], scal)
+                    for s in self._chunks(batch.shape[0])
+                ],
+                axis=0,
+            )
+
+        # "max" and "predicted" both seed the backward pass with a one-hot at
+        # the argmax logit, so their gradient matrices are identical — share
+        # one cache entry
+        key_scal = "max" if scal == "predicted" else scal
+        return self._memoized("output_gradients", batch, (key_scal,), compute)
+
+    def input_gradients(
+        self,
+        batch: np.ndarray,
+        targets: np.ndarray,
+        loss: Union[str, Loss] = "cross_entropy",
+    ) -> Tuple[float, np.ndarray]:
+        """Loss value and input-gradient batch (Algorithm 2 / GDA primitive).
+
+        Not chunked (batch losses normalise by ``N``) and not memoized: the
+        synthesis loop feeds a fresh input every step, so hashing would be
+        pure overhead.
+        """
+        batch = self._as_batch(batch)
+        return self.backend.input_gradients(self.model, batch, targets, loss)
+
+    def loss_parameter_gradients(
+        self,
+        batch: np.ndarray,
+        targets: np.ndarray,
+        loss: Union[str, Loss] = "cross_entropy",
+    ) -> Tuple[float, np.ndarray]:
+        """Loss value and flat parameter gradients of a training loss.
+
+        Summed over the batch (ordinary training semantics); used by the GDA
+        attack, which perturbs the model between calls — hence no memoization.
+        """
+        batch = self._as_batch(batch)
+        return self.backend.loss_parameter_gradients(self.model, batch, targets, loss)
+
+    # -- mask queries --------------------------------------------------------
+    def activation_masks(
+        self, batch: np.ndarray, criterion: Optional[object] = None
+    ) -> np.ndarray:
+        """Boolean per-parameter activation masks, shape ``(N, P)``.
+
+        Row ``i`` equals ``activation_mask(model, batch[i], criterion)``.
+        Gradients are thresholded chunk by chunk, so peak memory is one
+        chunk's float64 gradients plus the boolean mask matrix — the full
+        ``(N, P)`` float64 matrix is never materialized (callers that need
+        it, like the ε-ablation sweep, use :meth:`output_gradients`
+        directly).  If that gradient matrix happens to be memoized already,
+        it is re-thresholded instead of recomputed.
+        """
+        crit = criterion or self.criterion
+        batch = self._as_batch(batch)
+        scal = getattr(crit, "scalarization", "sum")
+        if scal not in SCALARIZATIONS:
+            raise ValueError(
+                f"unknown scalarization {scal!r}; choose from {SCALARIZATIONS}"
+            )
+        key_scal = "max" if scal == "predicted" else scal
+        if self._cache is not None:
+            grads_key = (
+                "output_gradients",
+                parameter_digest(self.model),
+                array_fingerprint(batch),
+                (key_scal,),
+            )
+            grads = self._cache.get(grads_key)
+            if grads is not None:
+                return crit.activated(grads)
+
+        def compute() -> np.ndarray:
+            return np.concatenate(
+                [
+                    crit.activated(
+                        self.backend.output_gradients(self.model, batch[s], scal)
+                    )
+                    for s in self._chunks(batch.shape[0])
+                ],
+                axis=0,
+            )
+
+        epsilon = getattr(crit, "epsilon", None)
+        return self._memoized("activation_masks", batch, (key_scal, epsilon), compute)
+
+    def neuron_masks(self, batch: np.ndarray, threshold: float = 0.0) -> np.ndarray:
+        """Boolean per-neuron activation masks, shape ``(N, num_neurons)``.
+
+        Row ``i`` equals ``neuron_activation_mask(model, batch[i], threshold)``
+        — the DeepXplore-style criterion over every neuron-bearing layer's
+        post-activation outputs, computed layer-batched.
+        """
+        batch = self._as_batch(batch)
+        threshold = float(threshold)
+        indices = neuron_layer_indices(self.model)
+
+        def compute() -> np.ndarray:
+            rows = []
+            for s in self._chunks(batch.shape[0]):
+                chunk = batch[s]
+                outputs = self.backend.forward_collect(self.model, chunk)
+                parts = [
+                    (outputs[i] > threshold).reshape(chunk.shape[0], -1)
+                    for i in indices
+                ]
+                rows.append(np.concatenate(parts, axis=1))
+            return np.concatenate(rows, axis=0)
+
+        return self._memoized("neuron_masks", batch, (threshold,), compute)
+
+    # -- coverage aggregates -------------------------------------------------
+    def per_sample_coverage(
+        self, batch: np.ndarray, criterion: Optional[object] = None
+    ) -> np.ndarray:
+        """``VC(x_i)`` of every sample in the batch (Eq. 3, vectorised)."""
+        return self.activation_masks(batch, criterion).mean(axis=1)
+
+    def mean_validation_coverage(
+        self, batch: np.ndarray, criterion: Optional[object] = None
+    ) -> float:
+        """``mean_i VC(x_i)`` — the Fig. 2 quantity — in one batched pass."""
+        return float(self.per_sample_coverage(batch, criterion).mean())
+
+    def union_mask(
+        self, batch: np.ndarray, criterion: Optional[object] = None
+    ) -> np.ndarray:
+        """Parameters activated by at least one sample of the batch.
+
+        An empty batch is a valid (empty) test set: it activates nothing, so
+        the result is all-False — matching
+        :func:`repro.coverage.parameter_coverage.set_validation_coverage`.
+        """
+        if np.asarray(batch).shape[:1] == (0,):
+            return np.zeros(self.model.num_parameters(), dtype=bool)
+        return self.activation_masks(batch, criterion).any(axis=0)
+
+    def set_validation_coverage(
+        self, batch: np.ndarray, criterion: Optional[object] = None
+    ) -> float:
+        """``VC(X)`` of the whole batch as a test set (Eq. 4-5, vectorised).
+
+        ``0.0`` for an empty batch, like the module-level function."""
+        return float(self.union_mask(batch, criterion).mean())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Engine(model={self.model.name!r}, backend={self.backend.name!r}, "
+            f"batch_size={self.batch_size}, cache={self.cache_enabled})"
+        )
+
+
+__all__ = ["DEFAULT_BATCH_SIZE", "Engine", "neuron_layer_indices", "resolve_engine"]

@@ -10,6 +10,16 @@ passes.  Crucially for the paper's method it exposes
 * input gradients of a loss (gradient-based test generation, Section IV-C,
   and the GDA attack), and
 * parameter gradients of a loss (training and the GDA attack).
+
+Besides the single-sample queries, every layer implements
+``backward_batch`` — a backward pass that keeps parameter gradients
+*separate per sample* instead of summing them over the batch — and
+:meth:`~repro.nn.model.Sequential.output_gradients_batch` builds the whole
+``(N, num_parameters)`` gradient matrix in one pass.  These are the
+primitives of the batched execution layer in :mod:`repro.engine`; use an
+:class:`~repro.engine.Engine` (which adds chunking, memoization and backend
+selection on top) rather than calling them or raw ``Model.forward``
+directly whenever a model is queried repeatedly or for many samples.
 """
 
 from repro.nn.activations import (

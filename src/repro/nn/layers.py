@@ -15,6 +15,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+#: alias for the ``(input_gradient, per_sample_parameter_gradients)`` pair
+#: returned by :meth:`Layer.backward_batch`
+BatchBackwardResult = Tuple["np.ndarray", List["np.ndarray"]]
+
 import numpy as np
 
 from repro.nn.activations import Activation, get_activation
@@ -50,6 +54,34 @@ class Layer:
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    def backward_batch(
+        self, grad_out: np.ndarray, need_input_grad: bool = True
+    ) -> BatchBackwardResult:
+        """Backward pass that keeps parameter gradients separate per sample.
+
+        Returns ``(grad_input, per_sample_grads)`` where ``per_sample_grads``
+        holds one array of shape ``(N, *param.shape)`` per entry of
+        :meth:`parameters` (in the same order).  Unlike :meth:`backward`,
+        nothing is accumulated into ``Parameter.grad`` — the per-sample
+        gradients are returned to the caller, which is what the batched
+        execution engine needs to build activation masks for a whole
+        candidate pool in one pass.
+
+        ``need_input_grad=False`` lets the bottom-most layer of a network
+        skip the (potentially expensive) input-gradient computation and
+        return ``None`` in its place.
+
+        The default implementation is only valid for parameterless layers
+        (their backward is already independent per sample); layers with
+        parameters must override it.
+        """
+        if self.parameters():
+            raise NotImplementedError(
+                f"{self.__class__.__name__} has parameters but does not "
+                "implement backward_batch"
+            )
+        return self.backward(grad_out), []
 
     # -- parameters --------------------------------------------------------------
     def parameters(self) -> List[Parameter]:
@@ -121,7 +153,7 @@ class Dense(Layer):
             raise RuntimeError(f"layer {self.name!r} has not been built")
         z = x @ self.weight.value
         if self.bias is not None:
-            z = z + self.bias.value
+            z += self.bias.value  # z is freshly allocated by the matmul
         y = self.activation.forward(z)
         self._cache = {"x": x, "z": z, "y": y}
         return y
@@ -136,6 +168,21 @@ class Dense(Layer):
         if self.bias is not None:
             self.bias.grad += grad_z.sum(axis=0)
         return grad_z @ self.weight.value.T
+
+    def backward_batch(
+        self, grad_out: np.ndarray, need_input_grad: bool = True
+    ) -> BatchBackwardResult:
+        if not self._cache:
+            raise RuntimeError(f"backward called before forward on {self.name!r}")
+        x, z, y = self._cache["x"], self._cache["z"], self._cache["y"]
+        grad_z = self.activation.backward(z, y, grad_out)
+        assert self.weight is not None
+        # per-sample outer products x_n ⊗ grad_z_n, shape (N, in, units)
+        grads = [x[:, :, None] * grad_z[:, None, :]]
+        if self.bias is not None:
+            grads.append(grad_z)
+        grad_in = grad_z @ self.weight.value.T if need_input_grad else None
+        return grad_in, grads
 
     def parameters(self) -> List[Parameter]:
         params = [self.weight] if self.weight is not None else []
@@ -158,10 +205,23 @@ def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return out
 
 
+#: memoized patch-index arrays; keyed by the full geometry, so the handful of
+#: distinct layer shapes in a model each build their indices exactly once
+_INDEX_CACHE: Dict[
+    Tuple[int, int, int, int, int, int, int],
+    Tuple[np.ndarray, np.ndarray, np.ndarray, int, int],
+] = {}
+
+
 def _im2col_indices(
     c: int, h: int, w: int, kh: int, kw: int, stride: int, padding: int
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
-    """Index arrays mapping an image to its patch matrix."""
+    """Index arrays mapping an image to its patch matrix (memoized)."""
+    key = (c, h, w, kh, kw, stride, padding)
+    cached = _INDEX_CACHE.get(key)
+    if cached is not None:
+        return cached
+
     out_h = _conv_output_size(h, kh, stride, padding)
     out_w = _conv_output_size(w, kw, stride, padding)
 
@@ -174,6 +234,9 @@ def _im2col_indices(
     i = i0.reshape(-1, 1) + i1.reshape(1, -1)  # (c*kh*kw, out_h*out_w)
     j = j0.reshape(-1, 1) + j1.reshape(1, -1)
     k = np.repeat(np.arange(c), kh * kw).reshape(-1, 1)
+    if len(_INDEX_CACHE) >= 256:  # bound the cache for long-lived processes
+        _INDEX_CACHE.clear()
+    _INDEX_CACHE[key] = (k, i, j, out_h, out_w)
     return k, i, j, out_h, out_w
 
 
@@ -196,8 +259,16 @@ def im2col(
         x = np.pad(
             x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
         )
-    k, i, j, out_h, out_w = _im2col_indices(c, h, w, kh, kw, stride, padding)
-    cols = x[:, k, i, j]
+    out_h = _conv_output_size(h, kh, stride, padding)
+    out_w = _conv_output_size(w, kw, stride, padding)
+    # a strided window view plus one contiguous copy is several times faster
+    # than an advanced-indexing gather, and yields a C-contiguous (N, K, P)
+    # patch matrix so the matmuls that consume it hit the fast BLAS path
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]  # (N, C, out_h, out_w, kh, kw)
+    cols = np.ascontiguousarray(windows.transpose(0, 1, 4, 5, 2, 3)).reshape(
+        n, c * kh * kw, out_h * out_w
+    )
     return cols, out_h, out_w
 
 
@@ -211,6 +282,18 @@ def col2im(
 ) -> np.ndarray:
     """Inverse of :func:`im2col` with accumulation of overlapping patches."""
     n, c, h, w = x_shape
+    if padding == 0 and stride == kh == kw:
+        # non-overlapping tiling (the pooling layout): every input pixel is
+        # touched by at most one patch, so the scatter-add degenerates into a
+        # reshape/transpose assignment — much faster than np.add.at
+        out_h = _conv_output_size(h, kh, stride, 0)
+        out_w = _conv_output_size(w, kw, stride, 0)
+        x = np.zeros((n, c, h, w), dtype=cols.dtype)
+        g = cols.reshape(n, c, kh, kw, out_h, out_w)
+        x[:, :, : out_h * kh, : out_w * kw] = g.transpose(0, 1, 4, 2, 5, 3).reshape(
+            n, c, out_h * kh, out_w * kw
+        )
+        return x
     h_pad, w_pad = h + 2 * padding, w + 2 * padding
     x_pad = np.zeros((n, c, h_pad, w_pad), dtype=cols.dtype)
     k, i, j, _, _ = _im2col_indices(c, h, w, kh, kw, stride, padding)
@@ -308,9 +391,9 @@ class Conv2D(Layer):
         pad = self._padding()
         cols, out_h, out_w = im2col(x, kh, kw, self.stride, pad)
         w_mat = self.weight.value.reshape(self.filters, -1)  # (F, C*kh*kw)
-        z = np.einsum("fk,nkp->nfp", w_mat, cols)
+        z = np.matmul(w_mat, cols)  # (F, K) @ (N, K, P) -> (N, F, P) via BLAS
         if self.bias is not None:
-            z = z + self.bias.value[None, :, None]
+            z += self.bias.value[None, :, None]  # z is fresh from the matmul
         z = z.reshape(n, self.filters, out_h, out_w)
         y = self.activation.forward(z)
         self._cache = {"x_shape": np.array(x.shape), "cols": cols, "z": z, "y": y}
@@ -338,6 +421,47 @@ class Conv2D(Layer):
 
         grad_cols = np.einsum("fk,nfp->nkp", w_mat, grad_z_mat)
         return col2im(grad_cols, x_shape, kh, kw, self.stride, pad)
+
+    def backward_batch(
+        self, grad_out: np.ndarray, need_input_grad: bool = True
+    ) -> BatchBackwardResult:
+        if not self._cache:
+            raise RuntimeError(f"backward called before forward on {self.name!r}")
+        cols = self._cache["cols"]
+        z, y = self._cache["z"], self._cache["y"]
+        x_shape = tuple(int(v) for v in self._cache["x_shape"])
+        n = x_shape[0]
+        kh, kw = self.kernel_size
+        pad = self._padding()
+
+        grad_z = self.activation.backward(z, y, grad_out)
+        grad_z_mat = grad_z.reshape(n, self.filters, -1)  # (N, F, P)
+
+        assert self.weight is not None
+        w_mat = self.weight.value.reshape(self.filters, -1)
+        # contract only over patch positions, keeping the sample axis; matmul
+        # dispatches to batched BLAS where an equivalent einsum would not
+        grad_w = np.matmul(grad_z_mat, cols.transpose(0, 2, 1))  # (N, F, K)
+        grads = [grad_w.reshape(n, *self.weight.value.shape)]
+        if self.bias is not None:
+            grads.append(grad_z_mat.sum(axis=2))
+
+        if not need_input_grad:
+            return None, grads
+        _, _, h, w = x_shape
+        flip_pad = kh - 1 - pad
+        if self.stride == 1 and kh == kw and flip_pad >= 0:
+            # input gradient as a *full correlation* of grad_z with the
+            # spatially flipped kernels: an im2col gather plus one batched
+            # matmul, avoiding col2im's scatter-add entirely
+            grad_z_img = grad_z_mat.reshape(n, self.filters, *z.shape[2:])
+            gcols, _, _ = im2col(grad_z_img, kh, kw, 1, flip_pad)
+            w_flip = self.weight.value[:, :, ::-1, ::-1]  # (F, C, kh, kw)
+            w_flip_mat = w_flip.transpose(1, 0, 2, 3).reshape(x_shape[1], -1)
+            grad_x = np.matmul(w_flip_mat, gcols)  # (C, F*kh*kw) @ (N, ., P)
+            return grad_x.reshape(n, x_shape[1], h, w), grads
+        grad_cols = np.matmul(w_mat.T, grad_z_mat)  # (N, K, P)
+        return col2im(grad_cols, x_shape, kh, kw, self.stride, pad), grads
 
     def parameters(self) -> List[Parameter]:
         params = [self.weight] if self.weight is not None else []
@@ -517,6 +641,7 @@ class ActivationLayer(Layer):
 
 
 __all__ = [
+    "BatchBackwardResult",
     "Layer",
     "Dense",
     "Conv2D",

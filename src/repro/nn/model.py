@@ -143,6 +143,64 @@ class Sequential:
             grad = layer.backward(grad)
         return grad
 
+    def backward_batch(
+        self, grad_out: np.ndarray, need_input_grad: bool = True
+    ) -> Tuple[Optional[np.ndarray], np.ndarray]:
+        """Backpropagate an output gradient, keeping parameter gradients per sample.
+
+        Returns ``(input_gradient, per_sample_grads)`` where ``per_sample_grads``
+        has shape ``(N, num_parameters)``: row ``n`` is the flat parameter
+        gradient attributable to sample ``n`` alone.  Nothing is accumulated
+        into ``Parameter.grad``, so no :meth:`zero_grad` is needed around this
+        call.  This is the primitive the batched execution engine
+        (:mod:`repro.engine`) builds activation masks from.
+
+        With ``need_input_grad=False`` the bottom layer skips its input-
+        gradient computation and the returned input gradient is ``None``.
+        """
+        grad = np.asarray(grad_out, dtype=np.float64)
+        n = grad.shape[0]
+        per_layer: List[List[np.ndarray]] = []
+        for i in range(len(self.layers) - 1, -1, -1):
+            grad, grads = self.layers[i].backward_batch(
+                grad, need_input_grad=(i > 0 or need_input_grad)
+            )
+            per_layer.append(grads)
+        per_layer.reverse()
+        parts = [g.reshape(n, -1) for grads in per_layer for g in grads]
+        if parts:
+            per_sample = np.concatenate(parts, axis=1)
+        else:
+            per_sample = np.zeros((n, 0), dtype=np.float64)
+        return grad, per_sample
+
+    def output_gradients_batch(
+        self, x: np.ndarray, scalarization: str = "sum"
+    ) -> np.ndarray:
+        """Per-sample flat parameter gradients of the scalarised output.
+
+        The batched counterpart of :meth:`output_gradients`: for a batch of
+        ``N`` samples it returns an ``(N, num_parameters)`` matrix whose row
+        ``i`` equals ``output_gradients(x[i], scalarization)`` (to floating-
+        point equivalence), computed with one forward and one backward pass
+        over the whole batch instead of ``N`` single-sample passes.
+        """
+        if scalarization not in SCALARIZATIONS:
+            raise ValueError(
+                f"unknown scalarization {scalarization!r}; choose from {SCALARIZATIONS}"
+            )
+        x = np.asarray(x, dtype=np.float64)
+        self._check_input(x)
+        logits = self.forward(x, training=False)
+        grad_out = np.zeros_like(logits)
+        if scalarization == "sum":
+            grad_out[:] = 1.0
+        else:
+            rows = np.arange(logits.shape[0])
+            grad_out[rows, np.argmax(logits, axis=1)] = 1.0
+        _, per_sample = self.backward_batch(grad_out, need_input_grad=False)
+        return per_sample
+
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.forward(x, training=False)
 

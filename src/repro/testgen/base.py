@@ -8,6 +8,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.coverage.activation import ActivationCriterion
+from repro.engine import Engine, resolve_engine
 from repro.nn.model import Sequential
 
 
@@ -82,7 +83,13 @@ class GenerationResult:
 
 
 class TestGenerator:
-    """Interface implemented by every functional test generator."""
+    """Interface implemented by every functional test generator.
+
+    Every generator owns (or is handed) a batched execution
+    :class:`~repro.engine.Engine` for the wrapped model; passing a shared
+    engine lets several generators (e.g. the combined method's selector and
+    gradient synthesiser) reuse one memoized mask/gradient cache.
+    """
 
     #: short name used in reports and benchmark tables
     method_name: str = "base"
@@ -91,9 +98,13 @@ class TestGenerator:
         self,
         model: Sequential,
         criterion: Optional[ActivationCriterion] = None,
+        engine: Optional[Engine] = None,
     ) -> None:
         self.model = model
         self.criterion = criterion
+        # generators are long-lived and revisit their pools, so the fallback
+        # engine keeps its memo cache
+        self.engine = resolve_engine(model, criterion, engine)
 
     def generate(self, num_tests: int) -> GenerationResult:
         """Produce ``num_tests`` functional tests for the wrapped model."""

@@ -25,12 +25,9 @@ from typing import List, Optional
 import numpy as np
 
 from repro.coverage.activation import ActivationCriterion, default_criterion_for
-from repro.coverage.parameter_coverage import (
-    ActivationMaskCache,
-    CoverageTracker,
-    activation_mask,
-)
+from repro.coverage.parameter_coverage import ActivationMaskCache, CoverageTracker
 from repro.data.datasets import Dataset
+from repro.engine import Engine
 from repro.nn.model import Sequential
 from repro.testgen.base import GenerationResult, TestGenerator
 from repro.testgen.gradient_gen import GradientTestGenerator
@@ -80,22 +77,26 @@ class CombinedGenerator(TestGenerator):
         switch_policy: str = "adaptive",
         candidate_pool: Optional[int] = None,
         rng: RngLike = None,
+        engine: Optional[Engine] = None,
         **gradient_kwargs: object,
     ) -> None:
-        super().__init__(model, criterion or default_criterion_for(model))
+        super().__init__(model, criterion or default_criterion_for(model), engine)
         self.training_set = training_set
         self.switch_policy = switch_policy
         self._fixed_switch = _parse_switch_policy(switch_policy)
         self._rng = as_generator(rng)
+        # one shared engine: the selector's mask cache and the gradient
+        # generator's synthesis reuse the same memoized batched passes
         self._selector = TrainingSetSelector(
             model,
             training_set,
             criterion=self.criterion,
             candidate_pool=candidate_pool,
             rng=self._rng,
+            engine=self.engine,
         )
         self._gradient = GradientTestGenerator(
-            model, criterion=self.criterion, rng=self._rng, **gradient_kwargs  # type: ignore[arg-type]
+            model, criterion=self.criterion, rng=self._rng, engine=self.engine, **gradient_kwargs  # type: ignore[arg-type]
         )
 
     # -- helpers -------------------------------------------------------------
@@ -113,9 +114,7 @@ class CombinedGenerator(TestGenerator):
         else:
             synthesis_model = self.model
         batch = self._gradient.synthesize_batch(synthesis_model)
-        masks = np.stack(
-            [activation_mask(self.model, s, self.criterion) for s in batch], axis=0
-        )
+        masks = self.engine.activation_masks(batch, self.criterion)
         union = np.zeros(tracker.total_parameters, dtype=bool)
         covered = tracker.covered_mask
         new_total = 0
@@ -179,9 +178,9 @@ class CombinedGenerator(TestGenerator):
                         model = self.model
                     batch = self._gradient.synthesize_batch(model)
                     pending_batch = list(batch)
-                    pending_masks = [
-                        activation_mask(self.model, s, self.criterion) for s in batch
-                    ]
+                    pending_masks = list(
+                        self.engine.activation_masks(batch, self.criterion)
+                    )
                 sample = pending_batch.pop(0)
                 mask = pending_masks.pop(0)
                 gain = tracker.add_mask(mask)

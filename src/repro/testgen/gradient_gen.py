@@ -30,7 +30,8 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.coverage.activation import ActivationCriterion, default_criterion_for
-from repro.coverage.parameter_coverage import CoverageTracker, activation_mask
+from repro.coverage.parameter_coverage import CoverageTracker
+from repro.engine import Engine
 from repro.nn.losses import Loss, get_loss
 from repro.nn.model import Sequential
 from repro.testgen.base import GenerationResult, TestGenerator
@@ -75,8 +76,9 @@ class GradientTestGenerator(TestGenerator):
         init_noise_std: float = 0.01,
         clip_range: Optional[Tuple[float, float]] = (0.0, 1.0),
         rng: RngLike = None,
+        engine: Optional[Engine] = None,
     ) -> None:
-        super().__init__(model, criterion or default_criterion_for(model))
+        super().__init__(model, criterion or default_criterion_for(model), engine)
         if step_size <= 0:
             raise ValueError("step_size must be positive")
         if max_updates <= 0:
@@ -103,8 +105,18 @@ class GradientTestGenerator(TestGenerator):
 
         ``synthesis_model`` is the network the loss is evaluated on; by
         default the wrapped model itself (``"model"`` mode behaviour).
+
+        All ``k`` per-class updates are driven as one batch: every descent
+        step is a single batched input-gradient query through the execution
+        engine rather than ``k`` per-class passes.
         """
         target_model = synthesis_model or self.model
+        if target_model is self.model:
+            engine = self.engine
+        else:
+            # residual scratch copies are used for one round only — a fresh
+            # uncached engine avoids hashing throwaway parameters
+            engine = Engine(target_model, criterion=self.criterion, cache=False)
         k = self.model.num_classes
         shape = (k, *self.model.input_shape)  # type: ignore[misc]
         x = np.zeros(shape, dtype=np.float64)
@@ -114,7 +126,7 @@ class GradientTestGenerator(TestGenerator):
                 np.clip(x, *self.clip_range, out=x)
         targets = np.arange(k)
         for _ in range(self.max_updates):
-            _, grad = target_model.input_gradient(x, targets, self.loss)
+            _, grad = engine.input_gradients(x, targets, self.loss)
             x = x - self.step_size * grad
             if self.clip_range is not None:
                 np.clip(x, *self.clip_range, out=x)
@@ -155,12 +167,12 @@ class GradientTestGenerator(TestGenerator):
             else:
                 synthesis_model = self.model
             batch = self.synthesize_batch(synthesis_model)
-            for sample in batch:
+            # masks for the whole synthetic batch in one engine pass
+            batch_masks = self.engine.activation_masks(batch, self.criterion)
+            for sample, mask in zip(batch, batch_masks):
                 if len(tests) >= num_tests:
                     break
-                gain = own_tracker.add_mask(
-                    activation_mask(self.model, sample, self.criterion)
-                )
+                gain = own_tracker.add_mask(mask)
                 tests.append(sample)
                 gains.append(gain)
                 history.append(own_tracker.coverage)

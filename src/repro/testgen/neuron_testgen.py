@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.coverage.neuron_coverage import NeuronCoverageTracker, NeuronMaskCache
 from repro.data.datasets import Dataset
+from repro.engine import Engine
 from repro.nn.model import Sequential
 from repro.testgen.base import GenerationResult, TestGenerator
 from repro.utils.logging import get_logger
@@ -40,8 +41,9 @@ class NeuronCoverageSelector(TestGenerator):
         threshold: float = 0.0,
         candidate_pool: Optional[int] = None,
         rng: RngLike = None,
+        engine: Optional[Engine] = None,
     ) -> None:
-        super().__init__(model, criterion=None)
+        super().__init__(model, criterion=None, engine=engine)
         if len(training_set) == 0:
             raise ValueError("training set is empty")
         self.training_set = training_set
@@ -59,7 +61,9 @@ class NeuronCoverageSelector(TestGenerator):
                 idx = np.arange(n)
             images = self.training_set.images[idx]
             logger.info("building neuron-mask cache for %d candidates", images.shape[0])
-            self._cache = NeuronMaskCache(self.model, images, self.threshold)
+            self._cache = NeuronMaskCache(
+                self.model, images, self.threshold, engine=self.engine
+            )
         return self._cache
 
     def generate(self, num_tests: int) -> GenerationResult:

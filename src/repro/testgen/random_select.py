@@ -13,8 +13,9 @@ from typing import Optional
 import numpy as np
 
 from repro.coverage.activation import ActivationCriterion, default_criterion_for
-from repro.coverage.parameter_coverage import CoverageTracker
+from repro.coverage.parameter_coverage import CoverageTracker, activation_masks
 from repro.data.datasets import Dataset
+from repro.engine import Engine
 from repro.nn.model import Sequential
 from repro.testgen.base import GenerationResult, TestGenerator
 from repro.utils.rng import RngLike, as_generator
@@ -31,8 +32,9 @@ class RandomSelector(TestGenerator):
         training_set: Dataset,
         criterion: Optional[ActivationCriterion] = None,
         rng: RngLike = None,
+        engine: Optional[Engine] = None,
     ) -> None:
-        super().__init__(model, criterion or default_criterion_for(model))
+        super().__init__(model, criterion or default_criterion_for(model), engine)
         if len(training_set) == 0:
             raise ValueError("training set is empty")
         self.training_set = training_set
@@ -46,9 +48,10 @@ class RandomSelector(TestGenerator):
         tests = self.training_set.images[idx]
 
         tracker = CoverageTracker(self.model, self.criterion)
+        masks = activation_masks(self.model, tests, self.criterion, self.engine)
         history, gains = [], []
-        for sample in tests:
-            gains.append(tracker.add_sample(sample))
+        for mask in masks:
+            gains.append(tracker.add_mask(mask))
             history.append(tracker.coverage)
 
         return GenerationResult(

@@ -17,6 +17,7 @@ import numpy as np
 from repro.coverage.activation import ActivationCriterion, default_criterion_for
 from repro.coverage.parameter_coverage import ActivationMaskCache, CoverageTracker
 from repro.data.datasets import Dataset
+from repro.engine import Engine
 from repro.nn.model import Sequential
 from repro.testgen.base import GenerationResult, TestGenerator
 from repro.utils.logging import get_logger
@@ -48,8 +49,9 @@ class TrainingSetSelector(TestGenerator):
         criterion: Optional[ActivationCriterion] = None,
         candidate_pool: Optional[int] = None,
         rng: RngLike = None,
+        engine: Optional[Engine] = None,
     ) -> None:
-        super().__init__(model, criterion or default_criterion_for(model))
+        super().__init__(model, criterion or default_criterion_for(model), engine)
         if len(training_set) == 0:
             raise ValueError("training set is empty")
         self.training_set = training_set
@@ -71,7 +73,9 @@ class TrainingSetSelector(TestGenerator):
             logger.info(
                 "building activation-mask cache for %d candidates", images.shape[0]
             )
-            self._cache = ActivationMaskCache(self.model, images, self.criterion)
+            self._cache = ActivationMaskCache(
+                self.model, images, self.criterion, engine=self.engine
+            )
         return self._cache
 
     @property
