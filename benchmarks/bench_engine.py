@@ -1,60 +1,51 @@
-"""Micro-benchmark: batched execution engine vs. the per-sample reference path.
+"""Micro-benchmark: batched engine vs per-sample reference, plus backends.
 
-Measures mean validation coverage (the Fig. 2 quantity) over a 100-image pool
-on a Table-I-style MNIST model, comparing
+Built on the shared :mod:`repro.bench` harness (one timing/assertion codepath
+for this script, ``python -m repro.bench`` and CI).  Measures mean validation
+coverage (the Fig. 2 quantity) over a 100-image pool on a Table-I-style MNIST
+model, comparing
 
 * ``mean_validation_coverage_reference`` — one forward/backward pass per
-  image (the pre-engine hot path), against
+  image (the pre-engine hot path),
 * ``mean_validation_coverage`` — chunked batched passes through
-  :class:`repro.engine.Engine`,
+  :class:`repro.engine.Engine` (``NumpyBackend``),
+* the memoized revisit (greedy-loop / ablation-sweep access pattern), and
+* on hosts with ≥ 4 usable cores, the multi-core ``ParallelBackend``.
 
-and additionally reports the memoized revisit time (the greedy loop /
-ablation-sweep access pattern).  The script asserts the acceptance criteria
-of the batched-engine change: ≥5× wall-clock speedup and ≤1e-8 numerical
-equivalence.
+Asserted acceptance criteria:
+
+* ≥ 5× batched-vs-per-sample wall-clock speedup and ≤ 1e-8 equivalence;
+* on ≥ 4-core hosts, ≥ 2× parallel-vs-numpy wall-clock on the 100-image
+  coverage+detection workload at ≤ 1e-8 equivalence.
 
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_engine.py
 
 Set ``BENCH_ENGINE_SKIP_SPEEDUP=1`` to enforce only the numerical-equivalence
-assertion (for shared CI runners whose wall-clock is too noisy for a
-reliable speedup ratio).
+assertions (for shared CI runners whose wall-clock is too noisy for reliable
+speedup ratios).  A ``BENCH_engine.json`` report of every measurement is
+written next to the working directory.
 """
 
 from __future__ import annotations
 
 import os
-import time
 
-import numpy as np
-
+from repro.bench import measure, write_report
 from repro.coverage.parameter_coverage import (
     mean_validation_coverage,
     mean_validation_coverage_reference,
 )
 from repro.data.synth_digits import generate_digits
-from repro.engine import Engine
+from repro.engine import Engine, ParallelBackend, default_worker_count
 from repro.models.zoo import mnist_cnn
 
 POOL_SIZE = 100
 REQUIRED_SPEEDUP = 5.0
+REQUIRED_PARALLEL_SPEEDUP = 2.0
+PARALLEL_MIN_CORES = 4
 TOLERANCE = 1e-8
-
-
-def _best_of(repeats: int, fn) -> tuple[float, float]:
-    """Return ``(best_seconds, value)`` over ``repeats`` timed calls.
-
-    One untimed warm-up call precedes the measurements so allocator and
-    index-cache effects do not pollute either side of the comparison.
-    """
-    value = fn()
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        value = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, value
 
 
 def main() -> None:
@@ -63,43 +54,108 @@ def main() -> None:
     print(f"model: {model.name} ({model.num_parameters()} parameters)")
     print(f"pool:  {POOL_SIZE} images of shape {images.shape[1:]}")
 
-    ref_time, ref_value = _best_of(
-        3, lambda: mean_validation_coverage_reference(model, images)
+    results = []
+
+    reference = measure(
+        "coverage_reference",
+        lambda: mean_validation_coverage_reference(model, images),
+        samples=POOL_SIZE,
+        backend="per-sample",
+        repeats=3,
     )
-    print(f"per-sample reference: {ref_time * 1e3:9.1f} ms  (coverage {ref_value:.6f})")
+    results.append(reference)
+    print(
+        f"per-sample reference: {reference.wall_s * 1e3:9.1f} ms  "
+        f"(coverage {reference.value:.6f})"
+    )
 
     # fresh uncached engine each call: measures the batched compute, not the
     # memo cache
-    batched_time, batched_value = _best_of(
-        5,
-        lambda: mean_validation_coverage(
-            model, images, engine=Engine(model, cache=False)
-        ),
+    batched = measure(
+        "coverage",
+        lambda: mean_validation_coverage(model, images, engine=Engine(model, cache=False)),
+        samples=POOL_SIZE,
+        backend="numpy",
+        repeats=5,
     )
-    print(f"batched engine:       {batched_time * 1e3:9.1f} ms  (coverage {batched_value:.6f})")
+    results.append(batched)
+    print(
+        f"batched engine:       {batched.wall_s * 1e3:9.1f} ms  "
+        f"(coverage {batched.value:.6f})"
+    )
 
     engine = Engine(model)
     engine.mean_validation_coverage(images)  # warm the memo cache
-    cached_time, cached_value = _best_of(
-        3, lambda: engine.mean_validation_coverage(images)
+    cached = measure(
+        "revisit",
+        lambda: engine.mean_validation_coverage(images),
+        samples=POOL_SIZE,
+        backend="numpy",
+        repeats=3,
     )
-    print(f"memoized revisit:     {cached_time * 1e3:9.1f} ms  (coverage {cached_value:.6f})")
+    # read the hit rate after the timed revisits so they are counted
+    cached.cache_hit_rate = engine.stats.hit_rate
+    results.append(cached)
+    print(
+        f"memoized revisit:     {cached.wall_s * 1e3:9.1f} ms  "
+        f"(coverage {cached.value:.6f})"
+    )
 
-    speedup = ref_time / batched_time
-    error = abs(ref_value - batched_value)
+    speedup = reference.wall_s / batched.wall_s
+    error = abs(reference.value - batched.value)
     print(f"\nspeedup (batched vs per-sample): {speedup:.1f}x")
     print(f"numerical difference:            {error:.2e}")
+
+    cores = default_worker_count()
+    parallel_speedup = None
+    parallel_error = None
+    if cores >= PARALLEL_MIN_CORES:
+        backend = ParallelBackend()
+        try:
+            # shared backend keeps the worker pool warm across repeats; the
+            # measured quantity is the coverage+detection-style batched pass
+            par = measure(
+                "coverage",
+                lambda: mean_validation_coverage(
+                    model, images, engine=Engine(model, backend=backend, cache=False)
+                ),
+                samples=POOL_SIZE,
+                backend="parallel",
+                repeats=5,
+            )
+        finally:
+            backend.close()
+        results.append(par)
+        parallel_speedup = batched.wall_s / par.wall_s
+        parallel_error = abs(par.value - batched.value)
+        print(
+            f"parallel backend:     {par.wall_s * 1e3:9.1f} ms  "
+            f"({cores} cores, {parallel_speedup:.1f}x vs numpy)"
+        )
+    else:
+        print(f"parallel backend:     skipped ({cores} usable core(s) < {PARALLEL_MIN_CORES})")
+
+    write_report(results, "BENCH_engine.json", meta={"pool_size": POOL_SIZE})
 
     assert error <= TOLERANCE, (
         f"batched coverage differs from reference by {error:.2e} > {TOLERANCE:.0e}"
     )
-    assert abs(cached_value - batched_value) <= TOLERANCE
+    assert abs(cached.value - batched.value) <= TOLERANCE
+    if parallel_error is not None:
+        assert parallel_error <= TOLERANCE, (
+            f"parallel coverage differs from numpy by {parallel_error:.2e} > {TOLERANCE:.0e}"
+        )
     if os.environ.get("BENCH_ENGINE_SKIP_SPEEDUP"):
-        print(f"OK: ≤{TOLERANCE:.0e} equivalence holds (speedup assertion skipped)")
+        print(f"OK: ≤{TOLERANCE:.0e} equivalence holds (speedup assertions skipped)")
         return
     assert speedup >= REQUIRED_SPEEDUP, (
         f"batched path is only {speedup:.1f}x faster; required ≥{REQUIRED_SPEEDUP}x"
     )
+    if parallel_speedup is not None:
+        assert parallel_speedup >= REQUIRED_PARALLEL_SPEEDUP, (
+            f"parallel backend is only {parallel_speedup:.1f}x faster; "
+            f"required ≥{REQUIRED_PARALLEL_SPEEDUP}x on ≥{PARALLEL_MIN_CORES} cores"
+        )
     print(f"OK: ≥{REQUIRED_SPEEDUP:g}x speedup and ≤{TOLERANCE:.0e} equivalence hold")
 
 

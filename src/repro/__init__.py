@@ -11,9 +11,13 @@ The package is organised as:
   queries (logits, per-sample parameter gradients, activation and neuron
   masks) across whole candidate pools, memoizes immutable results keyed by
   parameter digest + array fingerprint, and routes execution through a
-  pluggable backend.  Every coverage/testgen/attack/validation hot path
-  runs through it; prefer it over raw ``Model.forward`` whenever the same
-  model is queried for more than a handful of samples.
+  pluggable backend — the in-process ``NumpyBackend`` or the multi-core
+  sharded ``ParallelBackend`` — under a compute-dtype policy (float64
+  default, opt-in float32).  Every coverage/testgen/attack/validation hot
+  path runs through it; prefer it over raw ``Model.forward`` whenever the
+  same model is queried for more than a handful of samples.
+* :mod:`repro.bench` — the benchmark harness: workload matrix per backend ×
+  dtype, ``BENCH_engine.json`` reports, and the CI regression gate.
 * :mod:`repro.data` — synthetic stand-ins for MNIST, CIFAR-10, ImageNet and
   noise image populations.
 * :mod:`repro.models` — the Table-I architectures and a trainer.

@@ -1,0 +1,75 @@
+"""Benchmark-harness subsystem: measured, recorded, regression-gated speed.
+
+``repro.bench`` turns the engine's performance from folklore into data:
+
+* :mod:`repro.bench.harness` — the single timing/reporting codepath
+  (warmed best-of-N timing, the versioned ``BENCH_engine.json`` schema,
+  regression comparison against a previous report);
+* :mod:`repro.bench.workloads` — the forward/gradient/mask/coverage/
+  detection workload matrix across backends and compute dtypes;
+* ``python -m repro.bench`` — the CLI that runs the matrix, writes the
+  report and (given ``--baseline``) fails on a >threshold slowdown.
+
+CI runs ``python -m repro.bench --quick`` as the ``bench-smoke`` job,
+uploads ``BENCH_engine.json`` as an artifact, and gates against
+``benchmarks/BENCH_baseline.json``; set ``BENCH_SKIP_REGRESSION=1`` to
+demote the gate to warnings on noisy runners.
+"""
+
+from repro.bench.harness import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    ENV_SKIP_REGRESSION,
+    SCHEMA_VERSION,
+    BenchmarkResult,
+    Regression,
+    best_of,
+    compare_reports,
+    host_info,
+    hosts_comparable,
+    load_report,
+    measure,
+    peak_rss_bytes,
+    regression_gate_skipped,
+    report_results,
+    write_report,
+)
+from repro.bench.workloads import (
+    DEFAULT_POOL_SIZE,
+    QUICK_POOL_SIZE,
+    WORKLOAD_NAMES,
+    build_model,
+    build_pool,
+    default_backends,
+    parallel_speedup,
+    run_benchmark_matrix,
+    run_workloads,
+)
+
+__all__ = [
+    # harness
+    "SCHEMA_VERSION",
+    "ENV_SKIP_REGRESSION",
+    "DEFAULT_REGRESSION_THRESHOLD",
+    "BenchmarkResult",
+    "Regression",
+    "best_of",
+    "compare_reports",
+    "host_info",
+    "hosts_comparable",
+    "load_report",
+    "measure",
+    "peak_rss_bytes",
+    "regression_gate_skipped",
+    "report_results",
+    "write_report",
+    # workloads
+    "DEFAULT_POOL_SIZE",
+    "QUICK_POOL_SIZE",
+    "WORKLOAD_NAMES",
+    "build_model",
+    "build_pool",
+    "default_backends",
+    "parallel_speedup",
+    "run_benchmark_matrix",
+    "run_workloads",
+]

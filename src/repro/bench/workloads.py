@@ -1,0 +1,237 @@
+"""The engine benchmark workloads, per backend × dtype.
+
+Five workloads cover the library's hot paths end to end:
+
+=================  ========================================================
+``forward``        inference logits over the pool (vendor replay, detection)
+``gradients``      per-sample output-gradient matrix (the mask primitive)
+``masks``          boolean activation-mask matrix (Algorithm 1's candidates)
+``coverage``       mean validation coverage (the Fig. 2 quantity)
+``detection``      stacked replay of a test batch against perturbed model
+                   copies (the Tables II/III inner loop)
+``revisit``        memoized re-query of the coverage workload (greedy-loop
+                   access pattern; measures the cache, not the compute)
+=================  ========================================================
+
+Each runs on every requested backend (``numpy``, and ``parallel`` when more
+than one core is available) and dtype (float64, float32), producing the
+matrix that ``BENCH_engine.json`` records and the CI regression gate
+consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bench.harness import BenchmarkResult, measure
+from repro.data.synth_digits import generate_digits
+from repro.engine import Engine, ParallelBackend, default_worker_count, get_backend
+from repro.models.zoo import mnist_cnn
+from repro.nn.model import Sequential
+from repro.utils.logging import get_logger
+
+logger = get_logger("bench.workloads")
+
+#: pool size of the full benchmark (the 100-image workload of the
+#: acceptance criteria); ``--quick`` shrinks it
+DEFAULT_POOL_SIZE = 100
+QUICK_POOL_SIZE = 24
+
+#: perturbed model copies replayed by the detection workload
+DETECTION_TRIALS = 5
+
+WORKLOAD_NAMES = ("forward", "gradients", "masks", "coverage", "detection", "revisit")
+
+
+def default_backends() -> List[str]:
+    """Backends worth timing on this host: ``parallel`` needs real cores."""
+    backends = ["numpy"]
+    if default_worker_count() >= 2:
+        backends.append("parallel")
+    return backends
+
+
+def build_model(width: float = 0.125, input_size: int = 28, rng: int = 0) -> Sequential:
+    """The width-scaled Table-I MNIST model every workload runs on."""
+    return mnist_cnn(width_multiplier=width, input_size=input_size, rng=rng)
+
+
+def build_pool(model: Sequential, pool_size: int, rng: int = 1) -> np.ndarray:
+    """A deterministic digit pool matching the model's input size."""
+    return generate_digits(pool_size, rng=rng, size=model.input_shape[-1]).images
+
+
+def _perturbed_copies(model: Sequential, trials: int) -> List[Sequential]:
+    """Deterministic single-bias-perturbed copies for the detection workload."""
+    from repro.attacks.sba import SingleBiasAttack
+
+    copies = []
+    for trial in range(trials):
+        outcome = SingleBiasAttack(rng=1000 + trial).apply(model)
+        copies.append(outcome.model)
+    return copies
+
+
+def run_workloads(
+    model: Sequential,
+    images: np.ndarray,
+    backend_name: str,
+    dtype: str,
+    repeats: int = 3,
+    workloads: Optional[Iterable[str]] = None,
+    workers: Optional[int] = None,
+) -> List[BenchmarkResult]:
+    """Measure the requested workloads on one backend × dtype configuration.
+
+    A fresh backend instance is built (and closed) per call so worker pools
+    never leak; the pool startup cost is excluded from the timings by the
+    warm-up call inside :func:`~repro.bench.harness.measure`.
+    """
+    selected = tuple(workloads) if workloads is not None else WORKLOAD_NAMES
+    unknown = set(selected) - set(WORKLOAD_NAMES)
+    if unknown:
+        raise ValueError(f"unknown workloads {sorted(unknown)}; choose from {WORKLOAD_NAMES}")
+
+    if backend_name == "parallel":
+        # the detection workload cycles through DETECTION_TRIALS perturbed
+        # digests plus the clean model; a smaller publication LRU would make
+        # every trial a 100%-miss re-ship and bench the transport, not the
+        # compute
+        backend = ParallelBackend(workers=workers, max_published=DETECTION_TRIALS + 2)
+    else:
+        backend = get_backend(backend_name)
+    n = images.shape[0]
+    results: List[BenchmarkResult] = []
+    try:
+        # uncached engine: times the compute, not the memo cache
+        engine = Engine(model, backend=backend, dtype=dtype, cache=False)
+        runners = {
+            "forward": lambda: engine.forward(images),
+            "gradients": lambda: engine.output_gradients(images),
+            "masks": lambda: engine.activation_masks(images),
+            "coverage": lambda: engine.mean_validation_coverage(images),
+        }
+        for name in selected:
+            if name not in runners:
+                continue
+            value_of = (lambda r: r) if name == "coverage" else None
+            results.append(
+                measure(
+                    name,
+                    runners[name],
+                    samples=n,
+                    backend=backend_name,
+                    dtype=dtype,
+                    repeats=repeats,
+                    value_of=value_of,
+                )
+            )
+            logger.debug("measured %s on %s/%s", name, backend_name, dtype)
+
+        if "detection" in selected:
+            copies = _perturbed_copies(model, DETECTION_TRIALS)
+            expected = engine.forward(images)
+
+            def detection() -> float:
+                detections = 0
+                for copy in copies:
+                    trial_engine = Engine(copy, backend=backend, dtype=dtype, cache=False)
+                    observed = trial_engine.forward(images)
+                    if np.abs(observed - expected).max() > 1e-6:
+                        detections += 1
+                return detections / len(copies)
+
+            results.append(
+                measure(
+                    "detection",
+                    detection,
+                    samples=n * DETECTION_TRIALS,
+                    backend=backend_name,
+                    dtype=dtype,
+                    repeats=repeats,
+                    value_of=lambda r: r,
+                )
+            )
+
+        if "revisit" in selected:
+            cached_engine = Engine(model, backend=backend, dtype=dtype)
+            cached_engine.mean_validation_coverage(images)  # warm the memo
+
+            def revisit() -> float:
+                return cached_engine.mean_validation_coverage(images)
+
+            result = measure(
+                "revisit",
+                revisit,
+                samples=n,
+                backend=backend_name,
+                dtype=dtype,
+                repeats=repeats,
+                value_of=lambda r: r,
+            )
+            result.cache_hit_rate = cached_engine.stats.hit_rate
+            results.append(result)
+    finally:
+        backend.close()
+    return results
+
+
+def run_benchmark_matrix(
+    pool_size: int = DEFAULT_POOL_SIZE,
+    backends: Optional[Sequence[str]] = None,
+    dtypes: Sequence[str] = ("float64", "float32"),
+    repeats: int = 3,
+    workloads: Optional[Iterable[str]] = None,
+    workers: Optional[int] = None,
+    width: float = 0.125,
+    input_size: int = 28,
+) -> List[BenchmarkResult]:
+    """Run the full backend × dtype benchmark matrix on one shared model/pool."""
+    model = build_model(width=width, input_size=input_size)
+    images = build_pool(model, pool_size)
+    if backends is None:
+        backends = default_backends()
+    results: List[BenchmarkResult] = []
+    for backend_name in backends:
+        for dtype in dtypes:
+            logger.info("benchmarking backend=%s dtype=%s", backend_name, dtype)
+            results.extend(
+                run_workloads(
+                    model,
+                    images,
+                    backend_name,
+                    dtype,
+                    repeats=repeats,
+                    workloads=workloads,
+                    workers=workers,
+                )
+            )
+    return results
+
+
+def parallel_speedup(results: Sequence[BenchmarkResult]) -> Dict[str, float]:
+    """Per-workload ``numpy_wall / parallel_wall`` ratios (float64 only)."""
+    by_key = {r.key: r for r in results}
+    speedups: Dict[str, float] = {}
+    for name in WORKLOAD_NAMES:
+        base = by_key.get((name, "numpy", "float64"))
+        par = by_key.get((name, "parallel", "float64"))
+        if base is not None and par is not None and par.wall_s > 0:
+            speedups[name] = base.wall_s / par.wall_s
+    return speedups
+
+
+__all__ = [
+    "DEFAULT_POOL_SIZE",
+    "QUICK_POOL_SIZE",
+    "DETECTION_TRIALS",
+    "WORKLOAD_NAMES",
+    "build_model",
+    "build_pool",
+    "default_backends",
+    "parallel_speedup",
+    "run_benchmark_matrix",
+    "run_workloads",
+]

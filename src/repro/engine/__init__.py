@@ -5,9 +5,11 @@ generation, attacks and validation run as fast as the hardware allows": one
 :class:`~repro.engine.engine.Engine` per model batches every gradient/mask
 query across whole candidate pools, memoizes immutable results keyed by
 ``(parameter digest, array fingerprint)``, and routes all execution through a
-pluggable :class:`~repro.engine.backend.ExecutionBackend` so alternative
-executors (multiprocessing, other array libraries) can be added without
-touching the consumers.
+pluggable :class:`~repro.engine.backend.ExecutionBackend`.  Two backends
+ship: the in-process :class:`~repro.engine.backend.NumpyBackend` (default)
+and the multi-core :class:`~repro.engine.parallel.ParallelBackend`, which
+shards chunks across a persistent worker pool with shared-memory transport —
+selecting it is the only call-site change multi-core execution needs.
 
 Layering: ``repro.engine`` depends only on ``repro.nn`` (plus a lazy default
 criterion lookup); ``repro.coverage``, ``repro.testgen``, ``repro.attacks``,
@@ -35,13 +37,16 @@ from repro.engine.engine import (
     neuron_layer_indices,
     resolve_engine,
 )
+from repro.engine.parallel import ParallelBackend, default_worker_count
 
 __all__ = [
     # backends
     "BackendSpec",
     "ExecutionBackend",
     "NumpyBackend",
+    "ParallelBackend",
     "available_backends",
+    "default_worker_count",
     "get_backend",
     "register_backend",
     # cache

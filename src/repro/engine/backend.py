@@ -34,6 +34,28 @@ class ExecutionBackend:
     #: registry name; subclasses must override
     name: str = "backend"
 
+    @property
+    def parallelism(self) -> int:
+        """Number of shards a batch is split across (1 = no sharding).
+
+        The engine multiplies its chunk size by this, so each worker of a
+        sharded backend still processes ``batch_size`` samples per dispatch.
+        """
+        return 1
+
+    @property
+    def cache_stats(self):
+        """Transport-level cache counters (``None`` for stateless backends).
+
+        Sharded backends report how often the published model could be
+        reused versus re-shipped; the engine merges these into its
+        :attr:`~repro.engine.engine.Engine.stats`.
+        """
+        return None
+
+    def close(self) -> None:
+        """Release any worker pools / shared resources (idempotent)."""
+
     def forward(self, model: Sequential, x: np.ndarray) -> np.ndarray:
         """Inference-mode logits for a batch."""
         raise NotImplementedError

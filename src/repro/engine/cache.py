@@ -52,7 +52,13 @@ def array_fingerprint(array: np.ndarray) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters of a :class:`BatchResultCache`."""
+    """Hit/miss/eviction counters of a :class:`BatchResultCache`.
+
+    Also used for the transport-level caches of sharded backends (model
+    publications reused vs re-shipped); :meth:`merge` folds several counters
+    into one so :attr:`Engine.stats` can report a single merged view across
+    the memo cache and every worker-facing cache.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -65,6 +71,20 @@ class CacheStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.requests if self.requests else 0.0
+
+    def merge(self, *others: "CacheStats") -> "CacheStats":
+        """A new counter summing this one with ``others`` (inputs untouched)."""
+        merged = CacheStats(self.hits, self.misses, self.evictions)
+        for other in others:
+            merged.hits += other.hits
+            merged.misses += other.misses
+            merged.evictions += other.evictions
+        return merged
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return self.merge(other)
 
 
 def _value_nbytes(value: Any) -> int:

@@ -44,6 +44,7 @@ from repro.engine.cache import (
     CacheStats,
     array_fingerprint,
 )
+from repro.nn.dtypes import DtypePolicy, DtypeSpec
 from repro.nn.layers import ActivationLayer, Conv2D, Dense
 from repro.nn.losses import Loss
 from repro.nn.model import SCALARIZATIONS, Sequential
@@ -110,6 +111,15 @@ class Engine:
         omitted.
     backend:
         Backend name, instance or class; see :mod:`repro.engine.backend`.
+        Sharded backends (``"parallel"``) multiply the effective chunk size
+        by their worker count so every worker still processes ``batch_size``
+        samples per dispatch.
+    dtype:
+        Compute-dtype policy (``None``/``"float64"`` default, or
+        ``"float32"`` for halved memory traffic at documented tolerances —
+        see :mod:`repro.nn.dtypes`).  Under float32 the engine runs passes
+        against a float32 shadow copy of the model, re-cast whenever the
+        caller's parameters change; the caller's model is never touched.
     batch_size:
         Chunk size used when a query's batch is larger; bounds the transient
         memory of im2col buffers and per-sample gradient stacks.
@@ -130,6 +140,7 @@ class Engine:
         model: Sequential,
         criterion: Optional[object] = None,
         backend: BackendSpec = "numpy",
+        dtype: DtypeSpec = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
         cache: bool = True,
         cache_entries: int = DEFAULT_CACHE_ENTRIES,
@@ -148,10 +159,15 @@ class Engine:
             criterion = default_criterion_for(model)
         self.criterion = criterion
         self.backend: ExecutionBackend = get_backend(backend)
+        self.dtype_policy = DtypePolicy.resolve(dtype)
         self.batch_size = int(batch_size)
         self._cache: Optional[BatchResultCache] = (
             BatchResultCache(cache_entries, cache_bytes) if cache else None
         )
+        # float32 shadow copy of the model, rebuilt when the caller's
+        # parameters change (tracked by digest); None under the default policy
+        self._shadow_model: Optional[Sequential] = None
+        self._shadow_digest: Optional[str] = None
 
     # -- cache plumbing ------------------------------------------------------
     @property
@@ -160,8 +176,19 @@ class Engine:
 
     @property
     def stats(self) -> CacheStats:
-        """Hit/miss statistics (zeros when caching is disabled)."""
-        return self._cache.stats if self._cache is not None else CacheStats()
+        """Merged hit/miss statistics of the memo cache and the backend.
+
+        Sharded backends contribute their transport-level counters (model
+        publications reused vs re-shipped), merged into one view so callers
+        observing cache behaviour under sharding need no backend-specific
+        code.  Zeros when memoization is disabled and the backend is
+        stateless.
+        """
+        memo = self._cache.stats if self._cache is not None else CacheStats()
+        backend_stats = self.backend.cache_stats
+        if backend_stats is None:
+            return memo
+        return memo.merge(backend_stats)
 
     def invalidate(self) -> None:
         """Drop all memoized results.
@@ -187,7 +214,7 @@ class Engine:
 
     # -- batching plumbing ---------------------------------------------------
     def _as_batch(self, batch: np.ndarray) -> np.ndarray:
-        batch = np.asarray(batch, dtype=np.float64)
+        batch = np.asarray(batch)
         expected = self.model.input_shape or ()
         if batch.ndim == len(expected):
             # promote a single sample to a batch of one
@@ -199,11 +226,33 @@ class Engine:
             )
         if batch.shape[0] == 0:
             raise ValueError("cannot execute an empty batch")
-        return batch
+        # cast/contiguize only when needed: a conforming pool array is
+        # returned as-is, so repeated queries on the same pool never pay a
+        # per-call copy (pinned by a no-copy assertion in the test suite)
+        return self.dtype_policy.asarray(batch)
 
     def _chunks(self, n: int) -> Iterator[slice]:
-        for start in range(0, n, self.batch_size):
-            yield slice(start, min(start + self.batch_size, n))
+        # sharded backends split every dispatched chunk across their workers,
+        # so scale the chunk size to keep each worker at batch_size samples
+        step = self.batch_size * max(1, self.backend.parallelism)
+        for start in range(0, n, step):
+            yield slice(start, min(start + step, n))
+
+    def _execution_model(self) -> Sequential:
+        """The model the backend should run: the caller's, or its shadow.
+
+        Under the default float64 policy this is the caller's model itself.
+        Under float32 it is a cast copy, re-cast whenever the caller's
+        parameter digest changes (attack loops perturb parameters between
+        calls; results must always reflect the current values).
+        """
+        if self.dtype_policy.is_default:
+            return self.model
+        digest = parameter_digest(self.model)
+        if self._shadow_model is None or self._shadow_digest != digest:
+            self._shadow_model = self.dtype_policy.cast_model(self.model)
+            self._shadow_digest = digest
+        return self._shadow_model
 
     # -- forward queries -----------------------------------------------------
     def forward(self, batch: np.ndarray) -> np.ndarray:
@@ -211,8 +260,9 @@ class Engine:
         batch = self._as_batch(batch)
 
         def compute() -> np.ndarray:
+            model = self._execution_model()
             return np.concatenate(
-                [self.backend.forward(self.model, batch[s]) for s in self._chunks(batch.shape[0])],
+                [self.backend.forward(model, batch[s]) for s in self._chunks(batch.shape[0])],
                 axis=0,
             )
 
@@ -239,9 +289,10 @@ class Engine:
             )
 
         def compute() -> np.ndarray:
+            model = self._execution_model()
             return np.concatenate(
                 [
-                    self.backend.output_gradients(self.model, batch[s], scal)
+                    self.backend.output_gradients(model, batch[s], scal)
                     for s in self._chunks(batch.shape[0])
                 ],
                 axis=0,
@@ -266,7 +317,7 @@ class Engine:
         pure overhead.
         """
         batch = self._as_batch(batch)
-        return self.backend.input_gradients(self.model, batch, targets, loss)
+        return self.backend.input_gradients(self._execution_model(), batch, targets, loss)
 
     def loss_parameter_gradients(
         self,
@@ -280,7 +331,9 @@ class Engine:
         attack, which perturbs the model between calls — hence no memoization.
         """
         batch = self._as_batch(batch)
-        return self.backend.loss_parameter_gradients(self.model, batch, targets, loss)
+        return self.backend.loss_parameter_gradients(
+            self._execution_model(), batch, targets, loss
+        )
 
     # -- mask queries --------------------------------------------------------
     def activation_masks(
@@ -316,10 +369,11 @@ class Engine:
                 return crit.activated(grads)
 
         def compute() -> np.ndarray:
+            model = self._execution_model()
             return np.concatenate(
                 [
                     crit.activated(
-                        self.backend.output_gradients(self.model, batch[s], scal)
+                        self.backend.output_gradients(model, batch[s], scal)
                     )
                     for s in self._chunks(batch.shape[0])
                 ],
@@ -341,10 +395,11 @@ class Engine:
         indices = neuron_layer_indices(self.model)
 
         def compute() -> np.ndarray:
+            model = self._execution_model()
             rows = []
             for s in self._chunks(batch.shape[0]):
                 chunk = batch[s]
-                outputs = self.backend.forward_collect(self.model, chunk)
+                outputs = self.backend.forward_collect(model, chunk)
                 parts = [
                     (outputs[i] > threshold).reshape(chunk.shape[0], -1)
                     for i in indices
@@ -391,7 +446,8 @@ class Engine:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Engine(model={self.model.name!r}, backend={self.backend.name!r}, "
-            f"batch_size={self.batch_size}, cache={self.cache_enabled})"
+            f"dtype={self.dtype_policy.name!r}, batch_size={self.batch_size}, "
+            f"cache={self.cache_enabled})"
         )
 
 

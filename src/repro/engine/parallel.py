@@ -1,0 +1,399 @@
+"""Multi-core sharded execution backend.
+
+:class:`ParallelBackend` splits every batch the engine dispatches into
+contiguous shards and evaluates them on a persistent pool of worker
+processes.  Two transport decisions keep the per-call overhead small enough
+for the engine's chunked access pattern:
+
+* **Shared-memory array transport** — the input batch is written once into a
+  :mod:`multiprocessing.shared_memory` segment; each worker maps the segment
+  and copies out only its own shard, so the batch is never pickled through
+  the task pipe (and never copied once per worker).
+* **Model publication by parameter digest** — the model is pickled into a
+  shared-memory segment once per :func:`~repro.nn.serialization
+  .parameter_digest`.  Workers rebuild it on first sight of a digest and keep
+  it in a small per-process cache, so repeated engine calls against the same
+  parameters ship a 64-character digest instead of the weights.  Perturbing
+  the model (as the attacks do) changes the digest and triggers exactly one
+  re-publication.  Publication reuse is counted in :attr:`cache_stats`, which
+  the engine merges into its own statistics.
+
+Loss-based queries (``input_gradients``, ``loss_parameter_gradients``) are
+recombined across shards as a weighted mean (weight = shard size), which is
+exact for every built-in loss because they all normalise by the batch size.
+
+Results come back through the ordinary pool result pipe: they are shard-sized
+and consumed immediately, so pinning them in shared memory would buy nothing.
+
+The pool is lazy (constructing a backend costs nothing until the first
+dispatch) and persistent; call :meth:`close` — or let garbage collection /
+interpreter shutdown do it — to terminate the workers and unlink the shared
+segments.  One backend instance can serve many engines; share it to share
+the pool::
+
+    backend = ParallelBackend(workers=4)
+    engine = Engine(model, backend=backend)
+    ...
+    backend.close()
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections import OrderedDict
+from multiprocessing import get_context, shared_memory
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.engine.backend import ExecutionBackend, register_backend
+from repro.engine.cache import CacheStats
+from repro.nn.losses import Loss, get_loss
+from repro.nn.model import Sequential
+from repro.nn.serialization import parameter_digest
+from repro.utils.logging import get_logger
+
+logger = get_logger("engine.parallel")
+
+#: how many distinct parameter digests stay published (and resident in each
+#: worker) at once; attack loops alternate between a handful of models
+DEFAULT_MAX_PUBLISHED = 4
+
+
+def default_worker_count() -> int:
+    """Worker count matching the cores this process may actually use."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+#: per-worker cache of rebuilt models, keyed by parameter digest; sized to
+#: match DEFAULT_MAX_PUBLISHED so parent and workers evict in lockstep
+_WORKER_MODELS: "OrderedDict[str, Sequential]" = OrderedDict()
+_WORKER_MODEL_SLOTS = DEFAULT_MAX_PUBLISHED
+
+#: whether an attach in this worker must be unregistered from the resource
+#: tracker again (set by the pool initializer).  CPython < 3.13 registers
+#: segments on *attach* as well as create: forked workers share the parent's
+#: tracker (set-semantics make the re-register harmless, and unregistering
+#: would strip the parent's own registration), while spawned workers own a
+#: private tracker that would unlink the parent's live segments at worker
+#: exit unless the attach registration is removed.
+_UNREGISTER_ON_ATTACH = False
+
+
+def _worker_init(unregister_on_attach: bool) -> None:
+    global _UNREGISTER_ON_ATTACH
+    _UNREGISTER_ON_ATTACH = unregister_on_attach
+
+
+def _attach_readonly(name: str) -> shared_memory.SharedMemory:
+    """Map a parent-owned segment without adopting ownership of it."""
+    shm = shared_memory.SharedMemory(name=name)
+    if _UNREGISTER_ON_ATTACH:  # pragma: no cover - spawn-only path
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:
+            pass
+    return shm
+
+
+def _worker_model(digest: str, model_shm: str, model_size: int) -> Sequential:
+    model = _WORKER_MODELS.get(digest)
+    if model is not None:
+        _WORKER_MODELS.move_to_end(digest)
+        return model
+    shm = _attach_readonly(model_shm)
+    try:
+        model = pickle.loads(bytes(shm.buf[:model_size]))
+    finally:
+        shm.close()
+    _WORKER_MODELS[digest] = model
+    while len(_WORKER_MODELS) > _WORKER_MODEL_SLOTS:
+        _WORKER_MODELS.popitem(last=False)
+    return model
+
+
+def _worker_shard(
+    batch_shm: str, shape: Tuple[int, ...], dtype: str, start: int, stop: int
+) -> np.ndarray:
+    """Copy this worker's shard out of the shared batch segment.
+
+    The copy (shard-sized, not batch-sized) lets the segment be closed
+    immediately — layer caches may hold views of the input across calls, and
+    those must never dangle into an unmapped segment.
+    """
+    shm = _attach_readonly(batch_shm)
+    try:
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+        return np.array(view[start:stop])
+    finally:
+        shm.close()
+
+
+def _worker_run(task: tuple) -> Any:
+    """Execute one shard task; module-level so every start method can pickle it."""
+    op, digest, model_shm, model_size, batch_shm, shape, dtype, start, stop, options = task
+    model = _worker_model(digest, model_shm, model_size)
+    x = _worker_shard(batch_shm, shape, dtype, start, stop)
+    if op == "forward":
+        return model.forward(x, training=False)
+    if op == "forward_collect":
+        return model.forward_collect(x)
+    if op == "output_gradients":
+        return model.output_gradients_batch(x, options)
+    if op == "input_gradients":
+        targets, loss = options
+        return model.input_gradient(x, targets, loss)
+    if op == "loss_parameter_gradients":
+        targets, loss = options
+        loss_fn = get_loss(loss)
+        model.zero_grad()
+        logits = model.forward(x, training=False)
+        value, grad_logits = loss_fn.value_and_grad(logits, targets)
+        model.backward(grad_logits)
+        flat = model.parameter_view().flat_grads()
+        model.zero_grad()
+        return value, flat
+    raise ValueError(f"unknown parallel op {op!r}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+
+
+def _release_resources(resources: dict) -> None:
+    """Terminate the pool and unlink all owned segments (idempotent)."""
+    pool = resources.pop("pool", None)
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+    for shm, _size in resources.pop("published", {}).values():
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+    resources["pool"] = None
+    resources["published"] = OrderedDict()
+
+
+@register_backend
+class ParallelBackend(ExecutionBackend):
+    """Shard batches across a persistent multiprocessing worker pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; defaults to the cores available to this
+        process.  ``workers=1`` is valid (useful for testing the transport)
+        but pays process overhead for no parallelism.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``"fork"`` where
+        available (cheap worker startup) and the platform default elsewhere.
+    max_published:
+        How many model publications (distinct parameter digests) to keep
+        alive at once.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        max_published: int = DEFAULT_MAX_PUBLISHED,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be at least 1")
+        if max_published < 1:
+            raise ValueError("max_published must be at least 1")
+        self.workers = int(workers) if workers is not None else default_worker_count()
+        if start_method is None:
+            import multiprocessing
+
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._start_method = start_method
+        self.max_published = int(max_published)
+        self._stats = CacheStats()
+        # pool + publications live in a plain dict so the weakref finalizer
+        # can release them without keeping the backend itself alive
+        self._resources: dict = {"pool": None, "published": OrderedDict()}
+        import weakref
+
+        self._finalizer = weakref.finalize(self, _release_resources, self._resources)
+
+    # -- ExecutionBackend surface -------------------------------------------
+    @property
+    def parallelism(self) -> int:
+        return self.workers
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Model-publication reuse counters (hit = weights were not re-shipped)."""
+        return self._stats
+
+    def close(self) -> None:
+        """Terminate the workers and unlink every published segment."""
+        _release_resources(self._resources)
+
+    # -- pool / publication plumbing ----------------------------------------
+    def _pool(self):
+        pool = self._resources["pool"]
+        if pool is None:
+            ctx = get_context(self._start_method)
+            pool = ctx.Pool(
+                processes=self.workers,
+                initializer=_worker_init,
+                initargs=(self._start_method != "fork",),
+            )
+            self._resources["pool"] = pool
+            logger.debug(
+                "started %d worker processes (start method %s)",
+                self.workers,
+                self._start_method,
+            )
+        return pool
+
+    def _publish(self, model: Sequential) -> Tuple[str, str, int]:
+        """Ensure ``model`` is published; returns (digest, shm name, size)."""
+        published: OrderedDict = self._resources["published"]
+        digest = parameter_digest(model)
+        entry = published.get(digest)
+        if entry is not None:
+            published.move_to_end(digest)
+            self._stats.hits += 1
+        else:
+            payload = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+            shm = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+            shm.buf[: len(payload)] = payload
+            entry = (shm, len(payload))
+            published[digest] = entry
+            self._stats.misses += 1
+            while len(published) > self.max_published:
+                _, (old_shm, _old_size) = published.popitem(last=False)
+                old_shm.close()
+                old_shm.unlink()
+                self._stats.evictions += 1
+        shm, size = entry
+        return digest, shm.name, size
+
+    @staticmethod
+    def _shard_bounds(n: int, shards: int) -> List[Tuple[int, int]]:
+        """Contiguous, balanced, non-empty shard index ranges."""
+        shards = max(1, min(shards, n))
+        edges = np.linspace(0, n, shards + 1).round().astype(int)
+        return [(int(a), int(b)) for a, b in zip(edges[:-1], edges[1:]) if b > a]
+
+    def _dispatch(
+        self,
+        op: str,
+        model: Sequential,
+        x: np.ndarray,
+        options: Any = None,
+        per_shard_options: Optional[Sequence[Any]] = None,
+    ) -> Tuple[List[Any], List[Tuple[int, int]]]:
+        """Run ``op`` over balanced shards of ``x``; returns (results, bounds)."""
+        if x.shape[0] == 0:
+            raise ValueError("cannot execute an empty batch")
+        digest, model_shm, model_size = self._publish(model)
+        bounds = self._shard_bounds(x.shape[0], self.workers)
+        xc = np.ascontiguousarray(x)
+        batch_shm = shared_memory.SharedMemory(create=True, size=max(1, xc.nbytes))
+        try:
+            np.ndarray(xc.shape, dtype=xc.dtype, buffer=batch_shm.buf)[:] = xc
+            tasks = [
+                (
+                    op,
+                    digest,
+                    model_shm,
+                    model_size,
+                    batch_shm.name,
+                    xc.shape,
+                    xc.dtype.str,
+                    start,
+                    stop,
+                    per_shard_options[i] if per_shard_options is not None else options,
+                )
+                for i, (start, stop) in enumerate(bounds)
+            ]
+            results = self._pool().map(_worker_run, tasks)
+        finally:
+            batch_shm.close()
+            batch_shm.unlink()
+        return results, bounds
+
+    # -- batched primitives --------------------------------------------------
+    def forward(self, model: Sequential, x: np.ndarray) -> np.ndarray:
+        results, _ = self._dispatch("forward", model, x)
+        return np.concatenate(results, axis=0)
+
+    def forward_collect(self, model: Sequential, x: np.ndarray) -> List[np.ndarray]:
+        results, _ = self._dispatch("forward_collect", model, x)
+        # results: one list of per-layer outputs per shard -> concat per layer
+        return [np.concatenate(parts, axis=0) for parts in zip(*results)]
+
+    def output_gradients(
+        self, model: Sequential, x: np.ndarray, scalarization: str
+    ) -> np.ndarray:
+        results, _ = self._dispatch("output_gradients", model, x, scalarization)
+        return np.concatenate(results, axis=0)
+
+    def input_gradients(
+        self,
+        model: Sequential,
+        x: np.ndarray,
+        targets: np.ndarray,
+        loss: Union[str, Loss],
+    ) -> Tuple[float, np.ndarray]:
+        targets = np.asarray(targets)
+        bounds = self._shard_bounds(x.shape[0], self.workers)
+        shard_opts = [(targets[a:b], loss) for a, b in bounds]
+        results, bounds = self._dispatch(
+            "input_gradients", model, x, per_shard_options=shard_opts
+        )
+        n = x.shape[0]
+        # every built-in loss is a batch mean, so the full-batch value and
+        # gradient are the shard results reweighted by shard size
+        value = sum(v * (b - a) for (v, _), (a, b) in zip(results, bounds)) / n
+        grad = np.concatenate(
+            [g * ((b - a) / n) for (_, g), (a, b) in zip(results, bounds)], axis=0
+        )
+        return float(value), grad
+
+    def loss_parameter_gradients(
+        self,
+        model: Sequential,
+        x: np.ndarray,
+        targets: np.ndarray,
+        loss: Union[str, Loss],
+    ) -> Tuple[float, np.ndarray]:
+        targets = np.asarray(targets)
+        bounds = self._shard_bounds(x.shape[0], self.workers)
+        shard_opts = [(targets[a:b], loss) for a, b in bounds]
+        results, bounds = self._dispatch(
+            "loss_parameter_gradients", model, x, per_shard_options=shard_opts
+        )
+        n = x.shape[0]
+        value = sum(v * (b - a) for (v, _), (a, b) in zip(results, bounds)) / n
+        flat = sum(g * ((b - a) / n) for (_, g), (a, b) in zip(results, bounds))
+        return float(value), np.asarray(flat)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParallelBackend(workers={self.workers}, "
+            f"start_method={self._start_method!r})"
+        )
+
+
+__all__ = ["DEFAULT_MAX_PUBLISHED", "ParallelBackend", "default_worker_count"]

@@ -24,8 +24,24 @@ class Activation:
     #: name used by layer constructors and serialisation
     name: str = "identity"
 
+    #: True when :meth:`backward` only reads ``y`` (never ``x``), so a fused
+    #: layer may overwrite the pre-activation buffer in place and pass the
+    #: output as both arguments.  Subclasses that need the pre-activation
+    #: input in backward must leave this False.
+    grad_from_output: bool = False
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    def forward_inplace(self, x: np.ndarray) -> np.ndarray:
+        """Apply the activation, reusing ``x`` as the output buffer when safe.
+
+        Only called by fused layers on buffers they own (fresh matmul
+        outputs), and only when :attr:`grad_from_output` is True — the
+        pre-activation values are destroyed.  The default falls back to the
+        allocating :meth:`forward`.
+        """
+        return self.forward(x)
 
     def backward(self, x: np.ndarray, y: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
         """Gradient wrt the activation input.
@@ -46,6 +62,7 @@ class Identity(Activation):
     """Pass-through activation (used for linear output layers)."""
 
     name = "identity"
+    grad_from_output = True
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         return x
@@ -62,9 +79,15 @@ class ReLU(Activation):
     """
 
     name = "relu"
+    # y > 0 exactly when x > 0 (x <= 0 clamps to y == 0, gradient 0 either
+    # way), so backward works identically when x aliases y
+    grad_from_output = True
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         return np.maximum(x, 0.0)
+
+    def forward_inplace(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0, out=x)
 
     def backward(self, x: np.ndarray, y: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
         return grad_out * (x > 0.0)
@@ -74,6 +97,9 @@ class LeakyReLU(Activation):
     """Leaky ReLU with configurable negative slope."""
 
     name = "leaky_relu"
+    # the map is sign-preserving (slope >= 0), so the x > 0 test in backward
+    # is equivalent to y > 0 and x may alias y
+    grad_from_output = True
 
     def __init__(self, negative_slope: float = 0.01) -> None:
         if negative_slope < 0:
@@ -84,16 +110,22 @@ class LeakyReLU(Activation):
         return np.where(x > 0.0, x, self.negative_slope * x)
 
     def backward(self, x: np.ndarray, y: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
-        return grad_out * np.where(x > 0.0, 1.0, self.negative_slope)
+        # dtype-preserving form (np.where over python-float branches would
+        # always produce float64)
+        return np.where(x > 0.0, grad_out, grad_out * self.negative_slope)
 
 
 class Tanh(Activation):
     """Hyperbolic tangent.  Saturates for |x| >> 0 (gradient ≈ 0 but not 0)."""
 
     name = "tanh"
+    grad_from_output = True  # backward reads only y
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         return np.tanh(x)
+
+    def forward_inplace(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x, out=x)
 
     def backward(self, x: np.ndarray, y: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
         # chained in place through one fresh buffer: large batched gradient
@@ -109,15 +141,25 @@ class Sigmoid(Activation):
     """Logistic sigmoid.  Saturates for |x| >> 0."""
 
     name = "sigmoid"
+    grad_from_output = True  # backward reads only y
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        # numerically stable piecewise formulation
-        out = np.empty_like(x, dtype=np.float64)
+        # numerically stable piecewise formulation; follows the input dtype
+        out = np.empty_like(x)
         pos = x >= 0
         out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
         ex = np.exp(x[~pos])
         out[~pos] = ex / (1.0 + ex)
         return out
+
+    def forward_inplace(self, x: np.ndarray) -> np.ndarray:
+        # each fancy-indexed assignment fully evaluates its right-hand side
+        # before writing, so x can serve as its own output buffer
+        pos = x >= 0
+        x[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        x[~pos] = ex / (1.0 + ex)
+        return x
 
     def backward(self, x: np.ndarray, y: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
         return grad_out * y * (1.0 - y)
@@ -132,11 +174,18 @@ class Softmax(Activation):
     """
 
     name = "softmax"
+    grad_from_output = True  # backward reads only y
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         shifted = x - np.max(x, axis=-1, keepdims=True)
         e = np.exp(shifted)
         return e / np.sum(e, axis=-1, keepdims=True)
+
+    def forward_inplace(self, x: np.ndarray) -> np.ndarray:
+        x -= np.max(x, axis=-1, keepdims=True)
+        np.exp(x, out=x)
+        x /= np.sum(x, axis=-1, keepdims=True)
+        return x
 
     def backward(self, x: np.ndarray, y: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
         # J^T g for each row, where J = diag(y) - y y^T

@@ -1,0 +1,151 @@
+"""Compute-dtype policy for the execution engine (float64 default, opt-in
+float32).
+
+Everything in the library computes in float64 by default — the coverage
+criterion thresholds gradients near zero, and the paper-facing equivalence
+tests pin batched results to the per-sample reference at 1e-8, which float32
+cannot honour.  But the engine's throughput workloads (forward sweeps, mask
+matrices over large candidate pools) are memory-bandwidth bound, and float32
+halves both the bytes moved and the BLAS cycles.  :class:`DtypePolicy` makes
+that trade-off explicit and opt-in:
+
+* ``DtypePolicy("float64")`` (default) — bitwise-identical to the historical
+  behaviour; equivalence to the per-sample reference holds to ``1e-8``.
+* ``DtypePolicy("float32")`` — inputs are cast to float32 and the engine runs
+  the passes against a float32 *shadow copy* of the model (cast once per
+  parameter digest, never mutating the caller's float64 model).
+
+Documented float32 equivalence tolerances (validated by
+``tests/test_dtypes.py`` on both Table-I architectures):
+
+=================================  =========================================
+Quantity                           Agreement vs the float64 reference
+=================================  =========================================
+forward logits                     ``atol = 1e-4`` (values O(1))
+per-sample output gradients        ``atol = 1e-4``
+mean/set validation coverage       ``atol = 2e-2`` (threshold flips possible
+                                   for gradients within float32 rounding of
+                                   the criterion's ε)
+=================================  =========================================
+
+Loss-based queries (``input_gradients``, ``loss_parameter_gradients``) keep
+their float64 loss arithmetic regardless of policy: the losses are shared
+with training, where float64 reductions are part of the contract.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.nn.model import Sequential
+
+#: equivalence tolerance of the float64 batched path vs the per-sample
+#: reference (what the engine test-suite pins)
+FLOAT64_TOLERANCE = 1e-8
+
+#: documented float32-vs-float64 tolerances (see the module docstring)
+FLOAT32_FORWARD_ATOL = 1e-4
+FLOAT32_GRADIENT_ATOL = 1e-4
+FLOAT32_COVERAGE_ATOL = 2e-2
+
+#: dtypes a policy may select
+SUPPORTED_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
+
+DtypeSpec = Union[str, np.dtype, type, "DtypePolicy", None]
+
+
+class DtypePolicy:
+    """The compute dtype of an engine, plus its casting helpers.
+
+    Policies are small immutable value objects; engines hold one and thread
+    it through every batch ingestion and backend dispatch.
+    """
+
+    __slots__ = ("compute_dtype",)
+
+    def __init__(self, compute_dtype: Union[str, np.dtype, type] = np.float64) -> None:
+        dtype = np.dtype(compute_dtype)
+        if dtype not in SUPPORTED_DTYPES:
+            raise ValueError(
+                f"unsupported compute dtype {dtype}; choose from "
+                f"{[str(d) for d in SUPPORTED_DTYPES]}"
+            )
+        object.__setattr__(self, "compute_dtype", dtype)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("DtypePolicy is immutable")
+
+    @classmethod
+    def resolve(cls, spec: DtypeSpec) -> "DtypePolicy":
+        """Coerce ``None`` / a dtype-like / a policy into a policy."""
+        if spec is None:
+            return cls(np.float64)
+        if isinstance(spec, DtypePolicy):
+            return spec
+        return cls(spec)
+
+    @property
+    def name(self) -> str:
+        return self.compute_dtype.name
+
+    @property
+    def is_default(self) -> bool:
+        """True for the float64 policy (no shadow model, 1e-8 equivalence)."""
+        return self.compute_dtype == np.dtype(np.float64)
+
+    @property
+    def coverage_tolerance(self) -> float:
+        """Documented coverage agreement vs the float64 per-sample reference."""
+        return FLOAT64_TOLERANCE if self.is_default else FLOAT32_COVERAGE_ATOL
+
+    def asarray(self, x: np.ndarray) -> np.ndarray:
+        """Cast to the compute dtype, copying only when actually needed.
+
+        The fast path — a C-contiguous ndarray already of the compute dtype —
+        returns the input object itself, so repeated engine calls on the same
+        pool never pay a per-call copy.
+        """
+        if (
+            isinstance(x, np.ndarray)
+            and x.dtype == self.compute_dtype
+            and x.flags["C_CONTIGUOUS"]
+        ):
+            return x
+        return np.ascontiguousarray(x, dtype=self.compute_dtype)
+
+    def cast_model(self, model: Sequential) -> Sequential:
+        """A structural copy of ``model`` with parameters in the compute dtype.
+
+        For the default policy this is the model itself (no copy).  The cast
+        copy shares nothing with the original, so running passes on it never
+        perturbs the caller's float64 parameters.
+        """
+        if self.is_default:
+            return model
+        shadow = model.copy()
+        for param in shadow.parameters():
+            param.value = param.value.astype(self.compute_dtype)
+            param.grad = np.zeros_like(param.value)
+        return shadow
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DtypePolicy) and other.compute_dtype == self.compute_dtype
+
+    def __hash__(self) -> int:
+        return hash(("DtypePolicy", self.compute_dtype))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DtypePolicy({self.name!r})"
+
+
+__all__ = [
+    "DtypePolicy",
+    "DtypeSpec",
+    "SUPPORTED_DTYPES",
+    "FLOAT64_TOLERANCE",
+    "FLOAT32_FORWARD_ATOL",
+    "FLOAT32_GRADIENT_ATOL",
+    "FLOAT32_COVERAGE_ATOL",
+]

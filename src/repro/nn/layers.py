@@ -29,6 +29,7 @@ from repro.nn.initializers import (
     zeros,
 )
 from repro.nn.tensor import Parameter
+from repro.nn.workspace import WorkspacePool
 from repro.utils.rng import RngLike, as_generator
 
 
@@ -82,6 +83,25 @@ class Layer:
                 "implement backward_batch"
             )
         return self.backward(grad_out), []
+
+    # -- serialisation -----------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle without transient forward/backward state.
+
+        Layer caches hold whole activation/patch-matrix batches; shipping
+        them with every model publication (parallel backend) or deep copy
+        (attacks) would multiply the payload for data that is recomputed on
+        the next forward anyway.  Workspace leases are per-process and must
+        never survive the trip.
+        """
+        state = self.__dict__.copy()
+        if "_cache" in state:
+            state["_cache"] = {}
+        if "_cols_leased" in state:
+            state["_cols_leased"] = False
+        if "_mask" in state:
+            state["_mask"] = None
+        return state
 
     # -- parameters --------------------------------------------------------------
     def parameters(self) -> List[Parameter]:
@@ -154,7 +174,12 @@ class Dense(Layer):
         z = x @ self.weight.value
         if self.bias is not None:
             z += self.bias.value  # z is freshly allocated by the matmul
-        y = self.activation.forward(z)
+        if self.activation.grad_from_output:
+            # fused dense+bias+activation: the activation overwrites the
+            # fresh matmul buffer, and backward reads y in place of z
+            y = z = self.activation.forward_inplace(z)
+        else:
+            y = self.activation.forward(z)
         self._cache = {"x": x, "z": z, "y": y}
         return y
 
@@ -241,13 +266,23 @@ def _im2col_indices(
 
 
 def im2col(
-    x: np.ndarray, kh: int, kw: int, stride: int, padding: int
+    x: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+    pool: Optional[WorkspacePool] = None,
 ) -> Tuple[np.ndarray, int, int]:
     """Rearrange image batches into patch matrices.
 
     Parameters
     ----------
     x: input of shape ``(N, C, H, W)``.
+    pool: optional :class:`~repro.nn.workspace.WorkspacePool`; when given, the
+        patch matrix is written into a buffer *acquired* from the pool
+        instead of a fresh allocation.  The caller owns the buffer and must
+        ``release`` it after its last read — see the pool's ownership
+        contract.
 
     Returns
     -------
@@ -266,10 +301,13 @@ def im2col(
     # patch matrix so the matmuls that consume it hit the fast BLAS path
     windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
     windows = windows[:, :, ::stride, ::stride]  # (N, C, out_h, out_w, kh, kw)
-    cols = np.ascontiguousarray(windows.transpose(0, 1, 4, 5, 2, 3)).reshape(
-        n, c * kh * kw, out_h * out_w
-    )
-    return cols, out_h, out_w
+    transposed = windows.transpose(0, 1, 4, 5, 2, 3)
+    if pool is None:
+        cols = np.ascontiguousarray(transposed)
+    else:
+        cols = pool.acquire((n, c, kh, kw, out_h, out_w), x.dtype)
+        np.copyto(cols, transposed)
+    return cols.reshape(n, c * kh * kw, out_h * out_w), out_h, out_w
 
 
 def col2im(
@@ -340,6 +378,10 @@ class Conv2D(Layer):
         self.bias: Optional[Parameter] = None
         self._input_shape: Optional[Tuple[int, ...]] = None
         self._cache: Dict[str, np.ndarray] = {}
+        # patch-matrix workspace shared across the whole model (wired by
+        # Sequential.build); None = plain allocation for standalone layers
+        self._workspace: Optional[WorkspacePool] = None
+        self._cols_leased = False
 
     # -- padding resolution ----------------------------------------------------
     def _padding(self) -> int:
@@ -383,19 +425,41 @@ class Conv2D(Layer):
         out_w = _conv_output_size(w, kw, self.stride, pad)
         return (self.filters, out_h, out_w)
 
+    def _release_cols(self) -> None:
+        """Hand the cached patch matrix back to the workspace (idempotent).
+
+        Called only by the *next* forward, immediately before it acquires a
+        replacement.  Releasing any earlier — e.g. after the backward pass's
+        last read — would let a same-geometry acquire inside backward itself
+        (the input-gradient gather of an equal-channel conv) pop and
+        overwrite the buffer, breaking the contract that a repeated backward
+        without an interleaved forward still reads valid data.
+        """
+        if self._cols_leased:
+            self._cols_leased = False
+            if self._workspace is not None:
+                self._workspace.release(self._cache.get("cols"))
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if self.weight is None:
             raise RuntimeError(f"layer {self.name!r} has not been built")
         n, c, h, w = x.shape
         kh, kw = self.kernel_size
         pad = self._padding()
-        cols, out_h, out_w = im2col(x, kh, kw, self.stride, pad)
+        self._release_cols()
+        cols, out_h, out_w = im2col(x, kh, kw, self.stride, pad, pool=self._workspace)
+        self._cols_leased = self._workspace is not None
         w_mat = self.weight.value.reshape(self.filters, -1)  # (F, C*kh*kw)
         z = np.matmul(w_mat, cols)  # (F, K) @ (N, K, P) -> (N, F, P) via BLAS
         if self.bias is not None:
             z += self.bias.value[None, :, None]  # z is fresh from the matmul
         z = z.reshape(n, self.filters, out_h, out_w)
-        y = self.activation.forward(z)
+        if self.activation.grad_from_output:
+            # fused conv+bias+activation: activate the fresh matmul buffer in
+            # place; backward reads y in place of z
+            y = z = self.activation.forward_inplace(z)
+        else:
+            y = self.activation.forward(z)
         self._cache = {"x_shape": np.array(x.shape), "cols": cols, "z": z, "y": y}
         return y
 
@@ -453,12 +517,16 @@ class Conv2D(Layer):
         if self.stride == 1 and kh == kw and flip_pad >= 0:
             # input gradient as a *full correlation* of grad_z with the
             # spatially flipped kernels: an im2col gather plus one batched
-            # matmul, avoiding col2im's scatter-add entirely
+            # matmul, avoiding col2im's scatter-add entirely.  The cached
+            # forward patch matrix is still leased here, so this acquire can
+            # never alias it even when the geometries coincide
             grad_z_img = grad_z_mat.reshape(n, self.filters, *z.shape[2:])
-            gcols, _, _ = im2col(grad_z_img, kh, kw, 1, flip_pad)
+            gcols, _, _ = im2col(grad_z_img, kh, kw, 1, flip_pad, pool=self._workspace)
             w_flip = self.weight.value[:, :, ::-1, ::-1]  # (F, C, kh, kw)
             w_flip_mat = w_flip.transpose(1, 0, 2, 3).reshape(x_shape[1], -1)
             grad_x = np.matmul(w_flip_mat, gcols)  # (C, F*kh*kw) @ (N, ., P)
+            if self._workspace is not None:
+                self._workspace.release(gcols)
             return grad_x.reshape(n, x_shape[1], h, w), grads
         grad_cols = np.matmul(w_mat.T, grad_z_mat)  # (N, K, P)
         return col2im(grad_cols, x_shape, kh, kw, self.stride, pad), grads
@@ -487,6 +555,7 @@ class MaxPool2D(Layer):
         if self.stride <= 0:
             raise ValueError("stride must be positive")
         self._cache: Dict[str, np.ndarray] = {}
+        self._workspace: Optional[WorkspacePool] = None
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         c, h, w = input_shape
@@ -500,10 +569,12 @@ class MaxPool2D(Layer):
         ph, pw = self.pool_size
         # treat each channel as a separate image for im2col
         reshaped = x.reshape(n * c, 1, h, w)
-        cols, out_h, out_w = im2col(reshaped, ph, pw, self.stride, 0)
+        cols, out_h, out_w = im2col(reshaped, ph, pw, self.stride, 0, pool=self._workspace)
         # cols: (N*C, ph*pw, P)
         argmax = np.argmax(cols, axis=1)
         out = np.take_along_axis(cols, argmax[:, None, :], axis=1).squeeze(1)
+        if self._workspace is not None:
+            self._workspace.release(cols)  # consumed: only argmax survives
         out = out.reshape(n, c, out_h, out_w)
         self._cache = {
             "argmax": argmax,
@@ -521,7 +592,9 @@ class MaxPool2D(Layer):
         n, c, h, w = x_shape
         ph, pw = self.pool_size
 
-        grad_cols = np.zeros(cols_shape, dtype=np.float64)
+        # the scatter buffer follows the gradient dtype: hardcoding float64
+        # here silently upcast every float32 backward through a pooling layer
+        grad_cols = np.zeros(cols_shape, dtype=grad_out.dtype)
         grad_flat = grad_out.reshape(n * c, -1)
         np.put_along_axis(grad_cols, argmax[:, None, :], grad_flat[:, None, :], axis=1)
         grad_x = col2im(grad_cols, (n * c, 1, h, w), ph, pw, self.stride, 0)
@@ -545,6 +618,7 @@ class AvgPool2D(Layer):
         if self.stride <= 0:
             raise ValueError("stride must be positive")
         self._cache: Dict[str, np.ndarray] = {}
+        self._workspace: Optional[WorkspacePool] = None
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         c, h, w = input_shape
@@ -557,8 +631,10 @@ class AvgPool2D(Layer):
         n, c, h, w = x.shape
         ph, pw = self.pool_size
         reshaped = x.reshape(n * c, 1, h, w)
-        cols, out_h, out_w = im2col(reshaped, ph, pw, self.stride, 0)
+        cols, out_h, out_w = im2col(reshaped, ph, pw, self.stride, 0, pool=self._workspace)
         out = cols.mean(axis=1).reshape(n, c, out_h, out_w)
+        if self._workspace is not None:
+            self._workspace.release(cols)  # consumed by the mean
         self._cache = {"cols_shape": np.array(cols.shape), "x_shape": np.array(x.shape)}
         return out
 

@@ -23,6 +23,7 @@ import numpy as np
 from repro.nn.layers import Layer
 from repro.nn.losses import Loss, SoftmaxCrossEntropy, get_loss
 from repro.nn.tensor import Parameter, ParameterView
+from repro.nn.workspace import WorkspacePool
 from repro.utils.rng import RngLike, as_generator
 
 #: supported scalarisations of the vector-valued network output F(x)
@@ -46,6 +47,10 @@ class Sequential:
         self.name = name
         self.input_shape: Optional[Tuple[int, ...]] = None
         self._built = False
+        # one free-list of patch-matrix buffers shared by every conv/pool
+        # layer of this model (wired into the layers by build), so
+        # consecutive layers recycle the same hot memory chunk after chunk
+        self._workspace = WorkspacePool()
 
     # -- construction ----------------------------------------------------------
     def add(self, layer: Layer) -> "Sequential":
@@ -69,6 +74,8 @@ class Sequential:
         for layer in self.layers:
             layer.build(shape, gen)
             shape = layer.output_shape(shape)
+            if hasattr(layer, "_workspace"):
+                layer._workspace = self._workspace
         self._built = True
         return self
 
@@ -158,7 +165,9 @@ class Sequential:
         With ``need_input_grad=False`` the bottom layer skips its input-
         gradient computation and the returned input gradient is ``None``.
         """
-        grad = np.asarray(grad_out, dtype=np.float64)
+        grad = np.asarray(grad_out)
+        if grad.dtype not in (np.float32, np.float64):
+            grad = grad.astype(np.float64)
         n = grad.shape[0]
         per_layer: List[List[np.ndarray]] = []
         for i in range(len(self.layers) - 1, -1, -1):
@@ -189,7 +198,9 @@ class Sequential:
             raise ValueError(
                 f"unknown scalarization {scalarization!r}; choose from {SCALARIZATIONS}"
             )
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x)
+        if x.dtype not in (np.float32, np.float64):
+            x = x.astype(np.float64)
         self._check_input(x)
         logits = self.forward(x, training=False)
         grad_out = np.zeros_like(logits)

@@ -1,0 +1,311 @@
+"""DtypePolicy, fused kernels, workspace pool and copy-free fast paths.
+
+Pins the documented float32-vs-float64 equivalence tolerances on both
+Table-I architectures, the dtype-following behaviour of every layer's
+forward/backward (no silent float64 upcasts), the fused in-place activation
+fast paths, the engine's no-copy batch ingestion, and the acquire/release
+semantics of the shared im2col workspace pool.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import Engine
+from repro.models.zoo import cifar_cnn, mnist_cnn, small_cnn
+from repro.nn.activations import (
+    Identity,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    get_activation,
+)
+from repro.nn.dtypes import (
+    FLOAT32_COVERAGE_ATOL,
+    FLOAT32_FORWARD_ATOL,
+    FLOAT32_GRADIENT_ATOL,
+    DtypePolicy,
+)
+from repro.nn.workspace import WorkspacePool
+
+
+def _pool(model, size, seed):
+    rng = np.random.default_rng(seed)
+    return rng.random((size, *model.input_shape))
+
+
+@pytest.fixture(scope="module", params=["mnist", "cifar"])
+def arch(request):
+    if request.param == "mnist":
+        return mnist_cnn(width_multiplier=0.125, input_size=12, rng=0)
+    return cifar_cnn(width_multiplier=0.0625, input_size=12, rng=1)
+
+
+class TestDtypePolicy:
+    def test_resolve_and_validation(self):
+        assert DtypePolicy.resolve(None).is_default
+        assert DtypePolicy.resolve("float64").is_default
+        assert not DtypePolicy.resolve("float32").is_default
+        assert DtypePolicy.resolve(np.float32).name == "float32"
+        policy = DtypePolicy("float32")
+        assert DtypePolicy.resolve(policy) is policy
+        with pytest.raises(ValueError):
+            DtypePolicy("float16")
+        with pytest.raises(ValueError):
+            DtypePolicy("int64")
+        with pytest.raises(AttributeError):
+            policy.compute_dtype = np.float64  # immutable
+
+    def test_equality_and_hash(self):
+        assert DtypePolicy("float32") == DtypePolicy(np.float32)
+        assert DtypePolicy("float32") != DtypePolicy("float64")
+        assert hash(DtypePolicy("float64")) == hash(DtypePolicy())
+
+    def test_asarray_fast_path_is_copy_free(self):
+        policy = DtypePolicy()
+        x = np.random.default_rng(0).random((4, 3))
+        assert policy.asarray(x) is x  # no copy for conforming input
+        assert policy.asarray(x[::2]) is not x  # non-contiguous -> copy
+        x32 = x.astype(np.float32)
+        assert DtypePolicy("float32").asarray(x32) is x32
+        assert policy.asarray(x32).dtype == np.float64
+
+    def test_cast_model_default_is_identity(self, arch):
+        assert DtypePolicy().cast_model(arch) is arch
+
+    def test_cast_model_float32_shares_nothing(self, arch):
+        shadow = DtypePolicy("float32").cast_model(arch)
+        assert shadow is not arch
+        for p32, p64 in zip(shadow.parameters(), arch.parameters()):
+            assert p32.value.dtype == np.float32
+            assert p32.grad.dtype == np.float32
+        # perturbing the shadow never touches the original
+        shadow.parameter_view().add_scalar(0, 1.0)
+        assert arch.parameter_view().get_scalar(0) != pytest.approx(
+            shadow.parameter_view().get_scalar(0)
+        )
+
+
+class TestFloat32Equivalence:
+    """The documented tolerances of repro.nn.dtypes, on both Table-I archs."""
+
+    def test_forward_within_documented_atol(self, arch):
+        images = _pool(arch, 6, seed=10)
+        y64 = Engine(arch, cache=False).forward(images)
+        y32 = Engine(arch, dtype="float32", cache=False).forward(images)
+        assert y32.dtype == np.float32  # compute stayed in float32
+        assert np.abs(y64 - y32).max() <= FLOAT32_FORWARD_ATOL
+
+    def test_gradients_within_documented_atol(self, arch):
+        images = _pool(arch, 5, seed=11)
+        g64 = Engine(arch, cache=False).output_gradients(images)
+        g32 = Engine(arch, dtype="float32", cache=False).output_gradients(images)
+        assert g32.dtype == np.float32  # no silent upcast anywhere
+        assert np.abs(g64 - g32).max() <= FLOAT32_GRADIENT_ATOL
+
+    def test_coverage_within_documented_atol(self, arch):
+        images = _pool(arch, 8, seed=12)
+        c64 = Engine(arch, cache=False).mean_validation_coverage(images)
+        c32 = Engine(arch, dtype="float32", cache=False).mean_validation_coverage(images)
+        assert abs(c64 - c32) <= FLOAT32_COVERAGE_ATOL
+
+    def test_shadow_recast_after_perturbation(self):
+        model = small_cnn(rng=3)
+        images = _pool(model, 4, seed=13)
+        engine = Engine(model, dtype="float32", cache=False)
+        before = engine.forward(images).copy()
+        model.parameter_view().add_scalar(0, 0.5)
+        after = engine.forward(images)
+        assert not np.array_equal(before, after)
+        y64 = model.forward(images)
+        assert np.abs(after - y64).max() <= FLOAT32_FORWARD_ATOL
+
+    def test_float32_and_float64_results_cached_separately(self):
+        model = small_cnn(rng=4)
+        images = _pool(model, 4, seed=14)
+        e64 = Engine(model)
+        e32 = Engine(model, dtype="float32")
+        y64 = e64.forward(images)
+        y32 = e32.forward(images)
+        assert y64.dtype == np.float64 and y32.dtype == np.float32
+        # each engine's second query hits its own entry
+        e64.forward(images)
+        e32.forward(images)
+        assert e64.stats.hits == 1 and e32.stats.hits == 1
+
+
+class TestDtypeFollowingKernels:
+    """No hardcoded float64 buffers anywhere in the backward path."""
+
+    @pytest.mark.parametrize("activation", ["relu", "tanh", "sigmoid", "leaky_relu"])
+    def test_layer_stack_preserves_float32(self, activation):
+        model = small_cnn(activation=activation, rng=5)
+        shadow = DtypePolicy("float32").cast_model(model)
+        x = _pool(model, 3, seed=15).astype(np.float32)
+        y = shadow.forward(x)
+        assert y.dtype == np.float32
+        # the full batched backward (conv, maxpool scatter, dense) follows
+        grads = shadow.output_gradients_batch(x)
+        assert grads.dtype == np.float32
+
+    def test_maxpool_scatter_buffer_follows_gradient_dtype(self):
+        """Regression test for the hardcoded float64 scatter buffer."""
+        from repro.nn.layers import MaxPool2D
+
+        pool = MaxPool2D(2)
+        x = np.random.default_rng(0).random((2, 3, 8, 8)).astype(np.float32)
+        out = pool.forward(x)
+        grad = pool.backward(np.ones_like(out))
+        assert out.dtype == np.float32
+        assert grad.dtype == np.float32
+
+
+class TestFusedActivations:
+    def test_forward_inplace_matches_forward(self):
+        rng = np.random.default_rng(0)
+        for act in (Identity(), ReLU(), Tanh(), Sigmoid(), Softmax(), LeakyReLU()):
+            x = rng.normal(0.0, 2.0, size=(5, 7))
+            expected = act.forward(x.copy())
+            got = act.forward_inplace(x.copy())
+            np.testing.assert_allclose(got, expected, atol=0, rtol=0)
+
+    def test_inplace_reuses_the_buffer(self):
+        for act in (ReLU(), Tanh(), Sigmoid(), Softmax()):
+            x = np.random.default_rng(1).normal(size=(4, 4))
+            assert act.forward_inplace(x) is x
+        x = np.ones((2, 2))
+        assert Identity().forward_inplace(x) is x
+
+    def test_grad_from_output_backward_accepts_y_for_x(self):
+        """For flagged activations, backward(y, y, g) == backward(x, y, g)."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(0.0, 2.0, size=(6, 5))
+        # include exact zeros: the ReLU boundary case
+        x[0, 0] = 0.0
+        g = rng.normal(size=x.shape)
+        for name in ("identity", "relu", "tanh", "sigmoid", "softmax", "leaky_relu"):
+            act = get_activation(name)
+            assert act.grad_from_output, name
+            y = act.forward(x)
+            np.testing.assert_array_equal(act.backward(x, y, g), act.backward(y, y, g))
+
+    def test_fused_layers_match_per_sample_reference(self):
+        """End-to-end: fusion changes allocations, never results."""
+        for activation in ("relu", "tanh"):
+            model = small_cnn(activation=activation, rng=6)
+            x = _pool(model, 4, seed=16)
+            batched = model.output_gradients_batch(x)
+            singles = np.stack(
+                [model.output_gradients(x[i]) for i in range(len(x))]
+            )
+            assert np.abs(batched - singles).max() <= 1e-8
+
+
+class TestEngineNoCopyFastPath:
+    def test_as_batch_returns_the_same_object(self):
+        """Micro-assert: no copy for a conforming pool array."""
+        model = small_cnn(rng=7)
+        images = _pool(model, 4, seed=17)  # float64, C-contiguous
+        engine = Engine(model)
+        assert engine._as_batch(images) is images
+
+    def test_as_batch_casts_only_when_needed(self):
+        model = small_cnn(rng=8)
+        images = _pool(model, 4, seed=18)
+        e32 = Engine(model, dtype="float32")
+        out = e32._as_batch(images)
+        assert out is not images and out.dtype == np.float32
+        images32 = np.ascontiguousarray(images, dtype=np.float32)
+        assert e32._as_batch(images32) is images32
+
+    def test_as_batch_still_validates_shapes(self):
+        model = small_cnn(rng=9)
+        engine = Engine(model)
+        with pytest.raises(ValueError):
+            engine._as_batch(np.zeros((2, 3, 5)))
+        with pytest.raises(ValueError):
+            engine._as_batch(np.zeros((0, *model.input_shape)))
+
+
+class TestWorkspacePool:
+    def test_acquire_release_recycles_buffers(self):
+        pool = WorkspacePool()
+        a = pool.acquire((4, 8), np.float64)
+        assert len(pool) == 0  # acquired buffers are owned by the caller
+        pool.release(a)
+        assert len(pool) == 1
+        b = pool.acquire((4, 8), np.float64)
+        assert b is a  # recycled, not reallocated
+        c = pool.acquire((4, 8), np.float64)
+        assert c is not a  # a is checked out; a fresh buffer is made
+
+    def test_release_resolves_views(self):
+        pool = WorkspacePool()
+        a = pool.acquire((2, 3, 4), np.float64)
+        pool.release(a.reshape(6, 4))  # any view hands back the base buffer
+        assert pool.acquire((2, 3, 4), np.float64) is a
+
+    def test_capacity_bounds(self):
+        pool = WorkspacePool(max_slots=2, per_key=1)
+        a = pool.acquire((8,), np.float64)
+        b = pool.acquire((8,), np.float64)
+        pool.release(a)
+        pool.release(b)  # beyond per_key -> dropped
+        assert len(pool) == 1
+        with pytest.raises(ValueError):
+            WorkspacePool(max_slots=0)
+
+    def test_none_release_ignored(self):
+        pool = WorkspacePool()
+        pool.release(None)
+        assert len(pool) == 0
+
+    def test_copies_and_pickles_start_empty(self):
+        import copy
+        import pickle
+
+        pool = WorkspacePool()
+        pool.release(pool.acquire((16,), np.float64))
+        assert len(copy.deepcopy(pool)) == 0
+        assert len(pickle.loads(pickle.dumps(pool))) == 0
+
+    def test_model_layers_share_one_pool(self):
+        from repro.nn.layers import Conv2D, MaxPool2D
+
+        model = small_cnn(rng=10)
+        pools = {
+            id(layer._workspace)
+            for layer in model.layers
+            if isinstance(layer, (Conv2D, MaxPool2D))
+        }
+        assert len(pools) == 1
+        assert model._workspace is not None
+
+    def test_repeated_backward_after_one_forward_is_stable(self):
+        """The release contract: contents stay valid until re-acquired."""
+        model = small_cnn(rng=11)
+        x = _pool(model, 3, seed=19)
+        logits = model.forward(x)
+        g = np.ones_like(logits)
+        _, first = model.backward_batch(g, need_input_grad=False)
+        _, second = model.backward_batch(g, need_input_grad=False)
+        np.testing.assert_array_equal(first, second)
+
+    def test_repeated_backward_with_equal_channel_convs(self):
+        """Regression: an equal-channel same-padding conv's input-gradient
+        gather has the *same* patch geometry as its forward cols — an early
+        release would let the gather pop and overwrite the cached buffer,
+        silently corrupting every backward after the first."""
+        model = mnist_cnn(width_multiplier=0.125, input_size=12, rng=12)
+        x = _pool(model, 3, seed=20)
+        logits = model.forward(x)
+        g = np.ones_like(logits)
+        # need_input_grad=True forces the full-correlation gather in every
+        # conv, including conv2/conv4 whose in==out channel counts collide
+        # with their own forward patch geometry
+        _, first = model.backward_batch(g, need_input_grad=True)
+        _, second = model.backward_batch(g, need_input_grad=True)
+        _, third = model.backward_batch(g, need_input_grad=True)
+        np.testing.assert_array_equal(first, second)
+        np.testing.assert_array_equal(first, third)
