@@ -16,7 +16,7 @@ from repro.analysis import (
     detection_table_markdown,
     prepare_experiment,
 )
-from repro.utils.config import DetectionConfig, TrainingConfig
+from repro.utils.config import DetectionConfig, TrainingConfig, env_int
 from repro.validation import default_attack_factories, DetectionExperiment
 
 
@@ -24,28 +24,36 @@ def main() -> None:
     print("training the scaled Table-I MNIST model (Tanh)...")
     prepared = prepare_experiment(
         "mnist",
-        train_size=300,
-        test_size=80,
+        train_size=env_int("REPRO_EXAMPLE_TRAIN", 300),
+        test_size=env_int("REPRO_EXAMPLE_TEST", 80),
         width_multiplier=0.125,
-        training=TrainingConfig(epochs=8, batch_size=32, learning_rate=2e-3),
+        training=TrainingConfig(
+            epochs=env_int("REPRO_EXAMPLE_EPOCHS", 8),
+            batch_size=32,
+            learning_rate=2e-3,
+        ),
         rng=0,
     )
     print(f"test accuracy: {prepared.test_accuracy:.3f}")
 
-    budgets = (5, 10, 15)
+    max_budget = env_int("REPRO_EXAMPLE_TESTS", 15)
+    budgets = tuple(b for b in (5, 10, 15) if b < max_budget) + (max_budget,)
     print("\ngenerating functional-test packages for both methods...")
     packages = build_method_packages(
         prepared,
         num_tests=max(budgets),
-        candidate_pool=80,
+        candidate_pool=env_int("REPRO_EXAMPLE_POOL", 80),
         rng=1,
-        gradient_kwargs={"max_updates": 30},
+        gradient_kwargs={"max_updates": env_int("REPRO_EXAMPLE_UPDATES", 30)},
     )
     for name, pkg in packages.items():
         print(f"  {name:20s} parameter coverage: {pkg.metadata['validation_coverage']:.1%}")
 
     config = DetectionConfig(
-        trials=40, test_budgets=budgets, attacks=("sba", "gda", "random"), seed=2
+        trials=env_int("REPRO_EXAMPLE_TRIALS", 40),
+        test_budgets=budgets,
+        attacks=("sba", "gda", "random"),
+        seed=2,
     )
     factories = default_attack_factories(
         prepared.test.images[:20], gda_parameters=20, random_parameters=10

@@ -18,24 +18,30 @@ from repro.analysis import (
     image_set_coverage,
     prepare_experiment,
 )
-from repro.utils.config import TrainingConfig
+from repro.utils.config import TrainingConfig, env_int
 
 
 def main() -> None:
     print("training the scaled CIFAR-style ReLU model (the paper's Fig. 3 model)...")
     prepared = prepare_experiment(
         "cifar",
-        train_size=400,
-        test_size=100,
+        train_size=env_int("REPRO_EXAMPLE_TRAIN", 400),
+        test_size=env_int("REPRO_EXAMPLE_TEST", 100),
         width_multiplier=0.125,
-        training=TrainingConfig(epochs=10, batch_size=32, learning_rate=3e-3),
+        training=TrainingConfig(
+            epochs=env_int("REPRO_EXAMPLE_EPOCHS", 10),
+            batch_size=32,
+            learning_rate=3e-3,
+        ),
         rng=0,
     )
     print(f"test accuracy: {prepared.test_accuracy:.3f}")
     model, train = prepared.model, prepared.train
 
     print("\n=== Fig. 2: average validation coverage per image population ===")
-    fig2 = image_set_coverage(model, train, num_samples=20, rng=1)
+    fig2 = image_set_coverage(
+        model, train, num_samples=env_int("REPRO_EXAMPLE_SAMPLES", 20), rng=1
+    )
     print(ascii_bar_chart(fig2.coverage_by_set))
     print(
         "expected shape: the training set activates the most parameters, "
@@ -46,10 +52,10 @@ def main() -> None:
     curves = coverage_vs_budget(
         model,
         train,
-        max_tests=15,
-        candidate_pool=80,
+        max_tests=env_int("REPRO_EXAMPLE_TESTS", 15),
+        candidate_pool=env_int("REPRO_EXAMPLE_POOL", 80),
         rng=2,
-        gradient_kwargs={"max_updates": 30},
+        gradient_kwargs={"max_updates": env_int("REPRO_EXAMPLE_UPDATES", 30)},
     )
     print(ascii_line_chart(curves.curves))
     for method, values in curves.curves.items():

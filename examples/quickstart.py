@@ -20,18 +20,23 @@ import numpy as np
 
 from repro.analysis import prepare_experiment
 from repro.attacks import SingleBiasAttack
-from repro.utils.config import TrainingConfig
+from repro.utils.config import TrainingConfig, env_int
 from repro.validation import IPVendor, validate_ip
 
 
 def main() -> None:
     print("=== 1. Vendor trains the DNN IP (scaled Table-I MNIST model) ===")
+    # every expensive knob is env-cappable so the CI smoke job can shrink it
     prepared = prepare_experiment(
         "mnist",
-        train_size=300,
-        test_size=80,
+        train_size=env_int("REPRO_EXAMPLE_TRAIN", 300),
+        test_size=env_int("REPRO_EXAMPLE_TEST", 80),
         width_multiplier=0.125,
-        training=TrainingConfig(epochs=8, batch_size=32, learning_rate=2e-3),
+        training=TrainingConfig(
+            epochs=env_int("REPRO_EXAMPLE_EPOCHS", 8),
+            batch_size=32,
+            learning_rate=2e-3,
+        ),
         rng=0,
     )
     print(f"model: {prepared.model.name}")
@@ -41,7 +46,10 @@ def main() -> None:
     print("\n=== 2. Vendor generates functional tests and builds a package ===")
     vendor = IPVendor(prepared.model, prepared.train)
     package = vendor.release(
-        num_tests=15, candidate_pool=100, rng=1, max_updates=30
+        num_tests=env_int("REPRO_EXAMPLE_TESTS", 15),
+        candidate_pool=env_int("REPRO_EXAMPLE_POOL", 100),
+        rng=1,
+        max_updates=env_int("REPRO_EXAMPLE_UPDATES", 30),
     )
     print(f"functional tests: {package.num_tests}")
     print(f"validation coverage: {package.metadata['validation_coverage']:.1%}")

@@ -24,7 +24,7 @@ from repro.analysis import prepare_experiment
 from repro.attacks import GradientDescentAttack
 from repro.models.zoo import mnist_cnn
 from repro.nn.serialization import load_model_into, save_model
-from repro.utils.config import TrainingConfig
+from repro.utils.config import TrainingConfig, env_int
 from repro.validation import IPVendor, ValidationPackage, validate_ip
 
 
@@ -33,16 +33,25 @@ def vendor_side(workdir: Path) -> dict:
     print("--- vendor: training the IP ---")
     prepared = prepare_experiment(
         "mnist",
-        train_size=300,
-        test_size=80,
+        train_size=env_int("REPRO_EXAMPLE_TRAIN", 300),
+        test_size=env_int("REPRO_EXAMPLE_TEST", 80),
         width_multiplier=0.125,
-        training=TrainingConfig(epochs=8, batch_size=32, learning_rate=2e-3),
+        training=TrainingConfig(
+            epochs=env_int("REPRO_EXAMPLE_EPOCHS", 8),
+            batch_size=32,
+            learning_rate=2e-3,
+        ),
         rng=0,
     )
     print(f"vendor model accuracy: {prepared.test_accuracy:.3f}")
 
     vendor = IPVendor(prepared.model, prepared.train)
-    package = vendor.release(num_tests=12, candidate_pool=80, rng=1, max_updates=30)
+    package = vendor.release(
+        num_tests=env_int("REPRO_EXAMPLE_TESTS", 12),
+        candidate_pool=env_int("REPRO_EXAMPLE_POOL", 80),
+        rng=1,
+        max_updates=env_int("REPRO_EXAMPLE_UPDATES", 30),
+    )
 
     model_path = save_model(prepared.model, workdir / "dnn_ip.npz")
     package_path = package.save(workdir / "validation_package.npz")

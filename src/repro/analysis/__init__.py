@@ -11,7 +11,9 @@ from repro.analysis.figures import (
 from repro.analysis.reporting import (
     ascii_bar_chart,
     ascii_line_chart,
+    coverage_memory_rows,
     detection_table_markdown,
+    format_bytes,
     format_csv,
     format_markdown_table,
     format_percentage,
@@ -35,7 +37,9 @@ __all__ = [
     "synthetic_sample_report",
     "ascii_bar_chart",
     "ascii_line_chart",
+    "coverage_memory_rows",
     "detection_table_markdown",
+    "format_bytes",
     "format_csv",
     "format_markdown_table",
     "format_percentage",

@@ -162,11 +162,58 @@ def detection_table_markdown(
     return format_markdown_table(table_rows, columns=columns)
 
 
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable byte count (``"1.2 GB"``), for memory-sizing tables."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            return f"{value:.0f} {unit}" if unit == "B" else f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def coverage_memory_rows(
+    num_parameters: int, pool_sizes: Sequence[int]
+) -> List[Dict[str, object]]:
+    """Dense-vs-packed mask-matrix sizing for a pool-size sweep.
+
+    One row per candidate-pool size: the resident bytes of the dense boolean
+    ``(N, P)`` mask matrix, of the packed uint64 representation, and their
+    ratio.  Feed the rows to :func:`format_markdown_table` for the README's
+    memory-sizing table, or read the numbers directly when choosing a
+    ``candidate_pool`` / ``memory_budget_bytes`` for a machine.
+    """
+    from repro.coverage.bitmap import packed_nbytes
+
+    if num_parameters <= 0:
+        raise ValueError("num_parameters must be positive")
+    rows: List[Dict[str, object]] = []
+    for n in pool_sizes:
+        if n <= 0:
+            raise ValueError("pool sizes must be positive")
+        dense = n * num_parameters
+        packed = packed_nbytes(num_parameters, rows=n)
+        rows.append(
+            {
+                "pool_size": int(n),
+                "parameters": int(num_parameters),
+                "dense_bytes": int(dense),
+                "packed_bytes": int(packed),
+                "dense": format_bytes(dense),
+                "packed": format_bytes(packed),
+                "ratio": packed / dense,
+            }
+        )
+    return rows
+
+
 __all__ = [
     "format_markdown_table",
     "format_csv",
     "write_csv",
     "format_percentage",
+    "format_bytes",
+    "coverage_memory_rows",
     "ascii_bar_chart",
     "ascii_line_chart",
     "detection_table_markdown",

@@ -1,12 +1,18 @@
 """The engine benchmark workloads, per backend × dtype.
 
-Five workloads cover the library's hot paths end to end:
+Eight workloads cover the library's hot paths end to end:
 
 =================  ========================================================
 ``forward``        inference logits over the pool (vendor replay, detection)
 ``gradients``      per-sample output-gradient matrix (the mask primitive)
 ``masks``          boolean activation-mask matrix (Algorithm 1's candidates)
 ``coverage``       mean validation coverage (the Fig. 2 quantity)
+``packing``        packed activation-mask matrix (streaming pack; records
+                   packed vs dense mask bytes)
+``selection``      packed greedy selection (Algorithm 1's inner loop) over a
+                   pool 4× the matrix pool — the packed masks of the larger
+                   pool still fit in less memory than the dense masks of the
+                   small one (records both byte counts)
 ``detection``      stacked replay of a test batch against perturbed model
                    copies (the Tables II/III inner loop)
 ``revisit``        memoized re-query of the coverage workload (greedy-loop
@@ -42,7 +48,24 @@ QUICK_POOL_SIZE = 24
 #: perturbed model copies replayed by the detection workload
 DETECTION_TRIALS = 5
 
-WORKLOAD_NAMES = ("forward", "gradients", "masks", "coverage", "detection", "revisit")
+#: pool multiplier of the selection workload: packed masks of a pool this
+#: many times larger still occupy fewer bytes than the dense masks of the
+#: base pool (packed is 1/8 dense, so 4x pool -> 1/2 the bytes)
+SELECTION_POOL_MULTIPLIER = 4
+
+#: tests selected greedily by the selection workload
+SELECTION_BUDGET = 10
+
+WORKLOAD_NAMES = (
+    "forward",
+    "gradients",
+    "masks",
+    "coverage",
+    "packing",
+    "selection",
+    "detection",
+    "revisit",
+)
 
 
 def default_backends() -> List[str]:
@@ -129,6 +152,64 @@ def run_workloads(
                 )
             )
             logger.debug("measured %s on %s/%s", name, backend_name, dtype)
+
+        if "packing" in selected:
+            # one warm call to size the result; measure() re-warms for timing
+            packed = engine.packed_activation_masks(images)
+            results.append(
+                measure(
+                    "packing",
+                    lambda: engine.packed_activation_masks(images),
+                    samples=n,
+                    backend=backend_name,
+                    dtype=dtype,
+                    repeats=repeats,
+                    packed_mask_bytes=int(packed.nbytes),
+                    dense_mask_bytes=int(packed.dense_nbytes),
+                    packed_to_dense_ratio=(
+                        packed.nbytes / packed.dense_nbytes
+                        if packed.dense_nbytes
+                        else 0.0
+                    ),
+                )
+            )
+
+        if "selection" in selected:
+            from repro.coverage.bitmap import CoverageMap
+
+            # a pool SELECTION_POOL_MULTIPLIER× larger than the matrix pool:
+            # its packed masks still take fewer bytes than the base pool's
+            # dense masks would (the acceptance bar of the packed refactor)
+            sel_pool = build_pool(model, n * SELECTION_POOL_MULTIPLIER, rng=2)
+            sel_packed = engine.packed_activation_masks(sel_pool)
+            budget = min(SELECTION_BUDGET, len(sel_packed))
+
+            def selection() -> float:
+                covered = CoverageMap(sel_packed.nbits)
+                available = np.ones(len(sel_packed), dtype=bool)
+                for _ in range(budget):
+                    best, _count = sel_packed.best_candidate(covered, available)
+                    covered.union_(sel_packed.row(best))
+                    available[best] = False
+                return covered.fraction
+
+            results.append(
+                measure(
+                    "selection",
+                    selection,
+                    samples=len(sel_packed),
+                    backend=backend_name,
+                    dtype=dtype,
+                    repeats=repeats,
+                    value_of=lambda r: r,
+                    pool_size=len(sel_packed),
+                    pool_multiplier=SELECTION_POOL_MULTIPLIER,
+                    budget=budget,
+                    packed_mask_bytes=int(sel_packed.nbytes),
+                    dense_mask_bytes=int(sel_packed.dense_nbytes),
+                    base_pool_dense_mask_bytes=n * model.num_parameters(),
+                )
+            )
 
         if "detection" in selected:
             copies = _perturbed_copies(model, DETECTION_TRIALS)
@@ -227,6 +308,8 @@ __all__ = [
     "DEFAULT_POOL_SIZE",
     "QUICK_POOL_SIZE",
     "DETECTION_TRIALS",
+    "SELECTION_BUDGET",
+    "SELECTION_POOL_MULTIPLIER",
     "WORKLOAD_NAMES",
     "build_model",
     "build_pool",

@@ -12,7 +12,13 @@ the test-generation and detection experiments:
 
 * :func:`neuron_activation_mask` — per-sample boolean mask over all neurons;
 * :func:`neuron_coverage` — coverage of a test set;
+* :class:`NeuronCoverage` — the pluggable
+  :class:`~repro.coverage.bitmap.CoverageCriterion` implementation;
 * :class:`NeuronCoverageTracker` — incremental union bookkeeping.
+
+Like parameter coverage, pool masks are stored *packed*
+(:mod:`repro.coverage.bitmap`): one bit per neuron, marginal gains by
+popcount, dense materialisation on demand.
 
 "Neurons" are the scalar post-activation outputs of every hidden layer that
 has parameters or applies a non-linearity (convolution feature-map cells,
@@ -22,10 +28,16 @@ new neurons.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.coverage.bitmap import (
+    CoverageCriterion,
+    CoverageMap,
+    MaskMatrix,
+    PackedCoverageTracker,
+)
 from repro.engine import Engine, neuron_layer_indices, resolve_engine
 from repro.nn.layers import ActivationLayer, Conv2D, Dense
 from repro.nn.model import Sequential
@@ -84,10 +96,24 @@ def neuron_activation_masks(
 
     Row ``i`` equals ``neuron_activation_mask(model, images[i], threshold)``,
     computed with chunked batched forward passes through the execution
-    engine.
+    engine.  For large pools prefer :func:`packed_neuron_masks`.
     """
     eng = resolve_engine(model, engine=engine, cache=False)
     return eng.neuron_masks(np.asarray(images), threshold)
+
+
+def packed_neuron_masks(
+    model: Sequential,
+    images: np.ndarray,
+    threshold: float = 0.0,
+    engine: Optional[Engine] = None,
+    memory_budget_bytes: Optional[int] = None,
+) -> MaskMatrix:
+    """Packed :func:`neuron_activation_masks` at 1/8 the dense bytes."""
+    eng = resolve_engine(model, engine=engine, cache=False)
+    return eng.packed_neuron_masks(
+        np.asarray(images), threshold, memory_budget_bytes=memory_budget_bytes
+    )
 
 
 def neuron_coverage(
@@ -102,74 +128,58 @@ def neuron_coverage(
     return tracker.coverage
 
 
-class NeuronCoverageTracker:
+class NeuronCoverage(CoverageCriterion):
+    """DeepXplore-style neuron coverage as a pluggable criterion.
+
+    Bit space: one bit per neuron; a bit is set when the neuron's
+    post-activation output exceeds the threshold.
+    """
+
+    name = "neuron"
+
+    def __init__(self, threshold: float = 0.0) -> None:
+        self.threshold = float(threshold)
+
+    def num_bits(self, model: Sequential) -> int:
+        return count_neurons(model)
+
+    def mask_matrix(
+        self, model: Sequential, images: np.ndarray, engine: Optional[Engine] = None
+    ) -> MaskMatrix:
+        return packed_neuron_masks(model, images, self.threshold, engine)
+
+    def tracker(self, model: Sequential) -> "NeuronCoverageTracker":
+        return NeuronCoverageTracker(model, threshold=self.threshold)
+
+
+class NeuronCoverageTracker(PackedCoverageTracker):
     """Incremental neuron-coverage bookkeeping (mirrors ``CoverageTracker``)."""
 
     def __init__(self, model: Sequential, threshold: float = 0.0) -> None:
+        super().__init__(count_neurons(model))
         self._model = model
         self.threshold = float(threshold)
-        self._total = count_neurons(model)
-        self._covered = np.zeros(self._total, dtype=bool)
-        self._num_tests = 0
 
     @property
     def total_neurons(self) -> int:
         return self._total
 
-    @property
-    def covered_mask(self) -> np.ndarray:
-        return self._covered.copy()
-
-    @property
-    def num_covered(self) -> int:
-        return int(self._covered.sum())
-
-    @property
-    def coverage(self) -> float:
-        return self.num_covered / self._total
-
-    @property
-    def num_tests(self) -> int:
-        return self._num_tests
-
-    def reset(self) -> None:
-        self._covered[:] = False
-        self._num_tests = 0
-
     def mask_for(self, x: np.ndarray) -> np.ndarray:
         return neuron_activation_mask(self._model, x, self.threshold)
-
-    def marginal_gain(self, mask: np.ndarray) -> float:
-        mask = self._check_mask(mask)
-        return np.count_nonzero(mask & ~self._covered) / self._total
 
     def marginal_gain_of_sample(self, x: np.ndarray) -> float:
         return self.marginal_gain(self.mask_for(x))
 
-    def add_mask(self, mask: np.ndarray) -> float:
-        mask = self._check_mask(mask)
-        gain = self.marginal_gain(mask)
-        self._covered |= mask
-        self._num_tests += 1
-        return gain
-
     def add_sample(self, x: np.ndarray) -> float:
         return self.add_mask(self.mask_for(x))
 
-    def _check_mask(self, mask: np.ndarray) -> np.ndarray:
-        mask = np.asarray(mask, dtype=bool).ravel()
-        if mask.size != self._total:
-            raise ValueError(
-                f"mask has {mask.size} entries, expected {self._total} (one per neuron)"
-            )
-        return mask
-
 
 class NeuronMaskCache:
-    """Precomputed neuron-activation masks for a candidate pool.
+    """Precomputed neuron-activation masks for a candidate pool, stored packed.
 
     Masks are built in chunked batched forward passes through the execution
-    engine instead of one pass per candidate.
+    engine instead of one pass per candidate, packing each chunk as it
+    arrives.
     """
 
     def __init__(
@@ -178,44 +188,110 @@ class NeuronMaskCache:
         images: np.ndarray,
         threshold: float = 0.0,
         engine: Optional[Engine] = None,
+        memory_budget_bytes: Optional[int] = None,
     ) -> None:
         images = np.asarray(images)
         self.threshold = float(threshold)
         self._images = images
         if images.shape[0] == 0:
-            self._masks = np.zeros((0, count_neurons(model)), dtype=bool)
+            self._packed = MaskMatrix.empty(count_neurons(model))
         else:
-            self._masks = neuron_activation_masks(model, images, threshold, engine)
+            self._packed = packed_neuron_masks(
+                model, images, threshold, engine, memory_budget_bytes
+            )
 
     def __len__(self) -> int:
-        return int(self._masks.shape[0])
+        return len(self._packed)
 
     @property
     def images(self) -> np.ndarray:
         return self._images
 
     @property
+    def packed(self) -> MaskMatrix:
+        """The packed ``(num_candidates, num_neurons)`` mask matrix."""
+        return self._packed
+
+    @property
     def masks(self) -> np.ndarray:
-        return self._masks
+        """Dense boolean mask matrix, materialised on demand (8× the packed
+        bytes) — compatibility surface; the greedy loop runs on
+        :attr:`packed`."""
+        return self._packed.dense()
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the packed mask matrix."""
+        return self._packed.nbytes
+
+    def mask(self, index: int) -> np.ndarray:
+        return self._packed.dense_row(index)
+
+    def packed_mask(self, index: int) -> CoverageMap:
+        return self._packed.row(index)
 
     def sample(self, index: int) -> np.ndarray:
         return self._images[index]
 
-    def marginal_gains(self, covered: np.ndarray) -> np.ndarray:
+    def marginal_gains(
+        self,
+        covered: Union[CoverageMap, np.ndarray],
+        available: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-candidate marginal gains; unavailable candidates (when
+        ``available`` is given) are ``NaN``, never a sentinel."""
+        covered = self._as_covered(covered)
+        gains = self._packed.marginal_fractions(covered)
+        if available is not None:
+            available = self._check_available(available)
+            gains = np.where(available, gains, np.nan)
+        return gains
+
+    def best_candidate(
+        self,
+        covered: Union[CoverageMap, np.ndarray],
+        available: Optional[np.ndarray] = None,
+    ) -> tuple[int, float]:
+        """Greedy argmax with dense tie-breaking (lowest index wins)."""
+        covered = self._as_covered(covered)
+        if available is not None:
+            available = self._check_available(available)
+        index, count = self._packed.best_candidate(covered, available)
+        return index, count / self._packed.nbits
+
+    def _as_covered(self, covered: Union[CoverageMap, np.ndarray]) -> CoverageMap:
+        if isinstance(covered, CoverageMap):
+            if covered.nbits != self._packed.nbits:
+                raise ValueError(
+                    f"covered mask has {covered.nbits} bits, "
+                    f"expected {self._packed.nbits}"
+                )
+            return covered
         covered = np.asarray(covered, dtype=bool).ravel()
-        if covered.size != self._masks.shape[1]:
+        if covered.size != self._packed.nbits:
             raise ValueError(
-                f"covered mask has {covered.size} entries, expected {self._masks.shape[1]}"
+                f"covered mask has {covered.size} entries, "
+                f"expected {self._packed.nbits}"
             )
-        new_bits = self._masks & ~covered[None, :]
-        return new_bits.sum(axis=1) / self._masks.shape[1]
+        return CoverageMap.from_dense(covered)
+
+    def _check_available(self, available: np.ndarray) -> np.ndarray:
+        available = np.asarray(available, dtype=bool).ravel()
+        if available.size != len(self):
+            raise ValueError(
+                f"available has {available.size} entries, expected {len(self)} "
+                "(one per candidate)"
+            )
+        return available
 
 
 __all__ = [
     "count_neurons",
     "neuron_activation_mask",
     "neuron_activation_masks",
+    "packed_neuron_masks",
     "neuron_coverage",
+    "NeuronCoverage",
     "NeuronCoverageTracker",
     "NeuronMaskCache",
 ]

@@ -13,10 +13,20 @@
   computed with one batched forward/backward through the execution engine
   (:func:`mean_validation_coverage_reference` keeps the per-sample loop as a
   reference implementation for equivalence testing);
+* :class:`ParameterCoverage` — the
+  :class:`~repro.coverage.bitmap.CoverageCriterion` implementation for this
+  metric (pluggable alongside neuron coverage);
 * :class:`CoverageTracker` — incremental union bookkeeping used by the greedy
   test-generation algorithms, where marginal gains must be cheap;
 * :class:`ActivationMaskCache` — precomputes masks for a candidate pool so
-  Algorithm 1's inner loop is a pure mask operation.
+  Algorithm 1's inner loop is a pure bitset operation.
+
+Masks are stored *packed* (:mod:`repro.coverage.bitmap`): 64 parameters per
+uint64 word, 1/8 the bytes of the dense boolean representation, with marginal
+gains computed as ``popcount(candidate & ~covered)``.  Packing is lossless
+and all greedy argmax tie-breaking matches the dense implementation exactly;
+dense arrays remain accepted everywhere and available via explicit
+materialisation (``.masks``, ``covered_mask``).
 
 All batched paths go through :class:`repro.engine.Engine`; every function
 accepts an optional ``engine`` so callers can share one memoizing engine
@@ -25,11 +35,17 @@ across the coverage, test-generation and analysis layers.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.coverage.activation import ActivationCriterion, default_criterion_for
+from repro.coverage.bitmap import (
+    CoverageCriterion,
+    CoverageMap,
+    MaskMatrix,
+    PackedCoverageTracker,
+)
 from repro.engine import Engine, resolve_engine
 from repro.nn.model import Sequential
 from repro.utils.logging import get_logger
@@ -62,11 +78,34 @@ def activation_masks(
 
     Row ``i`` equals ``activation_mask(model, images[i], criterion)``, but the
     whole pool is evaluated with chunked batched forward/backward passes
-    through the execution engine.
+    through the execution engine.  For large pools prefer
+    :func:`packed_activation_masks`, which never materialises the dense
+    matrix.
     """
     crit = criterion or default_criterion_for(model)
     eng = resolve_engine(model, crit, engine, cache=False)
     return eng.activation_masks(np.asarray(images), crit)
+
+
+def packed_activation_masks(
+    model: Sequential,
+    images: np.ndarray,
+    criterion: Optional[ActivationCriterion] = None,
+    engine: Optional[Engine] = None,
+    memory_budget_bytes: Optional[int] = None,
+) -> MaskMatrix:
+    """Packed :func:`activation_masks`: a
+    :class:`~repro.coverage.bitmap.MaskMatrix` at 1/8 the dense bytes.
+
+    Built streaming — each gradient chunk is thresholded, packed and dropped —
+    so peak transient memory is one chunk's gradients (cappable via
+    ``memory_budget_bytes``), not the whole pool's.
+    """
+    crit = criterion or default_criterion_for(model)
+    eng = resolve_engine(model, crit, engine, cache=False)
+    return eng.packed_activation_masks(
+        np.asarray(images), crit, memory_budget_bytes=memory_budget_bytes
+    )
 
 
 def validation_coverage(
@@ -87,7 +126,8 @@ def set_validation_coverage(
 ) -> float:
     """``VC(X)``: fraction of parameters activated by at least one test (Eq. 4).
 
-    The union over the test set is computed from one batched mask matrix.
+    The union over the test set is computed word-wise on packed masks — the
+    dense ``(N, P)`` matrix is never materialised.
     """
     if not isinstance(tests, np.ndarray):
         tests = (
@@ -97,8 +137,8 @@ def set_validation_coverage(
         )
     if tests.shape[0] == 0:
         return 0.0  # an empty test set activates nothing
-    masks = activation_masks(model, tests, criterion, engine)
-    return float(masks.any(axis=0).mean())
+    packed = packed_activation_masks(model, tests, criterion, engine)
+    return packed.union().fraction
 
 
 def mean_validation_coverage(
@@ -116,8 +156,8 @@ def mean_validation_coverage(
     images = np.asarray(images)
     if images.shape[0] == 0:
         raise ValueError("cannot average over an empty image set")
-    masks = activation_masks(model, images, criterion, engine)
-    return float(masks.mean(axis=1).mean())
+    packed = packed_activation_masks(model, images, criterion, engine)
+    return float(packed.fractions().mean())
 
 
 def mean_validation_coverage_reference(
@@ -149,11 +189,39 @@ def average_sample_coverage(
     return mean_validation_coverage(model, images, criterion, engine)
 
 
-class CoverageTracker:
+class ParameterCoverage(CoverageCriterion):
+    """The paper's parameter (validation) coverage as a pluggable criterion.
+
+    Bit space: one bit per scalar model parameter; a bit is set when the
+    activation criterion's gradient threshold is exceeded.
+    """
+
+    name = "parameter"
+
+    def __init__(self, criterion: Optional[ActivationCriterion] = None) -> None:
+        self.criterion = criterion
+
+    def _resolved(self, model: Sequential) -> ActivationCriterion:
+        return self.criterion or default_criterion_for(model)
+
+    def num_bits(self, model: Sequential) -> int:
+        return model.num_parameters()
+
+    def mask_matrix(
+        self, model: Sequential, images: np.ndarray, engine: Optional[Engine] = None
+    ) -> MaskMatrix:
+        return packed_activation_masks(model, images, self._resolved(model), engine)
+
+    def tracker(self, model: Sequential) -> "CoverageTracker":
+        return CoverageTracker(model, self._resolved(model))
+
+
+class CoverageTracker(PackedCoverageTracker):
     """Running union of activated parameters over an incrementally built test set.
 
     The greedy algorithms repeatedly ask "how much would adding this sample
-    increase VC(X)?"; with the tracker this is one vectorised mask operation.
+    increase VC(X)?"; with the tracker this is one word-wise bitset operation
+    (``popcount(mask & ~covered)``) on the packed covered map.
     """
 
     def __init__(
@@ -161,66 +229,28 @@ class CoverageTracker:
         model: Sequential,
         criterion: Optional[ActivationCriterion] = None,
     ) -> None:
+        total = model.num_parameters()
+        if total == 0:
+            raise ValueError("model has no parameters to cover")
+        super().__init__(total)
         self._model = model
         self.criterion = criterion or default_criterion_for(model)
-        self._total = model.num_parameters()
-        if self._total == 0:
-            raise ValueError("model has no parameters to cover")
-        self._covered = np.zeros(self._total, dtype=bool)
-        self._num_tests = 0
 
     # -- state -------------------------------------------------------------
     @property
     def total_parameters(self) -> int:
         return self._total
 
-    @property
-    def covered_mask(self) -> np.ndarray:
-        """Copy of the current covered-parameter mask."""
-        return self._covered.copy()
-
-    @property
-    def num_covered(self) -> int:
-        return int(self._covered.sum())
-
-    @property
-    def coverage(self) -> float:
-        """Current VC(X) of all added tests."""
-        return self.num_covered / self._total
-
-    @property
-    def num_tests(self) -> int:
-        """Number of tests added so far."""
-        return self._num_tests
-
-    def reset(self) -> None:
-        self._covered[:] = False
-        self._num_tests = 0
-
     # -- queries -----------------------------------------------------------
     def mask_for(self, x: np.ndarray) -> np.ndarray:
         """Activation mask of a sample under this tracker's criterion."""
         return activation_mask(self._model, x, self.criterion)
-
-    def marginal_gain(self, mask: np.ndarray) -> float:
-        """Coverage increase ``VC(X + x) − VC(X)`` for a candidate mask (Eq. 7)."""
-        mask = self._check_mask(mask)
-        newly = np.count_nonzero(mask & ~self._covered)
-        return newly / self._total
 
     def marginal_gain_of_sample(self, x: np.ndarray) -> float:
         """Marginal gain of a raw sample (computes its mask first)."""
         return self.marginal_gain(self.mask_for(x))
 
     # -- updates -----------------------------------------------------------
-    def add_mask(self, mask: np.ndarray) -> float:
-        """Union a candidate mask into the covered set; returns the gain."""
-        mask = self._check_mask(mask)
-        gain = self.marginal_gain(mask)
-        self._covered |= mask
-        self._num_tests += 1
-        return gain
-
     def add_sample(self, x: np.ndarray) -> float:
         """Compute the sample's mask and union it in; returns the gain."""
         return self.add_mask(self.mask_for(x))
@@ -228,34 +258,29 @@ class CoverageTracker:
     def add_batch(self, batch: np.ndarray, engine: Optional[Engine] = None) -> float:
         """Union a whole batch of samples in one engine pass; returns the
         total coverage gain of the batch."""
-        masks = activation_masks(self._model, batch, self.criterion, engine)
+        packed = packed_activation_masks(self._model, batch, self.criterion, engine)
         before = self.num_covered
-        self._covered |= masks.any(axis=0)
-        self._num_tests += int(masks.shape[0])
+        self._covered.union_(packed.union())
+        self._num_tests += len(packed)
         return (self.num_covered - before) / self._total
-
-    def uncovered_indices(self) -> np.ndarray:
-        """Flat indices of parameters not yet activated by any added test."""
-        return np.flatnonzero(~self._covered)
-
-    def _check_mask(self, mask: np.ndarray) -> np.ndarray:
-        mask = np.asarray(mask, dtype=bool).ravel()
-        if mask.size != self._total:
-            raise ValueError(
-                f"mask has {mask.size} entries, expected {self._total} "
-                "(one per scalar parameter)"
-            )
-        return mask
 
 
 class ActivationMaskCache:
-    """Precomputed activation masks for a candidate pool.
+    """Precomputed activation masks for a candidate pool, stored packed.
 
     Algorithm 1 scans the training set every iteration; recomputing
     ``∇θ F(x)`` for each candidate each iteration would be quadratic in
     backward passes.  Each candidate's mask only depends on the (fixed) model,
     so the cache computes them once — in chunked batched passes through the
-    execution engine — and the greedy loop becomes pure NumPy.
+    execution engine, packing each chunk as it arrives — and the greedy loop
+    becomes pure popcount arithmetic at 1/8 the dense matrix's memory.
+
+    Parameters
+    ----------
+    memory_budget_bytes:
+        Optional cap on the transient dense gradient buffers used while
+        building the cache (smaller chunks, same result); the resident packed
+        matrix itself is always ``N × ceil(P/64) × 8`` bytes.
     """
 
     def __init__(
@@ -265,6 +290,7 @@ class ActivationMaskCache:
         criterion: Optional[ActivationCriterion] = None,
         log_every: int = 0,  # retained for API compatibility; batching made it moot
         engine: Optional[Engine] = None,
+        memory_budget_bytes: Optional[int] = None,
     ) -> None:
         images = np.asarray(images)
         if images.ndim != len(model.input_shape or ()) + 1:
@@ -275,56 +301,134 @@ class ActivationMaskCache:
         self.criterion = criterion or default_criterion_for(model)
         self._images = images
         if images.shape[0] == 0:
-            self._masks = np.zeros((0, model.num_parameters()), dtype=bool)
+            self._packed = MaskMatrix.empty(model.num_parameters())
         else:
             logger.debug("mask cache: batching %d candidates", images.shape[0])
-            self._masks = activation_masks(model, images, self.criterion, engine)
+            self._packed = packed_activation_masks(
+                model,
+                images,
+                self.criterion,
+                engine,
+                memory_budget_bytes=memory_budget_bytes,
+            )
 
     def __len__(self) -> int:
-        return int(self._masks.shape[0])
+        return len(self._packed)
 
     @property
     def images(self) -> np.ndarray:
         return self._images
 
     @property
+    def packed(self) -> MaskMatrix:
+        """The packed ``(num_candidates, num_parameters)`` mask matrix."""
+        return self._packed
+
+    @property
     def masks(self) -> np.ndarray:
-        """``(num_candidates, num_parameters)`` boolean mask matrix."""
-        return self._masks
+        """Dense ``(num_candidates, num_parameters)`` boolean mask matrix.
+
+        Materialised on demand (8× the packed bytes) — a compatibility
+        surface; the greedy loops run on :attr:`packed`.
+        """
+        return self._packed.dense()
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the packed mask matrix."""
+        return self._packed.nbytes
 
     def mask(self, index: int) -> np.ndarray:
-        return self._masks[index]
+        return self._packed.dense_row(index)
+
+    def packed_mask(self, index: int) -> CoverageMap:
+        """Candidate ``index``'s mask as a packed :class:`CoverageMap`."""
+        return self._packed.row(index)
 
     def sample(self, index: int) -> np.ndarray:
         return self._images[index]
 
     def per_sample_coverage(self) -> np.ndarray:
         """VC(x) of every cached candidate."""
-        return self._masks.mean(axis=1)
+        return self._packed.fractions()
 
-    def marginal_gains(self, covered: np.ndarray) -> np.ndarray:
+    def marginal_gains(
+        self,
+        covered: Union[CoverageMap, np.ndarray],
+        available: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Marginal gain of every candidate against a covered mask.
 
         Vectorised version of Eq. 7 over the whole pool: counts, per
         candidate, how many of its activated parameters are not yet covered.
+        ``covered`` may be dense boolean or packed.
+
+        Unavailability is an *explicit argument*: when ``available`` is given,
+        unavailable candidates' gains are returned as ``NaN`` rather than a
+        sentinel value that a legitimate gain could alias (an all-zero-gain
+        pool stays distinguishable from an exhausted one).  Use
+        :meth:`best_candidate` for the greedy argmax.
         """
+        covered = self._as_covered(covered)
+        gains = self._packed.marginal_fractions(covered)
+        if available is not None:
+            available = self._check_available(available)
+            gains = np.where(available, gains, np.nan)
+        return gains
+
+    def best_candidate(
+        self,
+        covered: Union[CoverageMap, np.ndarray],
+        available: Optional[np.ndarray] = None,
+    ) -> tuple[int, float]:
+        """Greedy argmax: index and gain of the best available candidate.
+
+        Ties break to the lowest index (dense ``np.argmax`` semantics), so
+        packed selection orders are byte-identical to the dense reference.
+        Raises ``ValueError`` when no candidate is available.
+        """
+        covered = self._as_covered(covered)
+        if available is not None:
+            available = self._check_available(available)
+        index, count = self._packed.best_candidate(covered, available)
+        return index, count / self._packed.nbits
+
+    def _as_covered(self, covered: Union[CoverageMap, np.ndarray]) -> CoverageMap:
+        if isinstance(covered, CoverageMap):
+            if covered.nbits != self._packed.nbits:
+                raise ValueError(
+                    f"covered mask has {covered.nbits} bits, "
+                    f"expected {self._packed.nbits}"
+                )
+            return covered
         covered = np.asarray(covered, dtype=bool).ravel()
-        if covered.size != self._masks.shape[1]:
+        if covered.size != self._packed.nbits:
             raise ValueError(
-                f"covered mask has {covered.size} entries, expected {self._masks.shape[1]}"
+                f"covered mask has {covered.size} entries, "
+                f"expected {self._packed.nbits}"
             )
-        new_bits = self._masks & ~covered[None, :]
-        return new_bits.sum(axis=1) / self._masks.shape[1]
+        return CoverageMap.from_dense(covered)
+
+    def _check_available(self, available: np.ndarray) -> np.ndarray:
+        available = np.asarray(available, dtype=bool).ravel()
+        if available.size != len(self):
+            raise ValueError(
+                f"available has {available.size} entries, expected {len(self)} "
+                "(one per candidate)"
+            )
+        return available
 
 
 __all__ = [
     "activation_mask",
     "activation_masks",
+    "packed_activation_masks",
     "validation_coverage",
     "set_validation_coverage",
     "mean_validation_coverage",
     "mean_validation_coverage_reference",
     "average_sample_coverage",
+    "ParameterCoverage",
     "CoverageTracker",
     "ActivationMaskCache",
 ]

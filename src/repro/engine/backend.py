@@ -23,6 +23,38 @@ from repro.nn.losses import Loss, get_loss
 from repro.nn.model import Sequential
 
 
+def threshold_and_pack(grads: np.ndarray, epsilon: float) -> np.ndarray:
+    """Gradient matrix → packed activation-mask words.
+
+    The single thresholding definition — delegated to
+    :meth:`repro.coverage.activation.ActivationCriterion.activated` — shared
+    by the default backend implementation and the parallel workers, so the
+    activation rule can never diverge between transport paths.
+    """
+    from repro.coverage.activation import ActivationCriterion
+    from repro.coverage.bitmap import pack_bool
+
+    return pack_bool(ActivationCriterion(epsilon=epsilon).activated(grads))
+
+
+def pack_neuron_outputs(
+    outputs: List[np.ndarray],
+    num_samples: int,
+    threshold: float,
+    layer_indices: Tuple[int, ...],
+) -> np.ndarray:
+    """Per-layer forward outputs → packed neuron-mask words.
+
+    Shared by the default backend implementation and the parallel workers.
+    """
+    from repro.coverage.bitmap import pack_bool
+
+    parts = [
+        (outputs[i] > threshold).reshape(num_samples, -1) for i in layer_indices
+    ]
+    return pack_bool(np.concatenate(parts, axis=1))
+
+
 class ExecutionBackend:
     """Abstract executor of a model's batched forward/backward primitives.
 
@@ -96,6 +128,39 @@ class ExecutionBackend:
         keeps its own training-mode loop.
         """
         raise NotImplementedError
+
+    # -- packed mask primitives ---------------------------------------------
+    def packed_masks(
+        self, model: Sequential, x: np.ndarray, scalarization: str, epsilon: float
+    ) -> np.ndarray:
+        """Packed per-parameter activation masks: uint64 words, shape
+        ``(N, ceil(P / 64))``.
+
+        Row ``i`` is the little-endian bit-packing of
+        ``|∇θ F(x_i)| > epsilon`` (strict non-zero when ``epsilon == 0``).
+        The default derives from :meth:`output_gradients`; sharded backends
+        override it to threshold *and pack inside the workers*, so only the
+        1/8-size word matrix crosses the process boundary.
+        """
+        return threshold_and_pack(self.output_gradients(model, x, scalarization), epsilon)
+
+    def packed_neuron_masks(
+        self,
+        model: Sequential,
+        x: np.ndarray,
+        threshold: float,
+        layer_indices: Tuple[int, ...],
+    ) -> np.ndarray:
+        """Packed per-neuron activation masks: uint64 words, shape
+        ``(N, ceil(num_neurons / 64))``.
+
+        Concatenates, per sample, the thresholded post-activation outputs of
+        the given layers and packs them.  Overridable for the same transport
+        reason as :meth:`packed_masks`.
+        """
+        return pack_neuron_outputs(
+            self.forward_collect(model, x), x.shape[0], threshold, layer_indices
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{self.__class__.__name__}()"
@@ -183,7 +248,9 @@ __all__ = [
     "ExecutionBackend",
     "NumpyBackend",
     "BackendSpec",
+    "pack_neuron_outputs",
     "register_backend",
     "available_backends",
     "get_backend",
+    "threshold_and_pack",
 ]

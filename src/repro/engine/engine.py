@@ -231,12 +231,46 @@ class Engine:
         # per-call copy (pinned by a no-copy assertion in the test suite)
         return self.dtype_policy.asarray(batch)
 
-    def _chunks(self, n: int) -> Iterator[slice]:
+    def _chunks(self, n: int, max_chunk: Optional[int] = None) -> Iterator[slice]:
         # sharded backends split every dispatched chunk across their workers,
         # so scale the chunk size to keep each worker at batch_size samples
         step = self.batch_size * max(1, self.backend.parallelism)
+        if max_chunk is not None:
+            step = max(1, min(step, max_chunk))
         for start in range(0, n, step):
             yield slice(start, min(start + step, n))
+
+    def _budgeted_chunk_rows(
+        self, memory_budget_bytes: Optional[int], per_row_bytes: Optional[int] = None
+    ) -> Optional[int]:
+        """Largest chunk row count whose transient dense buffers fit a budget.
+
+        ``per_row_bytes`` is the query's per-sample transient cost; defaults
+        to one float64 gradient row (``P × 8`` bytes), the dominant buffer of
+        the parameter-mask queries.
+        """
+        if memory_budget_bytes is None:
+            return None
+        if memory_budget_bytes <= 0:
+            raise ValueError("memory_budget_bytes must be positive")
+        if per_row_bytes is None:
+            per_row_bytes = self.model.num_parameters() * 8
+        return max(1, int(memory_budget_bytes) // max(1, per_row_bytes))
+
+    def _activation_volume(self) -> int:
+        """Scalars per sample that ``forward_collect`` keeps resident.
+
+        The transient cost of the neuron-mask queries: every layer's output
+        is collected, so (unlike the gradient queries) it scales with
+        feature-map sizes, not parameter count — for conv layers the two
+        differ by orders of magnitude (weight sharing).
+        """
+        shape = self.model.input_shape or ()
+        total = 0
+        for layer in self.model.layers:
+            shape = layer.output_shape(shape)
+            total += int(np.prod(shape))
+        return total
 
     def _execution_model(self) -> Sequential:
         """The model the backend should run: the caller's, or its shadow.
@@ -383,6 +417,135 @@ class Engine:
         epsilon = getattr(crit, "epsilon", None)
         return self._memoized("activation_masks", batch, (key_scal, epsilon), compute)
 
+    def packed_activation_masks(
+        self,
+        batch: np.ndarray,
+        criterion: Optional[object] = None,
+        memory_budget_bytes: Optional[int] = None,
+    ):
+        """Packed per-parameter activation masks as a
+        :class:`~repro.coverage.bitmap.MaskMatrix` (1/8 the dense bytes).
+
+        Row ``i`` packs exactly ``activation_mask(model, batch[i],
+        criterion)`` — packing is lossless, so dense and packed consumers see
+        bit-identical masks.  Masks are built *streaming*: each chunk's
+        gradients are thresholded and packed, then dropped, so peak transient
+        memory is one chunk's float64 gradients plus the packed matrix.
+        ``memory_budget_bytes`` caps that transient chunk (the full
+        ``(N, P)`` dense matrix is never materialized either way).
+
+        Plain :class:`~repro.coverage.activation.ActivationCriterion`
+        thresholds are pushed down to the backend, which may pack inside its
+        workers (the parallel backend ships 1/8-size results); criteria with
+        a custom ``activated`` run through a generic dense-chunk fallback.
+        """
+        from repro.coverage.activation import ActivationCriterion
+        from repro.coverage.bitmap import MaskMatrix, pack_bool
+
+        crit = criterion or self.criterion
+        batch = self._as_batch(batch)
+        scal = getattr(crit, "scalarization", "sum")
+        if scal not in SCALARIZATIONS:
+            raise ValueError(
+                f"unknown scalarization {scal!r}; choose from {SCALARIZATIONS}"
+            )
+        key_scal = "max" if scal == "predicted" else scal
+        epsilon = getattr(crit, "epsilon", None)
+        nbits = self.model.num_parameters()
+        max_chunk = self._budgeted_chunk_rows(memory_budget_bytes)
+
+        # a memoized dense gradient (or mask) matrix for this batch makes
+        # packing a pure re-threshold — reuse it instead of recomputing.
+        # Thresholding runs chunk by chunk so the reuse path honours the
+        # memory budget too (the full (N, P) boolean matrix is never built)
+        if self._cache is not None:
+            digest = parameter_digest(self.model)
+            fingerprint = array_fingerprint(batch)
+            grads = self._cache.get(
+                ("output_gradients", digest, fingerprint, (key_scal,))
+            )
+            if grads is not None:
+                words = np.concatenate(
+                    [
+                        pack_bool(crit.activated(grads[s]))
+                        for s in self._chunks(grads.shape[0], max_chunk)
+                    ],
+                    axis=0,
+                )
+                return MaskMatrix(nbits, words)
+            dense = self._cache.get(
+                ("activation_masks", digest, fingerprint, (key_scal, epsilon))
+            )
+            if dense is not None:
+                return MaskMatrix(nbits, pack_bool(dense))
+
+        plain = type(crit) is ActivationCriterion
+
+        def compute() -> np.ndarray:
+            model = self._execution_model()
+            rows = []
+            for s in self._chunks(batch.shape[0], max_chunk):
+                if plain:
+                    rows.append(
+                        self.backend.packed_masks(model, batch[s], scal, crit.epsilon)
+                    )
+                else:
+                    rows.append(
+                        pack_bool(
+                            crit.activated(
+                                self.backend.output_gradients(model, batch[s], scal)
+                            )
+                        )
+                    )
+            return np.concatenate(rows, axis=0)
+
+        words = self._memoized(
+            "packed_activation_masks", batch, (key_scal, epsilon), compute
+        )
+        return MaskMatrix(nbits, words)
+
+    def packed_neuron_masks(
+        self,
+        batch: np.ndarray,
+        threshold: float = 0.0,
+        memory_budget_bytes: Optional[int] = None,
+    ):
+        """Packed per-neuron activation masks as a
+        :class:`~repro.coverage.bitmap.MaskMatrix`.
+
+        Row ``i`` packs exactly ``neuron_activation_mask(model, batch[i],
+        threshold)``; chunks are thresholded and packed streaming, like
+        :meth:`packed_activation_masks`.
+        """
+        from repro.coverage.bitmap import MaskMatrix
+        from repro.coverage.neuron_coverage import count_neurons
+
+        batch = self._as_batch(batch)
+        threshold = float(threshold)
+        indices = tuple(neuron_layer_indices(self.model))
+        nbits = count_neurons(self.model)
+        # the transient here is forward_collect's per-layer outputs, not a
+        # gradient row — budget by activation volume (for conv models the
+        # difference is orders of magnitude)
+        max_chunk = self._budgeted_chunk_rows(
+            memory_budget_bytes, per_row_bytes=self._activation_volume() * 8
+        )
+
+        def compute() -> np.ndarray:
+            model = self._execution_model()
+            return np.concatenate(
+                [
+                    self.backend.packed_neuron_masks(
+                        model, batch[s], threshold, indices
+                    )
+                    for s in self._chunks(batch.shape[0], max_chunk)
+                ],
+                axis=0,
+            )
+
+        words = self._memoized("packed_neuron_masks", batch, (threshold,), compute)
+        return MaskMatrix(nbits, words)
+
     def neuron_masks(self, batch: np.ndarray, threshold: float = 0.0) -> np.ndarray:
         """Boolean per-neuron activation masks, shape ``(N, num_neurons)``.
 
@@ -413,8 +576,12 @@ class Engine:
     def per_sample_coverage(
         self, batch: np.ndarray, criterion: Optional[object] = None
     ) -> np.ndarray:
-        """``VC(x_i)`` of every sample in the batch (Eq. 3, vectorised)."""
-        return self.activation_masks(batch, criterion).mean(axis=1)
+        """``VC(x_i)`` of every sample in the batch (Eq. 3, vectorised).
+
+        Runs on packed masks: per-sample popcount over ``nbits`` — exactly
+        equal to the dense row means at 1/8 the resident memory.
+        """
+        return self.packed_activation_masks(batch, criterion).fractions()
 
     def mean_validation_coverage(
         self, batch: np.ndarray, criterion: Optional[object] = None
@@ -440,8 +607,13 @@ class Engine:
     ) -> float:
         """``VC(X)`` of the whole batch as a test set (Eq. 4-5, vectorised).
 
-        ``0.0`` for an empty batch, like the module-level function."""
-        return float(self.union_mask(batch, criterion).mean())
+        Computed on packed masks (word-wise union + popcount); exactly equal
+        to ``union_mask(batch).mean()`` without materialising the dense
+        matrix.  ``0.0`` for an empty batch, like the module-level function.
+        """
+        if np.asarray(batch).shape[:1] == (0,):
+            return 0.0
+        return self.packed_activation_masks(batch, criterion).union().fraction
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -28,6 +28,12 @@ class GenerationResult:
     sources:
         Per-test provenance label, e.g. ``"training"`` or ``"gradient"`` —
         used by the combined method to report its switch point.
+    dataset_indices:
+        Per-test index into the generator's source dataset, recorded *at
+        selection time* (``-1`` for synthesised tests with no dataset
+        origin).  ``None`` when the generator has no dataset notion at all.
+        This is the authoritative provenance record — mapping tests back by
+        pixel comparison is ambiguous for duplicate images.
     method:
         Name of the generator that produced this result.
     """
@@ -36,6 +42,7 @@ class GenerationResult:
     coverage_history: List[float] = field(default_factory=list)
     gains: List[float] = field(default_factory=list)
     sources: List[str] = field(default_factory=list)
+    dataset_indices: Optional[np.ndarray] = None
     method: str = "unknown"
 
     def __post_init__(self) -> None:
@@ -49,6 +56,13 @@ class GenerationResult:
             if seq and len(seq) != n:
                 raise ValueError(
                     f"{name} has {len(seq)} entries but there are {n} tests"
+                )
+        if self.dataset_indices is not None:
+            self.dataset_indices = np.asarray(self.dataset_indices, dtype=np.int64)
+            if self.dataset_indices.shape != (n,):
+                raise ValueError(
+                    f"dataset_indices has shape {self.dataset_indices.shape} "
+                    f"but there are {n} tests"
                 )
 
     @property
@@ -71,6 +85,11 @@ class GenerationResult:
             coverage_history=list(self.coverage_history[:n]),
             gains=list(self.gains[:n]),
             sources=list(self.sources[:n]),
+            dataset_indices=(
+                self.dataset_indices[:n].copy()
+                if self.dataset_indices is not None
+                else None
+            ),
             method=self.method,
         )
 

@@ -25,6 +25,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.coverage.activation import ActivationCriterion, default_criterion_for
+from repro.coverage.bitmap import CoverageMap, MaskMatrix
 from repro.coverage.parameter_coverage import ActivationMaskCache, CoverageTracker
 from repro.data.datasets import Dataset
 from repro.engine import Engine
@@ -102,26 +103,28 @@ class CombinedGenerator(TestGenerator):
     # -- helpers -------------------------------------------------------------
     def _gradient_batch_gain_per_test(
         self, tracker: CoverageTracker
-    ) -> tuple[float, np.ndarray, np.ndarray]:
+    ) -> tuple[float, np.ndarray, MaskMatrix]:
         """Synthesise one trial batch and measure its average per-test gain.
 
         Returns ``(gain_per_test, batch, batch_masks)`` so the batch can be
         reused if the gradient method is chosen (the synthesis is the
-        expensive part).
+        expensive part).  Masks come back packed; the new-coverage accounting
+        is pure popcount arithmetic.
         """
         if self._gradient.target == "residual":
             synthesis_model = self._gradient._residual_model(tracker.covered_mask)
         else:
             synthesis_model = self.model
         batch = self._gradient.synthesize_batch(synthesis_model)
-        masks = self.engine.activation_masks(batch, self.criterion)
-        union = np.zeros(tracker.total_parameters, dtype=bool)
-        covered = tracker.covered_mask
+        masks = self.engine.packed_activation_masks(batch, self.criterion)
+        union = CoverageMap(tracker.total_parameters)
+        covered = tracker.covered_map
         new_total = 0
-        for mask in masks:
-            new_total += np.count_nonzero(mask & ~covered & ~union)
-            union |= mask
-        gain_per_test = new_total / masks.shape[0] / tracker.total_parameters
+        for i in range(len(masks)):
+            mask = masks.row(i)
+            new_total += mask.andnot_count(covered, union)
+            union.union_(mask)
+        gain_per_test = new_total / len(masks) / tracker.total_parameters
         return gain_per_test, batch, masks
 
     # -- generation ------------------------------------------------------------
@@ -130,6 +133,8 @@ class CombinedGenerator(TestGenerator):
             raise ValueError("num_tests must be positive")
 
         cache: ActivationMaskCache = self._selector._ensure_cache()
+        pool_indices = self._selector._pool_indices
+        assert pool_indices is not None
         tracker = CoverageTracker(self.model, self.criterion)
         available = np.ones(len(cache), dtype=bool)
 
@@ -137,9 +142,10 @@ class CombinedGenerator(TestGenerator):
         history: List[float] = []
         gains: List[float] = []
         sources: List[str] = []
+        dataset_indices: List[int] = []
 
         pending_batch: List[np.ndarray] = []
-        pending_masks: List[np.ndarray] = []
+        pending_masks: List[CoverageMap] = []
         switched = False
 
         while len(tests) < num_tests:
@@ -152,16 +158,20 @@ class CombinedGenerator(TestGenerator):
                 switched = use_gradient
             else:
                 # adaptive policy: compare best remaining training gain with
-                # the per-test gain of a fresh gradient batch
-                pool_gains = cache.marginal_gains(tracker.covered_mask)
-                pool_gains[~available] = -1.0
-                best_training_gain = float(pool_gains.max()) if available.any() else -1.0
+                # the per-test gain of a fresh gradient batch.  Availability
+                # is an explicit subset — no sentinel values in the gains
+                if available.any():
+                    _, best_training_gain = cache.best_candidate(
+                        tracker.covered_map, available
+                    )
+                else:
+                    best_training_gain = -1.0
                 grad_gain, batch, masks = self._gradient_batch_gain_per_test(tracker)
                 if grad_gain > best_training_gain:
                     use_gradient = True
                     switched = True
                     pending_batch = list(batch)
-                    pending_masks = list(masks)
+                    pending_masks = [masks.row(i) for i in range(len(masks))]
                     logger.info(
                         "combined method switching to gradient generation after "
                         "%d tests (training gain %.4f < gradient gain %.4f)",
@@ -177,23 +187,22 @@ class CombinedGenerator(TestGenerator):
                     else:
                         model = self.model
                     batch = self._gradient.synthesize_batch(model)
+                    packed = self.engine.packed_activation_masks(batch, self.criterion)
                     pending_batch = list(batch)
-                    pending_masks = list(
-                        self.engine.activation_masks(batch, self.criterion)
-                    )
+                    pending_masks = [packed.row(i) for i in range(len(packed))]
                 sample = pending_batch.pop(0)
                 mask = pending_masks.pop(0)
                 gain = tracker.add_mask(mask)
                 tests.append(sample)
                 sources.append("gradient")
+                dataset_indices.append(-1)  # synthesised: no dataset origin
             else:
-                pool_gains = cache.marginal_gains(tracker.covered_mask)
-                pool_gains[~available] = -1.0
-                best = int(np.argmax(pool_gains))
-                gain = tracker.add_mask(cache.mask(best))
+                best, _gain = cache.best_candidate(tracker.covered_map, available)
+                gain = tracker.add_mask(cache.packed_mask(best))
                 available[best] = False
                 tests.append(cache.sample(best))
                 sources.append("training")
+                dataset_indices.append(int(pool_indices[best]))
 
             gains.append(gain)
             history.append(tracker.coverage)
@@ -203,6 +212,7 @@ class CombinedGenerator(TestGenerator):
             coverage_history=history,
             gains=gains,
             sources=sources,
+            dataset_indices=np.asarray(dataset_indices, dtype=np.int64),
             method=self.method_name,
         )
 

@@ -167,13 +167,13 @@ class GradientTestGenerator(TestGenerator):
             else:
                 synthesis_model = self.model
             batch = self.synthesize_batch(synthesis_model)
-            # masks for the whole synthetic batch in one engine pass
-            batch_masks = self.engine.activation_masks(batch, self.criterion)
-            for sample, mask in zip(batch, batch_masks):
+            # packed masks for the whole synthetic batch in one engine pass
+            batch_masks = self.engine.packed_activation_masks(batch, self.criterion)
+            for i in range(len(batch_masks)):
                 if len(tests) >= num_tests:
                     break
-                gain = own_tracker.add_mask(mask)
-                tests.append(sample)
+                gain = own_tracker.add_mask(batch_masks.row(i))
+                tests.append(batch[i])
                 gains.append(gain)
                 history.append(own_tracker.coverage)
             logger.debug(
@@ -188,6 +188,7 @@ class GradientTestGenerator(TestGenerator):
             coverage_history=history,
             gains=gains,
             sources=["gradient"] * len(tests),
+            dataset_indices=np.full(len(tests), -1, dtype=np.int64),
             method=self.method_name,
         )
 

@@ -51,6 +51,7 @@ class NeuronCoverageSelector(TestGenerator):
         self.candidate_pool = candidate_pool
         self._rng = as_generator(rng)
         self._cache: Optional[NeuronMaskCache] = None
+        self._pool_indices: Optional[np.ndarray] = None
 
     def _ensure_cache(self) -> NeuronMaskCache:
         if self._cache is None:
@@ -59,6 +60,7 @@ class NeuronCoverageSelector(TestGenerator):
                 idx = self._rng.choice(n, size=self.candidate_pool, replace=False)
             else:
                 idx = np.arange(n)
+            self._pool_indices = idx
             images = self.training_set.images[idx]
             logger.info("building neuron-mask cache for %d candidates", images.shape[0])
             self._cache = NeuronMaskCache(
@@ -86,20 +88,22 @@ class NeuronCoverageSelector(TestGenerator):
 
         budget = min(num_tests, len(cache))
         for _ in range(budget):
-            pool_gains = cache.marginal_gains(tracker.covered_mask)
-            pool_gains[~available] = -1.0
-            best = int(np.argmax(pool_gains))
-            gain = tracker.add_mask(cache.masks[best])
+            # packed greedy step: popcount marginal gains with an explicit
+            # availability subset, dense-identical tie-breaking
+            best, _gain = cache.best_candidate(tracker.covered_map, available)
+            gain = tracker.add_mask(cache.packed_mask(best))
             available[best] = False
             selected.append(best)
             gains.append(gain)
             history.append(tracker.coverage)
 
+        assert self._pool_indices is not None
         return GenerationResult(
             tests=cache.images[selected],
             coverage_history=history,
             gains=gains,
             sources=["training"] * len(selected),
+            dataset_indices=self._pool_indices[selected],
             method=self.method_name,
         )
 

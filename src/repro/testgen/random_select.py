@@ -10,10 +10,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from repro.coverage.activation import ActivationCriterion, default_criterion_for
-from repro.coverage.parameter_coverage import CoverageTracker, activation_masks
+from repro.coverage.parameter_coverage import CoverageTracker, packed_activation_masks
 from repro.data.datasets import Dataset
 from repro.engine import Engine
 from repro.nn.model import Sequential
@@ -48,10 +46,10 @@ class RandomSelector(TestGenerator):
         tests = self.training_set.images[idx]
 
         tracker = CoverageTracker(self.model, self.criterion)
-        masks = activation_masks(self.model, tests, self.criterion, self.engine)
+        masks = packed_activation_masks(self.model, tests, self.criterion, self.engine)
         history, gains = [], []
-        for mask in masks:
-            gains.append(tracker.add_mask(mask))
+        for i in range(len(masks)):
+            gains.append(tracker.add_mask(masks.row(i)))
             history.append(tracker.coverage)
 
         return GenerationResult(
@@ -59,6 +57,7 @@ class RandomSelector(TestGenerator):
             coverage_history=history,
             gains=gains,
             sources=["training"] * n,
+            dataset_indices=idx,
             method=self.method_name,
         )
 

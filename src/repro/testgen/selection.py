@@ -4,12 +4,16 @@ Each iteration picks the training sample with the largest marginal validation
 coverage gain ``VC(X + s) − VC(X)`` (Eq. 7) and adds it to the validation set,
 until the budget ``Nt`` is exhausted.  With an
 :class:`~repro.coverage.parameter_coverage.ActivationMaskCache` the per-sample
-gradients are computed exactly once, so each greedy iteration is a vectorised
-mask operation over the whole candidate pool.
+gradients are computed exactly once, and — because the cache stores masks
+*packed* — each greedy iteration is one ``popcount(candidate & ~covered)``
+sweep over the pool's uint64 words: integer arithmetic, so selection order
+(including argmax tie-breaks) is byte-identical to the dense implementation
+at 1/8 the memory.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
@@ -38,6 +42,8 @@ class TrainingSetSelector(TestGenerator):
         candidates before the greedy loop (the paper scans the full set; a
         pool bounds the number of backward passes on CPU).
     rng: randomness used only for candidate-pool subsampling and tie breaks.
+    memory_budget_bytes: optional cap on the transient dense gradient buffers
+        used while the mask cache is built (see ``ActivationMaskCache``).
     """
 
     method_name = "training-selection"
@@ -50,12 +56,14 @@ class TrainingSetSelector(TestGenerator):
         candidate_pool: Optional[int] = None,
         rng: RngLike = None,
         engine: Optional[Engine] = None,
+        memory_budget_bytes: Optional[int] = None,
     ) -> None:
         super().__init__(model, criterion or default_criterion_for(model), engine)
         if len(training_set) == 0:
             raise ValueError("training set is empty")
         self.training_set = training_set
         self.candidate_pool = candidate_pool
+        self.memory_budget_bytes = memory_budget_bytes
         self._rng = as_generator(rng)
         self._cache: Optional[ActivationMaskCache] = None
         self._pool_indices: Optional[np.ndarray] = None
@@ -74,7 +82,11 @@ class TrainingSetSelector(TestGenerator):
                 "building activation-mask cache for %d candidates", images.shape[0]
             )
             self._cache = ActivationMaskCache(
-                self.model, images, self.criterion, engine=self.engine
+                self.model,
+                images,
+                self.criterion,
+                engine=self.engine,
+                memory_budget_bytes=self.memory_budget_bytes,
             )
         return self._cache
 
@@ -102,30 +114,44 @@ class TrainingSetSelector(TestGenerator):
 
         budget = min(num_tests, len(cache))
         for _ in range(budget):
-            pool_gains = cache.marginal_gains(tracker.covered_mask)
-            pool_gains[~available] = -1.0
-            best = int(np.argmax(pool_gains))
-            gain = tracker.add_mask(cache.mask(best))
+            best, _gain = cache.best_candidate(tracker.covered_map, available)
+            gain = tracker.add_mask(cache.packed_mask(best))
             available[best] = False
             selected.append(best)
             gains.append(gain)
             history.append(tracker.coverage)
 
         tests = cache.images[selected]
+        assert self._pool_indices is not None
         return GenerationResult(
             tests=tests,
             coverage_history=history,
             gains=gains,
             sources=["training"] * len(selected),
+            dataset_indices=self._pool_indices[selected],
             method=self.method_name,
         )
 
     def selected_dataset_indices(self, result: GenerationResult) -> np.ndarray:
         """Map a result's tests back to indices in the original training set.
 
-        Only valid for results produced by this selector instance (it relies
-        on the cached candidate pool).
+        Results produced by this library record their dataset indices at
+        selection time (:attr:`GenerationResult.dataset_indices`) and are
+        returned directly.  For legacy results without the record, a
+        deprecated pixel-equality rematch against the cached pool is
+        attempted — it silently returns the *first* matching index for
+        duplicate training images, which is why it was replaced.
         """
+        if result.dataset_indices is not None:
+            return result.dataset_indices.copy()
+        warnings.warn(
+            "selected_dataset_indices: result has no recorded dataset_indices; "
+            "falling back to a pixel-equality rematch, which is O(T·N·P) and "
+            "ambiguous for duplicate training images. Regenerate the result "
+            "with this version to record indices at selection time.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         cache = self._ensure_cache()
         assert self._pool_indices is not None
         indices = []

@@ -6,6 +6,7 @@ from repro.utils.config import (
     ExperimentConfig,
     TestGenConfig,
     TrainingConfig,
+    env_int,
 )
 from repro.utils.logging import Timer, enable_console_logging, get_logger, progress
 from repro.utils.rng import (
@@ -23,6 +24,7 @@ __all__ = [
     "ExperimentConfig",
     "TestGenConfig",
     "TrainingConfig",
+    "env_int",
     "Timer",
     "enable_console_logging",
     "get_logger",

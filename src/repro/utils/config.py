@@ -8,8 +8,27 @@ one config object.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, asdict
 from typing import Dict, List, Optional, Tuple
+
+
+def env_int(name: str, default: int) -> int:
+    """Integer knob from the environment, falling back to ``default``.
+
+    The examples read their expensive knobs (training-set size, epochs,
+    candidate pool, trial counts) through this, so the CI examples-smoke job
+    can shrink them (``REPRO_EXAMPLE_*``) without forking the scripts.
+    """
+    value = os.environ.get(name)
+    if value is None or value == "":
+        return default
+    try:
+        return int(value)
+    except ValueError as exc:
+        raise ValueError(
+            f"environment variable {name} must be an integer, got {value!r}"
+        ) from exc
 
 
 @dataclass(frozen=True)
@@ -143,4 +162,5 @@ __all__ = [
     "TestGenConfig",
     "DetectionConfig",
     "ExperimentConfig",
+    "env_int",
 ]

@@ -8,7 +8,7 @@ from repro.validation.detection import (
     default_attack_factories,
     run_detection_experiment,
 )
-from repro.validation.package import DEFAULT_OUTPUT_ATOL, ValidationPackage
+from repro.validation.package import DEFAULT_OUTPUT_ATOL, FORMAT_VERSION, ValidationPackage
 from repro.validation.user import BlackBoxIP, IPUser, ValidationReport, validate_ip
 from repro.validation.vendor import IPVendor
 
@@ -19,6 +19,7 @@ __all__ = [
     "default_attack_factories",
     "run_detection_experiment",
     "DEFAULT_OUTPUT_ATOL",
+    "FORMAT_VERSION",
     "ValidationPackage",
     "BlackBoxIP",
     "IPUser",

@@ -10,6 +10,13 @@ user replays ``X`` against the received IP and compares the observed outputs
 integrity digest over its own contents (standing in for the
 encryption/signing the paper assumes) and serialisation to ``.npz`` so vendor
 and user can genuinely be separate processes.
+
+Since format version 2 a package may also carry the tests' *packed*
+activation masks (:class:`~repro.coverage.bitmap.MaskMatrix`, one bit per
+model parameter at 1/8 the dense bytes), so coverage composition can be
+audited without white-box access to the vendor's model.  Loading is backward
+compatible: format-1 packages (no masks, or legacy dense-boolean masks) load
+transparently — dense masks are packed on the way in.
 """
 
 from __future__ import annotations
@@ -22,17 +29,38 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
+from repro.coverage.bitmap import MaskMatrix, pack_bool
+
 PathLike = Union[str, Path]
 
 #: default absolute tolerance when comparing observed and reference logits.
 DEFAULT_OUTPUT_ATOL = 1e-6
 
+#: on-disk format version written by :meth:`ValidationPackage.save`.
+#: v1: tests + outputs only (dense-boolean ``coverage_masks`` in some
+#: pre-release builds); v2: optional packed ``coverage_words`` + ``coverage_bits``.
+FORMAT_VERSION = 2
 
-def _digest_arrays(tests: np.ndarray, outputs: np.ndarray) -> str:
-    """SHA-256 digest binding the tests to their reference outputs."""
+
+def _digest_arrays(
+    tests: np.ndarray,
+    outputs: np.ndarray,
+    coverage_masks: Optional[MaskMatrix] = None,
+) -> str:
+    """SHA-256 digest binding the package payload together.
+
+    Covers ``(X, Y)`` and, when present, the packed coverage masks — every
+    byte the package ships must be authenticated, or a man-in-the-middle
+    could rewrite the auditable coverage record while the digest still
+    verifies.  v1 packages never carried masks, so their stored digests
+    (tests + outputs only) keep verifying under this definition.
+    """
     hasher = hashlib.sha256()
     hasher.update(np.ascontiguousarray(np.round(tests, 12)).tobytes())
     hasher.update(np.ascontiguousarray(np.round(outputs, 12)).tobytes())
+    if coverage_masks is not None:
+        hasher.update(str(coverage_masks.nbits).encode("ascii"))
+        hasher.update(np.ascontiguousarray(coverage_masks.words).tobytes())
     return hasher.hexdigest()
 
 
@@ -49,6 +77,9 @@ class ValidationPackage:
         but convenient for label-only comparison modes).
     output_atol: tolerance used when comparing observed logits against the
         reference (accounts for benign numeric differences across platforms).
+    coverage_masks: optional packed per-test activation masks
+        (:class:`~repro.coverage.bitmap.MaskMatrix`, one row per test, one
+        bit per vendor-model parameter).
     metadata: free-form information (model name, generator, coverage
         achieved, creation settings).
     """
@@ -57,6 +88,7 @@ class ValidationPackage:
     expected_outputs: np.ndarray
     expected_labels: np.ndarray = field(default=None)  # type: ignore[assignment]
     output_atol: float = DEFAULT_OUTPUT_ATOL
+    coverage_masks: Optional[MaskMatrix] = None
     metadata: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -79,6 +111,17 @@ class ValidationPackage:
             self.expected_labels = np.asarray(self.expected_labels, dtype=np.int64)
             if self.expected_labels.shape[0] != self.tests.shape[0]:
                 raise ValueError("expected_labels length does not match test count")
+        if self.coverage_masks is not None:
+            if not isinstance(self.coverage_masks, MaskMatrix):
+                # accept a dense boolean matrix and pack it
+                self.coverage_masks = MaskMatrix.from_dense(
+                    np.asarray(self.coverage_masks, dtype=bool)
+                )
+            if len(self.coverage_masks) != self.tests.shape[0]:
+                raise ValueError(
+                    f"coverage_masks has {len(self.coverage_masks)} rows, "
+                    f"expected one per test ({self.tests.shape[0]})"
+                )
 
     # -- properties --------------------------------------------------------
     @property
@@ -86,8 +129,14 @@ class ValidationPackage:
         return int(self.tests.shape[0])
 
     def digest(self) -> str:
-        """Integrity digest binding tests and reference outputs together."""
-        return _digest_arrays(self.tests, self.expected_outputs)
+        """Integrity digest over the full payload (tests, outputs, masks)."""
+        return _digest_arrays(self.tests, self.expected_outputs, self.coverage_masks)
+
+    def coverage_fraction(self) -> Optional[float]:
+        """VC(X) recomputed from the stored packed masks (None without masks)."""
+        if self.coverage_masks is None:
+            return None
+        return self.coverage_masks.union().fraction
 
     def subset(self, n: int) -> "ValidationPackage":
         """Package restricted to the first ``n`` tests (budget sweeps)."""
@@ -98,6 +147,11 @@ class ValidationPackage:
             expected_outputs=self.expected_outputs[:n].copy(),
             expected_labels=self.expected_labels[:n].copy(),
             output_atol=self.output_atol,
+            coverage_masks=(
+                self.coverage_masks.take(range(n))
+                if self.coverage_masks is not None
+                else None
+            ),
             metadata=dict(self.metadata),
         )
 
@@ -106,41 +160,77 @@ class ValidationPackage:
         """Serialise the package (with its digest) to an ``.npz`` file."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        meta = {
+        meta: Dict[str, object] = {
+            "format": FORMAT_VERSION,
             "output_atol": self.output_atol,
             "digest": self.digest(),
             "metadata": self.metadata,
         }
+        arrays: Dict[str, np.ndarray] = {
+            "tests": self.tests,
+            "expected_outputs": self.expected_outputs,
+            "expected_labels": self.expected_labels,
+        }
+        if self.coverage_masks is not None:
+            meta["coverage_bits"] = int(self.coverage_masks.nbits)
+            arrays["coverage_words"] = self.coverage_masks.words
         np.savez(
             path,
-            tests=self.tests,
-            expected_outputs=self.expected_outputs,
-            expected_labels=self.expected_labels,
             __meta__=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+            **arrays,
         )
         return path
 
     @classmethod
     def load(cls, path: PathLike, verify_digest: bool = True) -> "ValidationPackage":
-        """Load a package, verifying its integrity digest by default."""
+        """Load a package, verifying its integrity digest by default.
+
+        Reads every on-disk format: v2 (packed ``coverage_words``), v1
+        without masks, and v1 with legacy dense-boolean ``coverage_masks``
+        (packed transparently on load).
+        """
         path = Path(path)
         if not path.exists():
             raise FileNotFoundError(f"validation package not found: {path}")
         with np.load(path) as data:
             meta = json.loads(bytes(data["__meta__"].tobytes()).decode("utf-8"))
+            version = int(meta.get("format", 1))
+            if version > FORMAT_VERSION:
+                raise ValueError(
+                    f"validation package {path} has format {version}; this "
+                    f"build reads formats up to {FORMAT_VERSION}"
+                )
+            coverage_masks: Optional[MaskMatrix] = None
+            if "coverage_words" in data.files:
+                coverage_masks = MaskMatrix(
+                    int(meta["coverage_bits"]), data["coverage_words"]
+                )
+            elif "coverage_masks" in data.files:  # legacy v1 dense storage
+                dense = np.asarray(data["coverage_masks"], dtype=bool)
+                coverage_masks = MaskMatrix(dense.shape[1], pack_bool(dense))
             package = cls(
                 tests=data["tests"],
                 expected_outputs=data["expected_outputs"],
                 expected_labels=data["expected_labels"],
                 output_atol=float(meta["output_atol"]),
+                coverage_masks=coverage_masks,
                 metadata=dict(meta.get("metadata", {})),
             )
-        if verify_digest and package.digest() != meta.get("digest"):
-            raise ValueError(
-                f"validation package {path} failed its integrity check: "
-                "contents were modified after creation"
+        if verify_digest:
+            # v1 writers digested tests+outputs only (masks, if any, were a
+            # pre-release extra the digest never covered); v2 digests span
+            # the full payload including the packed masks
+            expected = (
+                _digest_arrays(package.tests, package.expected_outputs)
+                if version < 2
+                else package.digest()
             )
+            if expected != meta.get("digest"):
+                raise ValueError(
+                    f"validation package {path} failed its integrity check: "
+                    "contents were modified after creation"
+                )
         return package
 
 
-__all__ = ["ValidationPackage", "DEFAULT_OUTPUT_ATOL"]
+__all__ = ["ValidationPackage", "DEFAULT_OUTPUT_ATOL", "FORMAT_VERSION"]

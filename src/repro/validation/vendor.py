@@ -13,7 +13,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.coverage.activation import ActivationCriterion, default_criterion_for
-from repro.coverage.parameter_coverage import set_validation_coverage
+from repro.coverage.parameter_coverage import packed_activation_masks
 from repro.data.datasets import Dataset
 from repro.nn.model import Sequential
 from repro.testgen.base import GenerationResult, TestGenerator
@@ -76,8 +76,16 @@ class IPVendor:
         tests: np.ndarray | GenerationResult,
         output_atol: float = DEFAULT_OUTPUT_ATOL,
         extra_metadata: Optional[Dict[str, object]] = None,
+        include_coverage_masks: bool = True,
     ) -> ValidationPackage:
-        """Compute reference outputs for ``tests`` and wrap them in a package."""
+        """Compute reference outputs for ``tests`` and wrap them in a package.
+
+        One packed mask pass serves double duty: the package's
+        ``validation_coverage`` metadata is the masks' union fraction, and
+        (unless ``include_coverage_masks=False``) the packed masks themselves
+        ship in the package, so coverage composition stays auditable without
+        white-box access to the vendor model.
+        """
         if isinstance(tests, GenerationResult):
             metadata: Dict[str, object] = {
                 "generator": tests.method,
@@ -91,13 +99,12 @@ class IPVendor:
             raise ValueError("cannot build a package with zero tests")
 
         expected = self.model.predict(test_array)
+        packed = packed_activation_masks(self.model, test_array, self.criterion)
         metadata.update(
             {
                 "model": self.model.name,
                 "num_tests": int(test_array.shape[0]),
-                "validation_coverage": set_validation_coverage(
-                    self.model, test_array, self.criterion
-                ),
+                "validation_coverage": packed.union().fraction,
             }
         )
         if extra_metadata:
@@ -106,6 +113,7 @@ class IPVendor:
             tests=test_array,
             expected_outputs=expected,
             output_atol=output_atol,
+            coverage_masks=packed if include_coverage_masks else None,
             metadata=metadata,
         )
 

@@ -132,3 +132,35 @@ class TestSweeps:
         result = scalarization_sweep(trained_cnn, tests)
         assert result.values == ["sum", "max", "predicted"]
         assert all(0.0 <= c <= 1.0 for c in result.coverages)
+
+
+class TestCoverageMemoryRows:
+    def test_rows_report_eighth_ratio(self):
+        from repro.analysis import coverage_memory_rows
+
+        rows = coverage_memory_rows(64 * 1000, [10, 100])
+        assert [r["pool_size"] for r in rows] == [10, 100]
+        for row in rows:
+            assert row["packed_bytes"] * 8 == row["dense_bytes"]
+            assert row["ratio"] == pytest.approx(0.125)
+
+    def test_word_padding_accounted(self):
+        from repro.analysis import coverage_memory_rows
+
+        (row,) = coverage_memory_rows(65, [4])
+        assert row["packed_bytes"] == 4 * 2 * 8  # two words per row
+
+    def test_validation(self):
+        from repro.analysis import coverage_memory_rows
+
+        with pytest.raises(ValueError):
+            coverage_memory_rows(0, [10])
+        with pytest.raises(ValueError):
+            coverage_memory_rows(100, [0])
+
+    def test_format_bytes(self):
+        from repro.analysis import format_bytes
+
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2.0 KB"
+        assert format_bytes(10 * 1024**3) == "10.0 GB"

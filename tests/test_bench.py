@@ -146,6 +146,27 @@ class TestWorkloads:
         assert by_name["revisit"].value == pytest.approx(by_name["coverage"].value)
         assert by_name["revisit"].cache_hit_rate > 0.0
 
+    def test_packing_workload_reports_memory_ratio(self, tiny_run):
+        by_name = {r.name: r for r in tiny_run}
+        extra = by_name["packing"].extra
+        assert extra["packed_mask_bytes"] > 0
+        # packed ≤ 1/8 dense up to word-granularity padding
+        assert extra["packed_mask_bytes"] < extra["dense_mask_bytes"] / 7.5
+        assert extra["packed_to_dense_ratio"] == pytest.approx(
+            extra["packed_mask_bytes"] / extra["dense_mask_bytes"]
+        )
+
+    def test_selection_workload_fits_larger_pool_in_dense_budget(self, tiny_run):
+        """The packed-coverage acceptance bar: the selection workload's pool
+        is 4× the matrix pool, yet its packed masks occupy less memory than
+        the base pool's dense masks."""
+        by_name = {r.name: r for r in tiny_run}
+        extra = by_name["selection"].extra
+        assert extra["pool_multiplier"] >= 4
+        assert extra["pool_size"] == 4 * by_name["masks"].samples
+        assert extra["packed_mask_bytes"] <= extra["base_pool_dense_mask_bytes"]
+        assert 0.0 < by_name["selection"].value <= 1.0
+
     def test_unknown_workload_rejected(self):
         model = small_cnn(rng=2)
         images = np.random.default_rng(3).random((4, *model.input_shape))

@@ -1,0 +1,367 @@
+"""Tests for the packed coverage bitset representation.
+
+The bar for :mod:`repro.coverage.bitmap` is *exact* equivalence with dense
+boolean arrays: lossless pack/unpack round trips, popcounts equal to dense
+sums, marginal-gain counts equal to dense ``(mask & ~covered).sum()``, and
+argmax tie-breaking identical to dense ``np.argmax``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coverage.bitmap import (
+    CoverageMap,
+    MaskMatrix,
+    PackedCoverageTracker,
+    as_coverage_map,
+    num_words,
+    pack_bool,
+    packed_nbytes,
+    popcount,
+    popcount_rows,
+    unpack_words,
+)
+
+#: bit widths probing every alignment edge: sub-word, word-aligned, word±1
+EDGE_WIDTHS = [1, 7, 8, 63, 64, 65, 128, 130]
+
+
+def random_dense(rng: np.random.Generator, *shape: int, p: float = 0.4) -> np.ndarray:
+    return rng.random(shape) < p
+
+
+class TestPackingPrimitives:
+    def test_num_words(self):
+        assert num_words(0) == 0
+        assert num_words(1) == 1
+        assert num_words(64) == 1
+        assert num_words(65) == 2
+        with pytest.raises(ValueError):
+            num_words(-1)
+
+    def test_packed_nbytes(self):
+        assert packed_nbytes(64) == 8
+        assert packed_nbytes(65) == 16
+        assert packed_nbytes(100, rows=10) == 10 * 2 * 8
+
+    @pytest.mark.parametrize("nbits", EDGE_WIDTHS)
+    def test_roundtrip_1d(self, nbits):
+        rng = np.random.default_rng(nbits)
+        dense = random_dense(rng, nbits)
+        words = pack_bool(dense)
+        assert words.dtype == np.uint64
+        assert words.shape == (num_words(nbits),)
+        np.testing.assert_array_equal(unpack_words(words, nbits), dense)
+
+    @pytest.mark.parametrize("nbits", EDGE_WIDTHS)
+    def test_roundtrip_2d(self, nbits):
+        rng = np.random.default_rng(nbits + 1)
+        dense = random_dense(rng, 5, nbits)
+        words = pack_bool(dense)
+        assert words.shape == (5, num_words(nbits))
+        np.testing.assert_array_equal(unpack_words(words, nbits), dense)
+
+    def test_tail_bits_are_zero(self):
+        words = pack_bool(np.ones(65, dtype=bool))
+        # bits 65..127 of the second word must be zero
+        assert words[1] == np.uint64(1)
+
+    @pytest.mark.parametrize("nbits", EDGE_WIDTHS)
+    def test_popcount_matches_dense_sum(self, nbits):
+        rng = np.random.default_rng(nbits + 2)
+        dense = random_dense(rng, nbits)
+        assert popcount(pack_bool(dense)) == int(dense.sum())
+
+    def test_popcount_rows_matches_dense(self):
+        rng = np.random.default_rng(3)
+        dense = random_dense(rng, 9, 130)
+        np.testing.assert_array_equal(
+            popcount_rows(pack_bool(dense)), dense.sum(axis=1)
+        )
+
+    def test_popcount_rows_rejects_1d(self):
+        with pytest.raises(ValueError):
+            popcount_rows(np.zeros(3, dtype=np.uint64))
+
+    def test_unpack_checks_word_count(self):
+        with pytest.raises(ValueError):
+            unpack_words(np.zeros(2, dtype=np.uint64), 64)
+
+    @given(bits=st.lists(st.booleans(), min_size=0, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, bits):
+        dense = np.array(bits, dtype=bool)
+        words = pack_bool(dense)
+        np.testing.assert_array_equal(unpack_words(words, dense.size), dense)
+        assert popcount(words) == int(dense.sum())
+
+
+class TestCoverageMap:
+    def test_starts_empty(self):
+        cmap = CoverageMap(100)
+        assert cmap.count() == 0
+        assert not cmap.any()
+        assert cmap.fraction == 0.0
+
+    def test_from_dense_roundtrip(self):
+        dense = random_dense(np.random.default_rng(0), 77)
+        cmap = CoverageMap.from_dense(dense)
+        np.testing.assert_array_equal(cmap.dense(), dense)
+        assert cmap.count() == int(dense.sum())
+        assert cmap.fraction == pytest.approx(dense.mean())
+
+    def test_union_inplace_matches_dense_or(self):
+        rng = np.random.default_rng(1)
+        a, b = random_dense(rng, 70), random_dense(rng, 70)
+        cmap = CoverageMap.from_dense(a)
+        cmap.union_(CoverageMap.from_dense(b))
+        np.testing.assert_array_equal(cmap.dense(), a | b)
+
+    def test_pure_ops_match_dense(self):
+        rng = np.random.default_rng(2)
+        a, b = random_dense(rng, 130), random_dense(rng, 130)
+        ma, mb = CoverageMap.from_dense(a), CoverageMap.from_dense(b)
+        np.testing.assert_array_equal(ma.union(mb).dense(), a | b)
+        np.testing.assert_array_equal(ma.intersection(mb).dense(), a & b)
+        np.testing.assert_array_equal(ma.andnot(mb).dense(), a & ~b)
+        np.testing.assert_array_equal(ma.complement().dense(), ~a)
+        assert ma.intersection_count(mb) == int((a & b).sum())
+        assert ma.andnot_count(mb) == int((a & ~b).sum())
+
+    def test_andnot_count_multiple_exclusions(self):
+        rng = np.random.default_rng(3)
+        a, b, c = (random_dense(rng, 100) for _ in range(3))
+        ma, mb, mc = (CoverageMap.from_dense(x) for x in (a, b, c))
+        assert ma.andnot_count(mb, mc) == int((a & ~b & ~c).sum())
+
+    def test_complement_tail_bits_stay_zero(self):
+        cmap = CoverageMap(65)  # empty → complement sets all 65 logical bits
+        comp = cmap.complement()
+        assert comp.count() == 65
+
+    def test_copy_is_independent(self):
+        cmap = CoverageMap.from_dense(np.ones(10, dtype=bool))
+        other = cmap.copy()
+        other.clear_()
+        assert cmap.count() == 10 and other.count() == 0
+
+    def test_equality(self):
+        a = CoverageMap.from_dense(np.array([True, False, True]))
+        b = CoverageMap.from_dense(np.array([True, False, True]))
+        c = CoverageMap.from_dense(np.array([True, True, True]))
+        assert a == b and a != c
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            CoverageMap(10).union_(CoverageMap(11))
+        with pytest.raises(TypeError):
+            CoverageMap(10).union_(np.zeros(10, dtype=bool))  # type: ignore[arg-type]
+
+    def test_as_coverage_map_coercion(self):
+        dense = np.array([True, False, True, False])
+        cmap = as_coverage_map(dense, 4)
+        np.testing.assert_array_equal(cmap.dense(), dense)
+        assert as_coverage_map(cmap, 4) is cmap
+        with pytest.raises(ValueError):
+            as_coverage_map(dense, 5)
+        with pytest.raises(ValueError):
+            as_coverage_map(cmap, 5)
+
+
+class TestMaskMatrix:
+    def test_from_dense_roundtrip(self):
+        dense = random_dense(np.random.default_rng(4), 6, 90)
+        matrix = MaskMatrix.from_dense(dense)
+        assert len(matrix) == 6
+        assert matrix.shape == (6, 90)
+        np.testing.assert_array_equal(matrix.dense(), dense)
+        for i in range(6):
+            np.testing.assert_array_equal(matrix.dense_row(i), dense[i])
+            np.testing.assert_array_equal(matrix.row(i).dense(), dense[i])
+
+    def test_memory_ratio(self):
+        dense = random_dense(np.random.default_rng(5), 16, 512)
+        matrix = MaskMatrix.from_dense(dense)
+        assert matrix.dense_nbytes == 16 * 512
+        # 512 bits = 8 words = 64 bytes per row: exactly 1/8 dense
+        assert matrix.nbytes * 8 == matrix.dense_nbytes
+
+    def test_from_chunks_equals_from_dense(self):
+        dense = random_dense(np.random.default_rng(6), 10, 70)
+        chunked = MaskMatrix.from_chunks([dense[:3], dense[3:4], dense[4:]], 70)
+        assert chunked == MaskMatrix.from_dense(dense)
+
+    def test_from_chunks_empty(self):
+        assert len(MaskMatrix.from_chunks([], 70)) == 0
+
+    def test_row_is_independent_copy(self):
+        dense = random_dense(np.random.default_rng(7), 3, 64)
+        matrix = MaskMatrix.from_dense(dense)
+        row = matrix.row(0)
+        row.clear_()
+        np.testing.assert_array_equal(matrix.dense_row(0), dense[0])
+
+    def test_counts_and_fractions(self):
+        dense = random_dense(np.random.default_rng(8), 5, 100)
+        matrix = MaskMatrix.from_dense(dense)
+        np.testing.assert_array_equal(matrix.counts(), dense.sum(axis=1))
+        np.testing.assert_allclose(matrix.fractions(), dense.mean(axis=1))
+
+    def test_union_matches_dense_any(self):
+        dense = random_dense(np.random.default_rng(9), 7, 130)
+        matrix = MaskMatrix.from_dense(dense)
+        np.testing.assert_array_equal(matrix.union().dense(), dense.any(axis=0))
+
+    def test_union_of_empty_matrix(self):
+        assert MaskMatrix.empty(50).union().count() == 0
+
+    def test_marginal_counts_match_dense(self):
+        rng = np.random.default_rng(10)
+        dense = random_dense(rng, 8, 200)
+        covered = random_dense(rng, 200)
+        matrix = MaskMatrix.from_dense(dense)
+        expected = (dense & ~covered[None, :]).sum(axis=1)
+        np.testing.assert_array_equal(
+            matrix.marginal_counts(CoverageMap.from_dense(covered)), expected
+        )
+
+    def test_take(self):
+        dense = random_dense(np.random.default_rng(11), 6, 64)
+        matrix = MaskMatrix.from_dense(dense)
+        sub = matrix.take([4, 0, 2])
+        np.testing.assert_array_equal(sub.dense(), dense[[4, 0, 2]])
+
+    def test_concatenate(self):
+        dense = random_dense(np.random.default_rng(12), 5, 65)
+        a, b = MaskMatrix.from_dense(dense[:2]), MaskMatrix.from_dense(dense[2:])
+        assert MaskMatrix.concatenate([a, b]) == MaskMatrix.from_dense(dense)
+
+    def test_best_candidate_matches_dense_argmax(self):
+        rng = np.random.default_rng(13)
+        dense = random_dense(rng, 12, 150)
+        covered = random_dense(rng, 150, p=0.5)
+        matrix = MaskMatrix.from_dense(dense)
+        cmap = CoverageMap.from_dense(covered)
+        gains = (dense & ~covered[None, :]).sum(axis=1)
+        best, count = matrix.best_candidate(cmap)
+        assert best == int(np.argmax(gains))
+        assert count == int(gains[best])
+
+    def test_best_candidate_tie_breaks_to_lowest_index(self):
+        # duplicated masks: identical gains must resolve to the first index,
+        # matching dense np.argmax semantics
+        row = random_dense(np.random.default_rng(14), 80)
+        dense = np.stack([row, row, row])
+        matrix = MaskMatrix.from_dense(dense)
+        best, _ = matrix.best_candidate(CoverageMap(80))
+        assert best == 0
+        # with the first unavailable, the tie moves to the next lowest index
+        best, _ = matrix.best_candidate(
+            CoverageMap(80), available=np.array([False, True, True])
+        )
+        assert best == 1
+
+    def test_best_candidate_all_zero_gains_with_availability(self):
+        # regression: an all-covered pool has all-zero gains; availability is
+        # explicit, so the argmax can never alias into unavailable candidates
+        dense = random_dense(np.random.default_rng(15), 4, 60)
+        matrix = MaskMatrix.from_dense(dense)
+        everything = CoverageMap.from_dense(np.ones(60, dtype=bool))
+        available = np.array([False, False, True, True])
+        best, count = matrix.best_candidate(everything, available)
+        assert best == 2 and count == 0
+
+    def test_best_candidate_none_available_raises(self):
+        matrix = MaskMatrix.from_dense(np.ones((2, 10), dtype=bool))
+        with pytest.raises(ValueError, match="no candidates available"):
+            matrix.best_candidate(CoverageMap(10), np.zeros(2, dtype=bool))
+        with pytest.raises(ValueError):
+            MaskMatrix.empty(10).best_candidate(CoverageMap(10))
+
+    def test_shape_validation(self):
+        matrix = MaskMatrix.from_dense(np.ones((3, 10), dtype=bool))
+        with pytest.raises(ValueError):
+            matrix.marginal_counts(CoverageMap(11))
+        with pytest.raises(ValueError):
+            matrix.best_candidate(CoverageMap(10), np.ones(4, dtype=bool))
+
+    @given(
+        data=st.data(),
+        n=st.integers(min_value=1, max_value=8),
+        nbits=st.integers(min_value=1, max_value=150),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_equivalence_property(self, data, n, nbits):
+        """Full greedy runs on random pools: packed == dense, step by step."""
+        dense = np.array(
+            [
+                data.draw(st.lists(st.booleans(), min_size=nbits, max_size=nbits))
+                for _ in range(n)
+            ],
+            dtype=bool,
+        )
+        matrix = MaskMatrix.from_dense(dense)
+        covered_dense = np.zeros(nbits, dtype=bool)
+        covered = CoverageMap(nbits)
+        available = np.ones(n, dtype=bool)
+        for _ in range(n):
+            # dense reference step (sentinel-style, as the old loops did)
+            gains = (dense & ~covered_dense[None, :]).sum(axis=1).astype(float)
+            gains[~available] = -1.0
+            expected = int(np.argmax(gains))
+            best, _ = matrix.best_candidate(covered, available)
+            assert best == expected
+            covered_dense |= dense[best]
+            covered.union_(matrix.row(best))
+            available[best] = False
+            np.testing.assert_array_equal(covered.dense(), covered_dense)
+
+
+class _StubTracker(PackedCoverageTracker):
+    pass
+
+
+class TestPackedCoverageTracker:
+    def test_requires_positive_total(self):
+        with pytest.raises(ValueError):
+            _StubTracker(0)
+
+    def test_union_and_gain_accounting(self):
+        rng = np.random.default_rng(16)
+        tracker = _StubTracker(120)
+        union = np.zeros(120, dtype=bool)
+        total_gain = 0.0
+        for _ in range(5):
+            mask = random_dense(rng, 120)
+            gain = tracker.add_mask(mask)
+            assert gain == pytest.approx((mask & ~union).sum() / 120)
+            union |= mask
+            total_gain += gain
+        assert tracker.num_tests == 5
+        assert tracker.num_covered == int(union.sum())
+        assert tracker.coverage == pytest.approx(total_gain)
+        np.testing.assert_array_equal(tracker.covered_mask, union)
+        np.testing.assert_array_equal(
+            tracker.uncovered_indices(), np.flatnonzero(~union)
+        )
+
+    def test_accepts_packed_masks(self):
+        tracker = _StubTracker(64)
+        mask = CoverageMap.from_dense(np.arange(64) % 2 == 0)
+        assert tracker.add_mask(mask) == pytest.approx(0.5)
+        assert tracker.marginal_gain(mask) == 0.0
+
+    def test_reset(self):
+        tracker = _StubTracker(10)
+        tracker.add_mask(np.ones(10, dtype=bool))
+        tracker.reset()
+        assert tracker.num_covered == 0 and tracker.num_tests == 0
+
+    def test_mask_size_validation(self):
+        tracker = _StubTracker(10)
+        with pytest.raises(ValueError):
+            tracker.add_mask(np.ones(11, dtype=bool))

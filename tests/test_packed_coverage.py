@@ -1,0 +1,493 @@
+"""Integration tests for the packed coverage-map refactor.
+
+The acceptance bar of the refactor: packed greedy selection must pick
+*byte-identical* test sequences (indices, gains, coverage histories) to the
+dense implementation — same argmax tie-breaking — on both Table-I
+architectures, across execution backends, and the packed representation must
+occupy ≤ 1/8 of the dense mask bytes.  Also covers the satellite fixes:
+recorded dataset indices (duplicate-safe provenance), explicit availability
+instead of the ``-1.0`` gain sentinel, and validation-package format v2 with
+backward-compatible loading.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.coverage import (
+    ActivationMaskCache,
+    CoverageMap,
+    CoverageTracker,
+    MaskMatrix,
+    NeuronCoverage,
+    NeuronMaskCache,
+    ParameterCoverage,
+    count_neurons,
+    neuron_activation_masks,
+    packed_activation_masks,
+)
+from repro.coverage.activation import default_criterion_for
+from repro.data.datasets import Dataset
+from repro.engine import Engine, ParallelBackend
+from repro.models.zoo import cifar_cnn, mnist_cnn
+from repro.testgen.base import GenerationResult
+from repro.testgen.neuron_testgen import NeuronCoverageSelector
+from repro.testgen.selection import TrainingSetSelector
+from repro.validation.package import FORMAT_VERSION, ValidationPackage
+from repro.validation.vendor import IPVendor
+
+
+# -- Table-I architectures (width-scaled so tests stay fast) -----------------
+
+
+@pytest.fixture(scope="module")
+def mnist_model():
+    """The Table-I MNIST architecture (Tanh), width-scaled."""
+    return mnist_cnn(width_multiplier=0.125, input_size=28, rng=0)
+
+
+@pytest.fixture(scope="module")
+def cifar_model():
+    """The Table-I CIFAR architecture (ReLU), width-scaled."""
+    return cifar_cnn(width_multiplier=0.0625, input_size=32, rng=0)
+
+
+@pytest.fixture(scope="module")
+def mnist_pool(mnist_model):
+    rng = np.random.default_rng(1)
+    return rng.random((16, *mnist_model.input_shape))
+
+
+@pytest.fixture(scope="module")
+def cifar_pool(cifar_model):
+    rng = np.random.default_rng(2)
+    return rng.random((16, *cifar_model.input_shape))
+
+
+def dense_reference_greedy(masks: np.ndarray, budget: int):
+    """The pre-refactor dense greedy loop, kept verbatim as ground truth.
+
+    Dense boolean matrix, ``-1.0`` sentinel for unavailable candidates,
+    ``np.argmax`` over float gains — exactly what ``TrainingSetSelector``
+    did before masks were packed.
+    """
+    total = masks.shape[1]
+    covered = np.zeros(total, dtype=bool)
+    available = np.ones(masks.shape[0], dtype=bool)
+    order, gains, history = [], [], []
+    for _ in range(min(budget, masks.shape[0])):
+        new_bits = (masks & ~covered[None, :]).sum(axis=1)
+        pool_gains = new_bits / total
+        pool_gains[~available] = -1.0
+        best = int(np.argmax(pool_gains))
+        covered |= masks[best]
+        available[best] = False
+        order.append(best)
+        gains.append(new_bits[best] / total)
+        history.append(covered.sum() / total)
+    return order, gains, history
+
+
+class TestPackedGreedyEquivalence:
+    """Packed selection == dense reference, on both Table-I architectures."""
+
+    @pytest.mark.parametrize("arch", ["mnist", "cifar"])
+    def test_selection_identical_to_dense_reference(self, arch, request):
+        model = request.getfixturevalue(f"{arch}_model")
+        pool = request.getfixturevalue(f"{arch}_pool")
+        dataset = Dataset(images=pool, labels=np.zeros(len(pool), dtype=np.int64))
+
+        selector = TrainingSetSelector(model, dataset, rng=0)
+        result = selector.generate(num_tests=len(pool))
+
+        dense_masks = selector._ensure_cache().masks  # materialised for the oracle
+        order, gains, history = dense_reference_greedy(dense_masks, len(pool))
+
+        np.testing.assert_array_equal(result.dataset_indices, order)
+        np.testing.assert_array_equal(result.tests, pool[order])
+        assert result.gains == gains
+        assert result.coverage_history == history
+
+    @pytest.mark.parametrize("arch", ["mnist", "cifar"])
+    def test_packed_masks_bitwise_equal_dense(self, arch, request):
+        model = request.getfixturevalue(f"{arch}_model")
+        pool = request.getfixturevalue(f"{arch}_pool")
+        engine = Engine(model)
+        dense = engine.activation_masks(pool)
+        packed = engine.packed_activation_masks(pool)
+        np.testing.assert_array_equal(packed.dense(), dense)
+        # the memory bar: packed ≤ 1/8 of the dense mask bytes, up to the
+        # word-granularity padding (< 8 bytes per row)
+        assert packed.nbytes <= packed.dense_nbytes // 8 + 8 * len(packed)
+        assert packed.nbytes < packed.dense_nbytes / 7.9
+
+    def test_duplicated_masks_tie_break_identical(self, mnist_model):
+        # a pool of duplicated images produces identical masks — gains tie
+        # on every iteration, and packed must break ties exactly like dense
+        rng = np.random.default_rng(3)
+        base = rng.random((4, *mnist_model.input_shape))
+        pool = np.concatenate([base, base[::-1]], axis=0)  # every mask twice
+        dataset = Dataset(images=pool, labels=np.zeros(8, dtype=np.int64))
+
+        selector = TrainingSetSelector(mnist_model, dataset, rng=0)
+        result = selector.generate(num_tests=8)
+        dense_masks = selector._ensure_cache().masks
+        order, _gains, _history = dense_reference_greedy(dense_masks, 8)
+        np.testing.assert_array_equal(result.dataset_indices, order)
+
+
+class TestBackendDeterminism:
+    """Selection order identical across backends × representations."""
+
+    def test_selection_order_matches_across_backends(self, mnist_model, mnist_pool):
+        dataset = Dataset(
+            images=mnist_pool, labels=np.zeros(len(mnist_pool), dtype=np.int64)
+        )
+        single = TrainingSetSelector(
+            mnist_model, dataset, rng=0, engine=Engine(mnist_model, backend="numpy")
+        ).generate(num_tests=6)
+
+        backend = ParallelBackend(workers=2)
+        try:
+            parallel = TrainingSetSelector(
+                mnist_model, dataset, rng=0, engine=Engine(mnist_model, backend=backend)
+            ).generate(num_tests=6)
+        finally:
+            backend.close()
+
+        np.testing.assert_array_equal(single.dataset_indices, parallel.dataset_indices)
+        assert single.gains == parallel.gains
+        assert single.coverage_history == parallel.coverage_history
+
+    def test_packed_masks_identical_across_backends(self, mnist_model, mnist_pool):
+        backend = ParallelBackend(workers=2)
+        try:
+            par = Engine(mnist_model, backend=backend).packed_activation_masks(
+                mnist_pool
+            )
+        finally:
+            backend.close()
+        ref = Engine(mnist_model).packed_activation_masks(mnist_pool)
+        assert par == ref
+
+    def test_packed_neuron_masks_match_dense_and_backends(
+        self, mnist_model, mnist_pool
+    ):
+        dense = neuron_activation_masks(mnist_model, mnist_pool)
+        packed = Engine(mnist_model).packed_neuron_masks(mnist_pool)
+        np.testing.assert_array_equal(packed.dense(), dense)
+        backend = ParallelBackend(workers=2)
+        try:
+            par = Engine(mnist_model, backend=backend).packed_neuron_masks(mnist_pool)
+        finally:
+            backend.close()
+        assert par == packed
+
+
+class TestMemoryBudget:
+    def test_budgeted_construction_equals_unbudgeted(self, mnist_model, mnist_pool):
+        engine = Engine(mnist_model, cache=False)
+        full = engine.packed_activation_masks(mnist_pool)
+        # a budget of one row's gradients forces single-sample chunks
+        tiny = engine.packed_activation_masks(
+            mnist_pool, memory_budget_bytes=mnist_model.num_parameters() * 8
+        )
+        assert tiny == full
+
+    def test_neuron_budget_equals_unbudgeted(self, mnist_model, mnist_pool):
+        engine = Engine(mnist_model, cache=False)
+        full = engine.packed_neuron_masks(mnist_pool)
+        # one sample's activation volume forces single-sample chunks
+        tiny = engine.packed_neuron_masks(mnist_pool, memory_budget_bytes=1)
+        assert tiny == full
+
+    def test_cached_gradient_reuse_honours_budget(self, mnist_model, mnist_pool):
+        engine = Engine(mnist_model)
+        grads = engine.output_gradients(mnist_pool)  # memoized dense grads
+        assert grads is not None
+        budgeted = engine.packed_activation_masks(
+            mnist_pool, memory_budget_bytes=mnist_model.num_parameters() * 8
+        )
+        reference = Engine(mnist_model, cache=False).packed_activation_masks(
+            mnist_pool
+        )
+        assert budgeted == reference
+
+    def test_budget_must_be_positive(self, mnist_model, mnist_pool):
+        with pytest.raises(ValueError):
+            Engine(mnist_model).packed_activation_masks(
+                mnist_pool, memory_budget_bytes=0
+            )
+
+    def test_cache_accepts_budget(self, mnist_model, mnist_pool):
+        cache = ActivationMaskCache(
+            mnist_model, mnist_pool, memory_budget_bytes=10_000_000
+        )
+        assert len(cache) == len(mnist_pool)
+        assert cache.nbytes < cache.packed.dense_nbytes / 7.9
+
+
+class TestAvailabilitySemantics:
+    """Satellite: explicit availability instead of the -1.0 gain sentinel."""
+
+    @pytest.fixture(scope="class")
+    def cache(self, mnist_model, mnist_pool):
+        return ActivationMaskCache(mnist_model, mnist_pool)
+
+    def test_all_covered_pool_reports_zero_not_sentinel(self, cache, mnist_model):
+        everything = np.ones(mnist_model.num_parameters(), dtype=bool)
+        gains = cache.marginal_gains(everything)
+        np.testing.assert_array_equal(gains, np.zeros(len(cache)))
+
+    def test_unavailable_candidates_are_nan_not_negative(self, cache, mnist_model):
+        everything = np.ones(mnist_model.num_parameters(), dtype=bool)
+        available = np.ones(len(cache), dtype=bool)
+        available[:3] = False
+        gains = cache.marginal_gains(everything, available)
+        assert np.isnan(gains[:3]).all()
+        # an all-zero-gain pool cannot alias with unavailability any more
+        np.testing.assert_array_equal(gains[3:], np.zeros(len(cache) - 3))
+
+    def test_best_candidate_skips_unavailable_on_zero_gains(
+        self, cache, mnist_model
+    ):
+        everything = np.ones(mnist_model.num_parameters(), dtype=bool)
+        available = np.zeros(len(cache), dtype=bool)
+        available[5] = True
+        best, gain = cache.best_candidate(everything, available)
+        assert best == 5 and gain == 0.0
+
+    def test_best_candidate_exhausted_pool_raises(self, cache, mnist_model):
+        with pytest.raises(ValueError, match="no candidates available"):
+            cache.best_candidate(
+                CoverageMap(mnist_model.num_parameters()),
+                np.zeros(len(cache), dtype=bool),
+            )
+
+    def test_neuron_cache_mirrors_semantics(self, mnist_model, mnist_pool):
+        cache = NeuronMaskCache(mnist_model, mnist_pool[:6])
+        everything = np.ones(count_neurons(mnist_model), dtype=bool)
+        available = np.array([False, True, True, False, True, True])
+        gains = cache.marginal_gains(everything, available)
+        assert np.isnan(gains[0]) and np.isnan(gains[3])
+        best, _ = cache.best_candidate(everything, available)
+        assert best == 1
+
+
+class TestDatasetIndexRecording:
+    """Satellite: provenance recorded at selection time, duplicate-safe."""
+
+    def test_duplicate_training_images_resolve_distinctly(self, mnist_model):
+        rng = np.random.default_rng(4)
+        base = rng.random((5, *mnist_model.input_shape))
+        images = np.concatenate([base, base[2:3]], axis=0)  # index 5 == index 2
+        dataset = Dataset(images=images, labels=np.zeros(6, dtype=np.int64))
+
+        selector = TrainingSetSelector(mnist_model, dataset, rng=0)
+        result = selector.generate(num_tests=6)
+        recorded = selector.selected_dataset_indices(result)
+
+        # every pool index selected exactly once — the duplicate pair appears
+        # as {2, 5}, which the deprecated pixel rematch could never produce
+        assert sorted(recorded.tolist()) == [0, 1, 2, 3, 4, 5]
+
+        # the legacy scan, by contrast, collapses the duplicates
+        legacy = GenerationResult(
+            tests=result.tests,
+            coverage_history=list(result.coverage_history),
+            gains=list(result.gains),
+            sources=list(result.sources),
+            method=result.method,
+        )
+        with pytest.warns(DeprecationWarning, match="pixel-equality rematch"):
+            scanned = selector.selected_dataset_indices(legacy)
+        assert sorted(scanned.tolist()) != [0, 1, 2, 3, 4, 5]
+        assert np.count_nonzero(scanned == 2) == 2  # first match wins twice
+
+    def test_round_trip_with_candidate_pool(self, mnist_model, mnist_pool):
+        dataset = Dataset(
+            images=mnist_pool, labels=np.zeros(len(mnist_pool), dtype=np.int64)
+        )
+        selector = TrainingSetSelector(mnist_model, dataset, candidate_pool=10, rng=0)
+        result = selector.generate(num_tests=4)
+        indices = selector.selected_dataset_indices(result)
+        np.testing.assert_array_equal(dataset.images[indices], result.tests)
+
+    def test_neuron_selector_records_indices(self, mnist_model, mnist_pool):
+        dataset = Dataset(
+            images=mnist_pool, labels=np.zeros(len(mnist_pool), dtype=np.int64)
+        )
+        result = NeuronCoverageSelector(mnist_model, dataset, rng=0).generate(4)
+        assert result.dataset_indices is not None
+        np.testing.assert_array_equal(
+            dataset.images[result.dataset_indices], result.tests
+        )
+
+    def test_truncated_slices_indices(self, mnist_model, mnist_pool):
+        dataset = Dataset(
+            images=mnist_pool, labels=np.zeros(len(mnist_pool), dtype=np.int64)
+        )
+        result = TrainingSetSelector(mnist_model, dataset, rng=0).generate(5)
+        truncated = result.truncated(2)
+        np.testing.assert_array_equal(
+            truncated.dataset_indices, result.dataset_indices[:2]
+        )
+
+
+class TestCoverageCriterionProtocol:
+    """The pluggable criterion → MaskMatrix protocol."""
+
+    def test_parameter_criterion(self, mnist_model, mnist_pool):
+        crit = ParameterCoverage()
+        assert crit.num_bits(mnist_model) == mnist_model.num_parameters()
+        matrix = crit.mask_matrix(mnist_model, mnist_pool)
+        assert isinstance(matrix, MaskMatrix)
+        assert matrix.shape == (len(mnist_pool), mnist_model.num_parameters())
+        expected = packed_activation_masks(
+            mnist_model, mnist_pool, default_criterion_for(mnist_model)
+        )
+        assert matrix == expected
+        tracker = crit.tracker(mnist_model)
+        assert isinstance(tracker, CoverageTracker)
+
+    def test_neuron_criterion(self, mnist_model, mnist_pool):
+        crit = NeuronCoverage(threshold=0.1)
+        assert crit.num_bits(mnist_model) == count_neurons(mnist_model)
+        matrix = crit.mask_matrix(mnist_model, mnist_pool)
+        np.testing.assert_array_equal(
+            matrix.dense(), neuron_activation_masks(mnist_model, mnist_pool, 0.1)
+        )
+        assert crit.tracker(mnist_model).threshold == 0.1
+
+    def test_greedy_runs_on_any_criterion(self, mnist_model, mnist_pool):
+        # the generic loop: criterion → matrix → tracker, no metric-specific code
+        for crit in (ParameterCoverage(), NeuronCoverage()):
+            matrix = crit.mask_matrix(mnist_model, mnist_pool[:6])
+            tracker = crit.tracker(mnist_model)
+            available = np.ones(len(matrix), dtype=bool)
+            for _ in range(3):
+                best, _ = matrix.best_candidate(tracker.covered_map, available)
+                tracker.add_mask(matrix.row(best))
+                available[best] = False
+            assert tracker.num_tests == 3
+            assert 0.0 < tracker.coverage <= 1.0
+
+
+class TestValidationPackageV2:
+    """Packed masks in the release package, with v1-compatible loading."""
+
+    @pytest.fixture(scope="class")
+    def package(self, mnist_model, mnist_pool):
+        vendor = IPVendor(mnist_model)
+        return vendor.build_package(mnist_pool[:5])
+
+    def test_build_attaches_packed_masks(self, package, mnist_model):
+        assert package.coverage_masks is not None
+        assert len(package.coverage_masks) == 5
+        assert package.coverage_masks.nbits == mnist_model.num_parameters()
+        assert package.coverage_fraction() == pytest.approx(
+            package.metadata["validation_coverage"]
+        )
+
+    def test_masks_match_direct_computation(self, package, mnist_model):
+        expected = packed_activation_masks(mnist_model, package.tests)
+        assert package.coverage_masks == expected
+
+    def test_save_load_round_trip(self, package, tmp_path):
+        path = package.save(tmp_path / "pkg.npz")
+        loaded = ValidationPackage.load(path)
+        assert loaded.coverage_masks == package.coverage_masks
+        np.testing.assert_array_equal(loaded.tests, package.tests)
+        assert loaded.coverage_fraction() == pytest.approx(
+            package.coverage_fraction()
+        )
+
+    def test_subset_slices_masks(self, package):
+        subset = package.subset(2)
+        assert len(subset.coverage_masks) == 2
+        assert subset.coverage_masks.words.shape[0] == 2
+        np.testing.assert_array_equal(
+            subset.coverage_masks.dense(), package.coverage_masks.dense()[:2]
+        )
+
+    def test_opt_out(self, mnist_model, mnist_pool):
+        pkg = IPVendor(mnist_model).build_package(
+            mnist_pool[:3], include_coverage_masks=False
+        )
+        assert pkg.coverage_masks is None
+        assert pkg.coverage_fraction() is None
+
+    def _write_v1(self, path, package, extra_arrays=None):
+        """Write the pre-format-version on-disk layout (no ``format`` key).
+
+        v1 digests covered tests + outputs only — never masks.
+        """
+        from repro.validation.package import _digest_arrays
+
+        meta = {
+            "output_atol": package.output_atol,
+            "digest": _digest_arrays(package.tests, package.expected_outputs),
+            "metadata": package.metadata,
+        }
+        arrays = {
+            "tests": package.tests,
+            "expected_outputs": package.expected_outputs,
+            "expected_labels": package.expected_labels,
+            "__meta__": np.frombuffer(
+                json.dumps(meta).encode("utf-8"), dtype=np.uint8
+            ),
+        }
+        arrays.update(extra_arrays or {})
+        np.savez(path, **arrays)
+
+    def test_loads_v1_package_without_masks(self, package, tmp_path):
+        path = tmp_path / "v1.npz"
+        self._write_v1(path, package)
+        loaded = ValidationPackage.load(path)  # digest verified by default
+        assert loaded.coverage_masks is None
+        np.testing.assert_array_equal(loaded.tests, package.tests)
+
+    def test_loads_v1_package_with_legacy_dense_masks(self, package, tmp_path):
+        path = tmp_path / "v1_dense.npz"
+        dense = package.coverage_masks.dense()
+        self._write_v1(path, package, {"coverage_masks": dense})
+        loaded = ValidationPackage.load(path)
+        assert loaded.coverage_masks == package.coverage_masks
+
+    def test_tampered_masks_fail_integrity_check(self, package, tmp_path):
+        # the v2 digest spans the packed masks: rewriting the coverage
+        # record in transit must not pass verification
+        path = package.save(tmp_path / "tampered.npz")
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        words = arrays["coverage_words"].copy()
+        words[0, 0] ^= np.uint64(1)
+        arrays["coverage_words"] = words
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="integrity"):
+            ValidationPackage.load(path)
+        assert ValidationPackage.load(path, verify_digest=False) is not None
+
+    def test_rejects_future_format(self, package, tmp_path):
+        path = package.save(tmp_path / "future.npz")
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["__meta__"].tobytes()).decode("utf-8"))
+            arrays = {k: data[k] for k in data.files if k != "__meta__"}
+        meta["format"] = FORMAT_VERSION + 1
+        arrays["__meta__"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="format"):
+            ValidationPackage.load(path)
+
+    def test_mask_row_count_validated(self, package):
+        with pytest.raises(ValueError, match="coverage_masks"):
+            ValidationPackage(
+                tests=package.tests,
+                expected_outputs=package.expected_outputs,
+                coverage_masks=package.coverage_masks.take([0, 1]),
+            )

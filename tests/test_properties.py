@@ -155,11 +155,13 @@ def test_coverage_tracker_union_invariants(n_params, n_masks, data):
     """Union coverage equals the OR of all masks; marginal gains sum to coverage."""
     from repro.coverage.activation import ActivationCriterion
 
+    from repro.coverage.bitmap import CoverageMap
+
     tracker = CoverageTracker.__new__(CoverageTracker)
     tracker._model = _MaskModel(n_params)
     tracker.criterion = ActivationCriterion()
     tracker._total = n_params
-    tracker._covered = np.zeros(n_params, dtype=bool)
+    tracker._covered = CoverageMap(n_params)
     tracker._num_tests = 0
 
     union = np.zeros(n_params, dtype=bool)
