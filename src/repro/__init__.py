@@ -30,7 +30,12 @@ The package is organised as:
   perturbations.
 * :mod:`repro.validation` — the vendor/user scheme and the detection-rate
   experiment harness.
-* :mod:`repro.analysis` — figure/table builders and reporting.
+* :mod:`repro.analysis` — figure/table builders and reporting, including
+  the campaign-store aggregation behind ``python -m repro.campaign report``.
+* :mod:`repro.campaign` — declarative attack × model × criterion × strategy
+  × budget sweeps: a TOML/JSON-loadable :class:`~repro.campaign.CampaignSpec`
+  expands into digest-keyed scenarios executed by a resumable runner into an
+  append-only JSONL store (``python -m repro.campaign run/report/diff``).
 
 Typical quickstart::
 

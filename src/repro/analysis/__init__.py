@@ -1,5 +1,13 @@
 """Experiment drivers, figure series builders and result reporting."""
 
+from repro.analysis.campaign import (
+    campaign_csv,
+    campaign_rows,
+    coverage_summary_rows,
+    detection_rate_tables,
+    render_campaign_report,
+    write_campaign_report,
+)
 from repro.analysis.figures import (
     CoverageCurves,
     ImageSetCoverage,
@@ -29,6 +37,12 @@ from repro.analysis.sweep import (
 )
 
 __all__ = [
+    "campaign_csv",
+    "campaign_rows",
+    "coverage_summary_rows",
+    "detection_rate_tables",
+    "render_campaign_report",
+    "write_campaign_report",
     "CoverageCurves",
     "ImageSetCoverage",
     "SyntheticSampleReport",

@@ -1,0 +1,194 @@
+"""Folding a campaign result store into the paper's evaluation tables.
+
+The campaign runner records one JSONL line per scenario; this module
+aggregates those records into the Tables II/III-style detection-rate grids
+(one per model × criterion, rows = budgets, columns = strategy × attack) and
+a coverage summary, and renders the whole thing as a markdown report or CSV.
+The aggregation is pure — it reads :class:`~repro.campaign.store
+.ScenarioRecord` objects and never touches models or engines — so reports
+can be regenerated from a store at any time (``python -m repro.campaign
+report``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.reporting import (
+    detection_table_markdown,
+    format_csv,
+    format_markdown_table,
+)
+from repro.campaign.store import ScenarioRecord
+
+PathLike = Union[str, Path]
+
+
+def campaign_rows(records: Sequence[ScenarioRecord]) -> List[Dict[str, object]]:
+    """Flat dict rows (one per scenario) for CSV / markdown rendering."""
+    rows: List[Dict[str, object]] = []
+    for record in records:
+        s = record.scenario
+        rows.append(
+            {
+                "model": s.get("model"),
+                "attack": s.get("attack"),
+                "criterion": s.get("criterion"),
+                "strategy": s.get("strategy"),
+                "budget": s.get("budget"),
+                "trials": record.trials,
+                "detections": record.detections,
+                "detection_rate": record.detection_rate,
+                "coverage": record.coverage,
+                "digest": record.digest,
+            }
+        )
+    return rows
+
+
+def _ordered(values: Sequence[object]) -> List[object]:
+    """First-seen order, deduplicated (keeps spec axis order in reports)."""
+    seen: List[object] = []
+    for v in values:
+        if v not in seen:
+            seen.append(v)
+    return seen
+
+
+def detection_rate_tables(
+    records: Sequence[ScenarioRecord],
+) -> Dict[Tuple[str, str], str]:
+    """One Tables II/III-style markdown grid per (model, criterion).
+
+    Rows are test budgets N; columns are strategy:attack pairs — the same
+    layout :func:`~repro.analysis.reporting.detection_table_markdown` uses
+    for the single-model experiment, now keyed across the campaign axes.
+    """
+    groups: Dict[Tuple[str, str], List[ScenarioRecord]] = {}
+    for record in records:
+        key = (str(record.scenario.get("model")), str(record.scenario.get("criterion")))
+        groups.setdefault(key, []).append(record)
+
+    tables: Dict[Tuple[str, str], str] = {}
+    for key, group in groups.items():
+        budgets = sorted({int(r.scenario["budget"]) for r in group})  # type: ignore[arg-type]
+        strategies = _ordered([str(r.scenario.get("strategy")) for r in group])
+        attacks = _ordered([str(r.scenario.get("attack")) for r in group])
+        rows = [
+            {
+                "method": str(r.scenario.get("strategy")),
+                "attack": str(r.scenario.get("attack")),
+                "num_tests": int(r.scenario["budget"]),  # type: ignore[arg-type]
+                "detection_rate": r.detection_rate,
+            }
+            for r in group
+        ]
+        tables[key] = detection_table_markdown(
+            rows, budgets=budgets, methods=strategies, attacks=attacks
+        )
+    return tables
+
+
+def coverage_summary_rows(
+    records: Sequence[ScenarioRecord],
+) -> List[Dict[str, object]]:
+    """Validation coverage per (model, criterion, strategy, budget).
+
+    Coverage does not depend on the attack axis, so attack-duplicated
+    scenarios collapse to one row each.
+    """
+    seen: Dict[Tuple[str, str, str, int], Dict[str, object]] = {}
+    for record in records:
+        s = record.scenario
+        key = (
+            str(s.get("model")),
+            str(s.get("criterion")),
+            str(s.get("strategy")),
+            int(s["budget"]),  # type: ignore[arg-type]
+        )
+        if key not in seen:
+            seen[key] = {
+                "model": key[0],
+                "criterion": key[1],
+                "strategy": key[2],
+                "budget": key[3],
+                "coverage": record.coverage,
+            }
+    return [seen[k] for k in sorted(seen)]
+
+
+def render_campaign_report(
+    records: Sequence[ScenarioRecord],
+    title: Optional[str] = None,
+) -> str:
+    """Full markdown report: detection grids per (model, criterion) plus a
+    coverage summary and the flat per-scenario table."""
+    if not records:
+        raise ValueError("no records to report — run the campaign first")
+    campaign = records[0].campaign
+    lines: List[str] = [f"# Campaign report: {title or campaign}", ""]
+    lines.append(
+        f"{len(records)} scenarios | models: "
+        f"{', '.join(str(m) for m in _ordered([r.scenario.get('model') for r in records]))} | "
+        f"attacks: "
+        f"{', '.join(str(a) for a in _ordered([r.scenario.get('attack') for r in records]))}"
+    )
+    lines.append("")
+    for (model, criterion), table in detection_rate_tables(records).items():
+        lines.append(f"## Detection rates — model `{model}`, criterion `{criterion}`")
+        lines.append("")
+        lines.append(table)
+        lines.append("")
+    lines.append("## Validation coverage by budget")
+    lines.append("")
+    lines.append(format_markdown_table(coverage_summary_rows(records)))
+    lines.append("")
+    lines.append("## All scenarios")
+    lines.append("")
+    rows = campaign_rows(records)
+    lines.append(
+        format_markdown_table(
+            rows,
+            columns=[
+                "model",
+                "attack",
+                "criterion",
+                "strategy",
+                "budget",
+                "trials",
+                "detections",
+                "detection_rate",
+                "coverage",
+            ],
+        )
+    )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_campaign_report(
+    records: Sequence[ScenarioRecord],
+    path: PathLike,
+    title: Optional[str] = None,
+) -> Path:
+    """Render and write the markdown report, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_campaign_report(records, title=title), encoding="utf-8")
+    return path
+
+
+def campaign_csv(records: Sequence[ScenarioRecord]) -> str:
+    """The flat per-scenario table as CSV text."""
+    return format_csv(campaign_rows(records))
+
+
+__all__ = [
+    "campaign_csv",
+    "campaign_rows",
+    "coverage_summary_rows",
+    "detection_rate_tables",
+    "render_campaign_report",
+    "write_campaign_report",
+]

@@ -26,7 +26,7 @@ from repro.engine import Engine
 from repro.data.synth_digits import load_synth_mnist
 from repro.data.synth_objects import load_synth_cifar
 from repro.models.training import Trainer, TrainingHistory
-from repro.models.zoo import cifar_cnn, mnist_cnn
+from repro.models.zoo import MODEL_LEARNING_RATES, cifar_cnn, mnist_cnn
 from repro.nn.model import Sequential
 from repro.testgen.combined import CombinedGenerator
 from repro.testgen.neuron_testgen import NeuronCoverageSelector
@@ -71,11 +71,15 @@ def prepare_experiment(
     if dataset == "mnist":
         train, test = load_synth_mnist(train_size, test_size, rng=gen)
         model = mnist_cnn(width_multiplier=width_multiplier, rng=gen)
-        default_training = TrainingConfig(epochs=8, batch_size=32, learning_rate=2e-3)
+        default_training = TrainingConfig(
+            epochs=8, batch_size=32, learning_rate=MODEL_LEARNING_RATES["mnist"]
+        )
     elif dataset == "cifar":
         train, test = load_synth_cifar(train_size, test_size, rng=gen)
         model = cifar_cnn(width_multiplier=width_multiplier / 2, rng=gen)
-        default_training = TrainingConfig(epochs=12, batch_size=32, learning_rate=3e-3)
+        default_training = TrainingConfig(
+            epochs=12, batch_size=32, learning_rate=MODEL_LEARNING_RATES["cifar"]
+        )
     else:
         raise ValueError(f"unknown dataset {dataset!r}; choose 'mnist' or 'cifar'")
 

@@ -64,6 +64,28 @@ class PerturbationRecord:
         """Euclidean norm of the full perturbation vector."""
         return float(np.linalg.norm(self.deltas))
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form, for audit logs and out-of-band replay
+        (round-trip through :meth:`from_dict` + :func:`apply_record`)."""
+        return {
+            "attack": self.attack,
+            "flat_indices": [int(i) for i in self.flat_indices],
+            "deltas": [float(d) for d in self.deltas],
+            "parameter_names": list(self.parameter_names),
+            "metadata": {k: float(v) for k, v in self.metadata.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PerturbationRecord":
+        """Rebuild a record serialised with :meth:`to_dict`."""
+        return cls(
+            attack=str(data["attack"]),
+            flat_indices=np.asarray(data["flat_indices"], dtype=np.int64),
+            deltas=np.asarray(data["deltas"], dtype=np.float64),
+            parameter_names=list(data.get("parameter_names", [])),  # type: ignore[arg-type]
+            metadata=dict(data.get("metadata", {})),  # type: ignore[arg-type]
+        )
+
 
 @dataclass
 class AttackOutcome:

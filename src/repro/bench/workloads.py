@@ -1,6 +1,6 @@
 """The engine benchmark workloads, per backend × dtype.
 
-Eight workloads cover the library's hot paths end to end:
+The workloads cover the library's hot paths end to end:
 
 =================  ========================================================
 ``forward``        inference logits over the pool (vendor replay, detection)
@@ -17,6 +17,9 @@ Eight workloads cover the library's hot paths end to end:
                    copies (the Tables II/III inner loop)
 ``revisit``        memoized re-query of the coverage workload (greedy-loop
                    access pattern; measures the cache, not the compute)
+``campaign``       a micro campaign (train, package, paired trials, store)
+                   end to end through ``repro.campaign`` — float64 only,
+                   each repeat runs into a fresh store so nothing is skipped
 =================  ========================================================
 
 Each runs on every requested backend (``numpy``, and ``parallel`` when more
@@ -65,6 +68,27 @@ WORKLOAD_NAMES = (
     "selection",
     "detection",
     "revisit",
+    "campaign",
+)
+
+#: the micro campaign spec timed by the ``campaign`` workload: one model,
+#: one attack, one strategy, sized so a full train→package→trials→store
+#: pass stays in smoke-test territory
+CAMPAIGN_WORKLOAD_SPEC = dict(
+    name="bench-campaign",
+    attacks=("sba",),
+    models=("mnist",),
+    criteria=("default",),
+    strategies=("random",),
+    budgets=(2,),
+    trials=2,
+    train_size=24,
+    test_size=12,
+    epochs=1,
+    width_multiplier=0.08,
+    candidate_pool=12,
+    gradient_updates=3,
+    reference_inputs=6,
 )
 
 
@@ -254,6 +278,39 @@ def run_workloads(
             )
             result.cache_hit_rate = cached_engine.stats.hit_rate
             results.append(result)
+
+        if "campaign" in selected and dtype == "float64":
+            # float64 only: the campaign's user-side replay compares logits
+            # at the package atol, which float32 compute would trip benignly
+            import itertools
+            import tempfile
+            from pathlib import Path
+
+            from repro.campaign import CampaignSpec, run_campaign
+
+            spec = CampaignSpec(**CAMPAIGN_WORKLOAD_SPEC)  # type: ignore[arg-type]
+            num_scenarios = len(spec.expand())
+            with tempfile.TemporaryDirectory() as tmp:
+                counter = itertools.count()
+
+                def campaign() -> float:
+                    # a fresh store per repeat — resuming would skip the work
+                    store_path = Path(tmp) / f"store-{next(counter)}.jsonl"
+                    summary = run_campaign(spec, str(store_path), backend=backend)
+                    return summary.executed / num_scenarios
+
+                results.append(
+                    measure(
+                        "campaign",
+                        campaign,
+                        samples=num_scenarios,
+                        backend=backend_name,
+                        dtype=dtype,
+                        repeats=repeats,
+                        value_of=lambda r: r,
+                        scenarios=num_scenarios,
+                    )
+                )
     finally:
         backend.close()
     return results

@@ -1,0 +1,62 @@
+"""Declarative evaluation campaigns: attack × model × criterion sweeps.
+
+The paper's headline evidence is a *sweep* — detection rates across attack
+families, coverage criteria, test budgets and both Table-I architectures —
+not a single run.  This subsystem makes that sweep a first-class, resumable
+artefact:
+
+* :class:`~repro.campaign.spec.CampaignSpec` — a dataclass (TOML/JSON
+  loadable) enumerating the scenario cross-product, expanded with
+  deterministic per-scenario seeds and SHA-256 digests;
+* :class:`~repro.campaign.runner.CampaignRunner` — executes pending
+  scenarios through the engine stack, sharing trained models, generated
+  packages and perturbation-trial replays across scenarios (see the module
+  docstring for the exact reuse structure);
+* :class:`~repro.campaign.store.ResultStore` — an append-only JSONL store
+  keyed by scenario digest, so interrupted or re-triggered campaigns skip
+  completed work;
+* ``python -m repro.campaign`` — ``run`` / ``resume`` / ``report`` /
+  ``diff`` / ``expectations`` CLI; the aggregation behind ``report`` lives
+  in :mod:`repro.analysis.campaign`.
+
+Quickstart::
+
+    from repro.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(attacks=("sba", "random"), models=("mnist",),
+                        budgets=(5, 10), trials=20, train_size=80, epochs=2)
+    summary = run_campaign(spec, "results.jsonl")
+    summary = run_campaign(spec, "results.jsonl")   # resumes: executes 0
+"""
+
+from repro.campaign.runner import CampaignRunner, CampaignSummary, run_campaign
+from repro.campaign.spec import (
+    MODEL_NAMES,
+    SCENARIO_SCHEMA_VERSION,
+    CampaignSpec,
+    Scenario,
+    derive_scenario_seed,
+)
+from repro.campaign.store import (
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    ScenarioRecord,
+    diff_against_expectations,
+    expectations_from_records,
+)
+
+__all__ = [
+    "MODEL_NAMES",
+    "SCENARIO_SCHEMA_VERSION",
+    "STORE_SCHEMA_VERSION",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CampaignSummary",
+    "ResultStore",
+    "Scenario",
+    "ScenarioRecord",
+    "derive_scenario_seed",
+    "diff_against_expectations",
+    "expectations_from_records",
+    "run_campaign",
+]

@@ -1,0 +1,182 @@
+"""CLI entry point: ``python -m repro.campaign``.
+
+Subcommands::
+
+    # execute a spec into a JSONL store (skips already-completed scenarios)
+    python -m repro.campaign run --spec spec.toml --store results.jsonl
+
+    # alias of run — the store already encodes what is left to do
+    python -m repro.campaign resume --spec spec.toml --store results.jsonl
+
+    # fold a store into the Tables II/III-style markdown report (and CSV)
+    python -m repro.campaign report --store results.jsonl --out report.md
+
+    # gate a store against a committed expectations file (CI drift check)
+    python -m repro.campaign diff --store results.jsonl \
+        --expectations expectations.json
+
+    # (re)generate the expectations file from a completed store
+    python -m repro.campaign expectations --store results.jsonl \
+        --out expectations.json
+
+``run``/``resume`` print the executed/skipped summary; ``diff`` exits
+non-zero when any scenario's detection outcome drifted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import (
+    ResultStore,
+    diff_against_expectations,
+    expectations_from_records,
+)
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Run, resume, report and gate declarative evaluation campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, doc in (
+        ("run", "execute the spec's pending scenarios into the store"),
+        ("resume", "alias of run: completed scenarios are skipped either way"),
+    ):
+        cmd = sub.add_parser(name, help=doc)
+        cmd.add_argument("--spec", required=True, help="campaign spec (.toml or .json)")
+        cmd.add_argument("--store", required=True, help="JSONL result store path")
+        cmd.add_argument(
+            "--backend",
+            default="numpy",
+            help="engine backend for the whole campaign (numpy or parallel)",
+        )
+        cmd.add_argument(
+            "--workers", type=int, default=None, help="parallel-backend worker count"
+        )
+        cmd.add_argument(
+            "--report", default=None, help="also write the markdown report here"
+        )
+
+    report = sub.add_parser("report", help="render a store as markdown/CSV tables")
+    report.add_argument("--store", required=True, help="JSONL result store path")
+    report.add_argument("--out", default=None, help="markdown output path (default: stdout)")
+    report.add_argument("--csv", default=None, help="also write the flat CSV here")
+
+    diff = sub.add_parser(
+        "diff", help="compare a store against a committed expectations file"
+    )
+    diff.add_argument("--store", required=True, help="JSONL result store path")
+    diff.add_argument(
+        "--expectations", required=True, help="expectations JSON (see 'expectations')"
+    )
+
+    expect = sub.add_parser(
+        "expectations", help="generate an expectations file from a completed store"
+    )
+    expect.add_argument("--store", required=True, help="JSONL result store path")
+    expect.add_argument("--out", required=True, help="expectations JSON output path")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = CampaignSpec.load(args.spec)
+    scenarios = spec.expand()
+    print(
+        f"campaign {spec.name!r}: {len(scenarios)} scenarios "
+        f"({len(spec.models)} models x {len(spec.attacks)} attacks x "
+        f"{len(spec.criteria)} criteria x {len(spec.strategies)} strategies x "
+        f"{len(spec.budgets)} budgets)"
+    )
+    store = ResultStore(args.store)
+    summary = run_campaign(
+        spec,
+        store,
+        backend=args.backend,
+        workers=args.workers,
+        progress=print,
+    )
+    print(summary.describe())
+    if args.report is not None:
+        from repro.analysis.campaign import write_campaign_report
+
+        path = write_campaign_report(store.records(), args.report, title=spec.name)
+        print(f"wrote report to {path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.campaign import campaign_csv, render_campaign_report
+
+    store = ResultStore(args.store)
+    records = store.records()
+    if not records:
+        print(f"store {args.store} is empty — run the campaign first", file=sys.stderr)
+        return 1
+    text = render_campaign_report(records)
+    if args.out is None:
+        print(text)
+    else:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        print(f"wrote report to {path} ({len(records)} scenarios)")
+    if args.csv is not None:
+        path = Path(args.csv)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(campaign_csv(records), encoding="utf-8")
+        print(f"wrote CSV to {path}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    expectations = json.loads(Path(args.expectations).read_text(encoding="utf-8"))
+    drifts = diff_against_expectations(store.records(), expectations)
+    if not drifts:
+        print(
+            f"no drift: {len(store)} scenarios match {args.expectations}"
+        )
+        return 0
+    for drift in drifts:
+        print(f"DRIFT: {drift}", file=sys.stderr)
+    print(f"{len(drifts)} drifted scenario(s)", file=sys.stderr)
+    return 1
+
+
+def _cmd_expectations(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    records = store.records()
+    if not records:
+        print(f"store {args.store} is empty — run the campaign first", file=sys.stderr)
+        return 1
+    doc = expectations_from_records(records)
+    path = Path(args.out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"pinned {len(records)} scenarios to {path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "resume": _cmd_run,
+        "report": _cmd_report,
+        "diff": _cmd_diff,
+        "expectations": _cmd_expectations,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,410 @@
+"""The resumable campaign runner.
+
+Executes the scenario cross-product of a :class:`~repro.campaign.spec
+.CampaignSpec` against the existing engine stack, sharing every piece of
+work that is common to several scenarios:
+
+* **per model** — the victim is trained once and served by one memoizing
+  :class:`~repro.engine.Engine` on the shared backend, so the packed-mask
+  and gradient queries behind package generation are computed once per model
+  rather than once per scenario;
+* **per (model, criterion, strategy)** — one validation package is generated
+  at the campaign's *maximum* budget; smaller budgets replay prefixes of it
+  (greedy generators are prefix-stable, and always generating at max budget
+  keeps non-greedy ones — e.g. ``random`` — resume-deterministic);
+* **per (model, attack)** — one sequence of perturbation trials is drawn and
+  every package's stacked test prefix is replayed against each perturbed
+  copy in a single engine dispatch (the Tables II/III paired-trial
+  protocol); on the parallel backend each perturbed copy is published by
+  parameter digest exactly once and its batch is sharded across the worker
+  pool.
+
+Every random draw is seeded from the spec seed and the group's coordinates
+(SHA-256, see :func:`~repro.campaign.spec.derive_scenario_seed`), never from
+"what else is pending" — so a resumed campaign computes byte-identical
+results for the scenarios it still has to run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.campaign.spec import CampaignSpec, Scenario, derive_scenario_seed
+from repro.campaign.store import ResultStore, ScenarioRecord
+from repro.coverage.activation import resolve_criterion
+from repro.coverage.bitmap import CoverageMap
+from repro.engine import Engine, ExecutionBackend, ParallelBackend, get_backend
+from repro.models.zoo import MODEL_LEARNING_RATES
+from repro.testgen.registry import build_generator, strategy_knobs
+from repro.utils.config import TrainingConfig
+from repro.utils.logging import get_logger
+from repro.utils.rng import spawn
+from repro.validation.detection import default_attack_factories, stack_package_prefixes
+from repro.validation.package import ValidationPackage
+from repro.validation.vendor import IPVendor
+
+logger = get_logger("campaign.runner")
+
+#: package dict key for one (criterion, strategy) coordinate
+PackageKey = Tuple[str, str]
+
+ProgressCallback = Callable[[str], None]
+
+
+@dataclass
+class CampaignSummary:
+    """What one :meth:`CampaignRunner.run` invocation did."""
+
+    total: int
+    executed: int
+    skipped: int
+    wall_s: float
+    records: List[ScenarioRecord] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return (
+            f"executed {self.executed} scenarios, skipped {self.skipped} "
+            f"already-completed, {self.total} total ({self.wall_s:.1f}s)"
+        )
+
+
+def _generator_kwargs(spec: CampaignSpec, strategy: str) -> Dict[str, object]:
+    """The strategy's registry-declared knobs, drawn from the spec fields."""
+    kwargs: Dict[str, object] = {}
+    for kwarg, spec_field in strategy_knobs(strategy).items():
+        try:
+            kwargs[kwarg] = getattr(spec, spec_field)
+        except AttributeError as exc:
+            raise ValueError(
+                f"strategy {strategy!r} declares knob {kwarg!r} from spec "
+                f"field {spec_field!r}, which CampaignSpec does not define"
+            ) from exc
+    return kwargs
+
+
+def _prefix_coverages(
+    package: ValidationPackage, budgets: Sequence[int]
+) -> Dict[int, float]:
+    """Validation coverage of the package's test prefixes, one per budget.
+
+    Budgets are processed in increasing order so the running union extends
+    incrementally instead of re-scanning from row 0 per budget.
+    """
+    masks = package.coverage_masks
+    if masks is None:
+        return {int(b): float("nan") for b in budgets}
+    coverages: Dict[int, float] = {}
+    union = CoverageMap(masks.nbits)
+    done = 0
+    for budget in sorted(int(b) for b in budgets):
+        upto = min(budget, len(masks))
+        for i in range(done, upto):
+            union.union_(masks.row(i))
+        done = upto
+        coverages[budget] = union.fraction
+    return coverages
+
+
+class CampaignRunner:
+    """Executes the pending scenarios of a campaign spec into a store.
+
+    Parameters
+    ----------
+    spec: the declarative campaign definition.
+    store: the append-only result store; scenarios whose digest is already
+        present are skipped (resume semantics).
+    backend: engine backend shared by the whole campaign — a name
+        (``"numpy"``, ``"parallel"``), an instance, or a class, as accepted
+        by :func:`repro.engine.get_backend`.  A passed-in instance is not
+        closed by the runner.
+    workers: worker count when ``backend="parallel"``.
+    progress: optional callback receiving human-readable progress lines.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: ResultStore,
+        backend: Union[str, ExecutionBackend, type] = "numpy",
+        workers: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        spec.validate()
+        if workers is not None and backend != "parallel":
+            raise ValueError(
+                "workers is only meaningful with backend='parallel'; "
+                "configure instances/classes directly instead"
+            )
+        self.spec = spec
+        self.store = store
+        self._backend_spec = backend
+        self._workers = workers
+        self._progress = progress
+
+    def _emit(self, message: str) -> None:
+        logger.info("%s", message)
+        if self._progress is not None:
+            self._progress(message)
+
+    def _build_backend(self) -> Tuple[ExecutionBackend, bool]:
+        """Resolve the shared backend; returns ``(backend, owned)``."""
+        if isinstance(self._backend_spec, ExecutionBackend):
+            return self._backend_spec, False
+        if self._backend_spec == "parallel" and self._workers is not None:
+            return ParallelBackend(workers=self._workers), True
+        return get_backend(self._backend_spec), True
+
+    # -- shared-work preparation --------------------------------------------
+    def _prepare_model(self, model_name: str):
+        """Train the named victim once (seeded by spec seed + model only)."""
+        from repro.analysis.sweep import prepare_experiment
+
+        spec = self.spec
+        seed = derive_scenario_seed(spec.seed, "train", model_name)
+        training = TrainingConfig(
+            epochs=spec.epochs,
+            batch_size=min(32, spec.train_size),
+            learning_rate=MODEL_LEARNING_RATES[model_name],
+        )
+        self._emit(
+            f"[{model_name}] training victim "
+            f"(train={spec.train_size}, epochs={spec.epochs})"
+        )
+        prepared = prepare_experiment(
+            model_name,
+            train_size=spec.train_size,
+            test_size=spec.test_size,
+            width_multiplier=spec.width_multiplier,
+            training=training,
+            rng=seed,
+        )
+        self._emit(
+            f"[{model_name}] trained: accuracy {prepared.test_accuracy:.3f}, "
+            f"{prepared.model.num_parameters()} parameters"
+        )
+        return prepared
+
+    def _build_package(
+        self, prepared, key: PackageKey, engine: Engine
+    ) -> ValidationPackage:
+        """One package per (criterion, strategy), always at the max budget."""
+        criterion_name, strategy = key
+        spec = self.spec
+        criterion = resolve_criterion(criterion_name, prepared.model)
+        seed = derive_scenario_seed(
+            spec.seed, "package", prepared.dataset_name, criterion_name, strategy
+        )
+        generator = build_generator(
+            strategy,
+            prepared.model,
+            prepared.train,
+            criterion=criterion,
+            rng=seed,
+            engine=engine,
+            **_generator_kwargs(spec, strategy),
+        )
+        vendor = IPVendor(prepared.model, prepared.train, criterion=criterion)
+        result = generator.generate(spec.max_budget)
+        package = vendor.build_package(result, output_atol=spec.output_atol)
+        self._emit(
+            f"[{prepared.dataset_name}] package {strategy}/{criterion_name}: "
+            f"{package.num_tests} tests, coverage "
+            f"{float(package.metadata.get('validation_coverage', float('nan'))):.3f}"
+        )
+        return package
+
+    # -- execution ----------------------------------------------------------
+    def run(self) -> CampaignSummary:
+        """Execute every pending scenario; already-stored ones are skipped."""
+        start = time.perf_counter()
+        spec = self.spec
+        scenarios = spec.expand()
+        pending = [s for s in scenarios if s.digest not in self.store]
+        skipped = len(scenarios) - len(pending)
+        if skipped:
+            self._emit(f"resuming: {skipped}/{len(scenarios)} scenarios already stored")
+        if not pending:
+            return CampaignSummary(
+                total=len(scenarios),
+                executed=0,
+                skipped=skipped,
+                wall_s=time.perf_counter() - start,
+            )
+
+        backend, owned = self._build_backend()
+        records: List[ScenarioRecord] = []
+        try:
+            for model_name in spec.models:
+                model_pending = [s for s in pending if s.model == model_name]
+                if not model_pending:
+                    continue
+                records.extend(self._run_model(model_name, model_pending, backend))
+        finally:
+            if owned:
+                backend.close()
+        return CampaignSummary(
+            total=len(scenarios),
+            executed=len(records),
+            skipped=skipped,
+            wall_s=time.perf_counter() - start,
+            records=records,
+        )
+
+    def _run_model(
+        self,
+        model_name: str,
+        model_pending: Sequence[Scenario],
+        backend: ExecutionBackend,
+    ) -> List[ScenarioRecord]:
+        spec = self.spec
+        prepared = self._prepare_model(model_name)
+        # one memoizing engine per model: package generation for every
+        # (criterion, strategy) shares its mask/gradient cache
+        engine = Engine(prepared.model, backend=backend)
+
+        package_keys: List[PackageKey] = []
+        for s in model_pending:
+            key = (s.criterion, s.strategy)
+            if key not in package_keys:
+                package_keys.append(key)
+        packages = {
+            key: self._build_package(prepared, key, engine) for key in package_keys
+        }
+        # prefix coverage is attack-independent: compute it once per
+        # (package, budget) here rather than once per scenario below
+        coverages = {
+            key: _prefix_coverages(pkg, spec.budgets) for key, pkg in packages.items()
+        }
+
+        factories = default_attack_factories(
+            prepared.test.images[: spec.reference_inputs],
+            sba_magnitude=spec.sba_magnitude,
+            gda_parameters=spec.gda_parameters,
+            random_parameters=spec.random_parameters,
+            random_relative_std=spec.random_relative_std,
+        )
+
+        records: List[ScenarioRecord] = []
+        for attack_name in spec.attacks:
+            group = [s for s in model_pending if s.attack == attack_name]
+            if not group:
+                continue
+            records.extend(
+                self._run_attack_group(
+                    prepared,
+                    attack_name,
+                    group,
+                    packages,
+                    coverages,
+                    factories[attack_name],
+                    backend,
+                )
+            )
+        return records
+
+    def _run_attack_group(
+        self,
+        prepared,
+        attack_name: str,
+        group: Sequence[Scenario],
+        packages: Dict[PackageKey, ValidationPackage],
+        coverages: Dict[PackageKey, Dict[int, float]],
+        factory,
+        backend: ExecutionBackend,
+    ) -> List[ScenarioRecord]:
+        """Paired perturbation trials shared by every scenario of one
+        (model, attack) coordinate: one stacked replay per trial serves all
+        of the group's criteria, strategies and budgets."""
+        spec = self.spec
+        model_name = prepared.dataset_name
+        needed_keys = []
+        for s in group:
+            key = (s.criterion, s.strategy)
+            if key not in needed_keys:
+                needed_keys.append(key)
+        stacked = {f"{c}|{g}": packages[(c, g)] for c, g in needed_keys}
+        methods, stacked_tests, expected, offsets = stack_package_prefixes(
+            stacked, spec.max_budget
+        )
+
+        # the trial sequence depends only on (spec seed, model, attack), so
+        # resumed campaigns replay the exact same perturbations
+        trial_seed = derive_scenario_seed(spec.seed, "trials", model_name, attack_name)
+        trial_rngs = spawn(trial_seed, spec.trials)
+        self._emit(
+            f"[{model_name}] {attack_name}: {spec.trials} trials × "
+            f"{len(methods)} packages × {len(spec.budgets)} budgets "
+            f"({len(group)} scenarios)"
+        )
+
+        detections: Dict[Tuple[str, int], int] = {
+            (method, budget): 0 for method in methods for budget in spec.budgets
+        }
+        modified_counts: List[int] = []
+        max_abs_deltas: List[float] = []
+        for trial_rng in trial_rngs:
+            attack = factory(trial_rng)
+            outcome = attack.apply(prepared.model)
+            modified_counts.append(outcome.record.num_modified)
+            max_abs_deltas.append(outcome.record.max_abs_delta)
+            # one engine dispatch per perturbed copy; the memo cache is off
+            # because each copy serves exactly one batch
+            trial_engine = Engine(outcome.model, backend=backend, cache=False)
+            observed = trial_engine.forward(stacked_tests)
+            deviations = np.abs(observed - expected).max(axis=1)
+            for method in methods:
+                lo = offsets[method]
+                for budget in spec.budgets:
+                    if np.any(deviations[lo : lo + budget] > spec.output_atol):
+                        detections[(method, budget)] += 1
+
+        mean_modified = float(np.mean(modified_counts)) if modified_counts else 0.0
+        mean_max_delta = float(np.mean(max_abs_deltas)) if max_abs_deltas else 0.0
+
+        records: List[ScenarioRecord] = []
+        for scenario in group:  # expand() order — keeps append order stable
+            method = f"{scenario.criterion}|{scenario.strategy}"
+            package = packages[(scenario.criterion, scenario.strategy)]
+            record = ScenarioRecord(
+                digest=scenario.digest,
+                scenario=scenario.axes_dict(),
+                seed=scenario.seed,
+                trials=spec.trials,
+                detections=detections[(method, scenario.budget)],
+                coverage=coverages[(scenario.criterion, scenario.strategy)][
+                    scenario.budget
+                ],
+                campaign=spec.name,
+                extra={
+                    "package_coverage": float(
+                        package.metadata.get("validation_coverage", float("nan"))
+                    ),
+                    "mean_modified_parameters": mean_modified,
+                    "mean_max_abs_delta": mean_max_delta,
+                },
+            )
+            self.store.append(record)
+            records.append(record)
+        return records
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: Union[ResultStore, str],
+    backend: Union[str, ExecutionBackend, type] = "numpy",
+    workers: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> CampaignSummary:
+    """Convenience wrapper: run ``spec`` into ``store`` (path or instance)."""
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    return CampaignRunner(
+        spec, store, backend=backend, workers=workers, progress=progress
+    ).run()
+
+
+__all__ = ["CampaignRunner", "CampaignSummary", "run_campaign"]

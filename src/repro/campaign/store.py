@@ -1,0 +1,278 @@
+"""Append-only JSONL result store keyed by scenario digest.
+
+Every completed scenario becomes one JSON line; the scenario digest (spec
+hash + seed + code-relevant versions, see
+:meth:`~repro.campaign.spec.CampaignSpec.scenario_digest`) is the primary
+key.  The runner consults :meth:`ResultStore.completed_digests` before
+executing, so an interrupted or re-triggered campaign skips everything
+already on disk — and because records contain no wall-clock or host state, a
+resumed campaign's store is byte-identical to an uninterrupted one.
+
+A truncated final line (the classic kill-mid-write artefact) is tolerated on
+load: the partial line is ignored with a warning and the next append starts
+on a fresh line, so a crashed campaign resumes without manual repair.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.utils.logging import get_logger
+
+logger = get_logger("campaign.store")
+
+PathLike = Union[str, Path]
+
+#: bump when the record layout changes incompatibly
+STORE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class ScenarioRecord:
+    """One completed scenario: its identity, outcome and context.
+
+    ``detections``/``trials`` are the raw Tables II/III counters;
+    ``coverage`` is the validation coverage of the scenario's test prefix
+    (from the package's packed masks).  ``extra`` carries auxiliary
+    deterministic facts (perturbation statistics, package coverage at max
+    budget) that reports may use but the drift gate ignores.
+    """
+
+    digest: str
+    scenario: Dict[str, object]
+    seed: int
+    trials: int
+    detections: int
+    coverage: float
+    campaign: str = "campaign"
+    schema: int = STORE_SCHEMA_VERSION
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def detection_rate(self) -> float:
+        if self.trials <= 0:
+            raise ValueError("record has no trials")
+        return self.detections / self.trials
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": self.schema,
+            "digest": self.digest,
+            "campaign": self.campaign,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "trials": self.trials,
+            "detections": self.detections,
+            "detection_rate": self.detection_rate,
+            "coverage": self.coverage,
+            "extra": self.extra,
+        }
+
+    def to_json_line(self) -> str:
+        """Canonical one-line encoding (sorted keys, no whitespace)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioRecord":
+        return cls(
+            digest=str(data["digest"]),
+            scenario=dict(data["scenario"]),  # type: ignore[arg-type]
+            seed=int(data["seed"]),  # type: ignore[arg-type]
+            trials=int(data["trials"]),  # type: ignore[arg-type]
+            detections=int(data["detections"]),  # type: ignore[arg-type]
+            coverage=float(data["coverage"]),  # type: ignore[arg-type]
+            campaign=str(data.get("campaign", "campaign")),
+            schema=int(data.get("schema", STORE_SCHEMA_VERSION)),  # type: ignore[arg-type]
+            extra=dict(data.get("extra", {})),  # type: ignore[arg-type]
+        )
+
+
+class ResultStore:
+    """Append-only JSONL store of :class:`ScenarioRecord` entries."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self._records: List[ScenarioRecord] = []
+        self._digests: Set[str] = set()
+        #: full repaired file text, written (atomically) on the next append —
+        #: loading never writes, so read-only stores (CI artifacts, foreign
+        #: files) can always be reported/diffed
+        self._pending_repair: Optional[str] = None
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        text = self.path.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        torn = False
+        for lineno, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                data = json.loads(stripped)
+            except json.JSONDecodeError:
+                if lineno == len(lines) and not text.endswith("\n"):
+                    # torn final line from an interrupted append — and only
+                    # that: an interrupted write never got its newline out,
+                    # and a truncated JSON object can never parse.  Anything
+                    # else (a complete newline-terminated line that fails to
+                    # parse, or bad fields below) is corruption and raises
+                    # rather than being silently repaired away
+                    logger.warning(
+                        "dropping truncated final line %d of %s", lineno, self.path
+                    )
+                    torn = True
+                    continue
+                raise ValueError(
+                    f"corrupt record at {self.path}:{lineno}"
+                ) from None
+            try:
+                record = ScenarioRecord.from_dict(data)
+            except (KeyError, TypeError, ValueError):
+                raise ValueError(
+                    f"corrupt record at {self.path}:{lineno}"
+                ) from None
+            if record.digest in self._digests:
+                logger.warning(
+                    "duplicate digest %s at %s:%d (keeping first)",
+                    record.digest[:12],
+                    self.path,
+                    lineno,
+                )
+                continue
+            self._records.append(record)
+            self._digests.add(record.digest)
+        if torn:
+            # drop the torn tail (original record lines kept verbatim) so
+            # appends start from complete records only
+            self._pending_repair = "".join(line + "\n" for line in lines[:-1])
+        elif text and not text.endswith("\n"):
+            # complete final record without its newline: finish the line so
+            # the next append starts cleanly
+            self._pending_repair = text + "\n"
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._digests
+
+    def records(self) -> List[ScenarioRecord]:
+        """All records, in append order."""
+        return list(self._records)
+
+    def completed_digests(self) -> Set[str]:
+        return set(self._digests)
+
+    def get(self, digest: str) -> Optional[ScenarioRecord]:
+        for record in self._records:
+            if record.digest == digest:
+                return record
+        return None
+
+    def append(self, record: ScenarioRecord) -> None:
+        """Durably append one record (no-op key collision is an error)."""
+        if record.digest in self._digests:
+            raise ValueError(
+                f"digest {record.digest[:12]} is already in the store; "
+                "completed scenarios must be skipped, not re-appended"
+            )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self._pending_repair is not None:
+            # torn-tail / missing-newline repair deferred from load: a temp
+            # file + atomic replace, so a crash mid-repair cannot lose
+            # completed records
+            tmp = self.path.with_name(self.path.name + ".repair")
+            tmp.write_text(self._pending_repair, encoding="utf-8")
+            os.replace(tmp, self.path)
+            self._pending_repair = None
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(record.to_json_line() + "\n")
+            fh.flush()
+        self._records.append(record)
+        self._digests.add(record.digest)
+
+
+# ---------------------------------------------------------------------------
+# expectations / drift detection
+# ---------------------------------------------------------------------------
+
+
+def expectations_from_records(
+    records: Iterable[ScenarioRecord],
+) -> Dict[str, object]:
+    """Committed-expectations document for a completed campaign.
+
+    Keys scenarios by digest and pins the detection outcome (``detections``
+    of ``trials``); the human-readable axis coordinates ride along so diffs
+    of the JSON file itself stay reviewable.
+    """
+    scenarios: Dict[str, object] = {}
+    for record in records:
+        scenarios[record.digest] = {
+            "scenario": record.scenario,
+            "detections": record.detections,
+            "trials": record.trials,
+        }
+    return {"schema": STORE_SCHEMA_VERSION, "scenarios": scenarios}
+
+
+def diff_against_expectations(
+    records: Sequence[ScenarioRecord], expectations: Dict[str, object]
+) -> List[str]:
+    """Human-readable drift lines between a store and an expectations doc.
+
+    Empty list means no drift.  Three drift classes: a pinned scenario is
+    missing from the store, a store scenario is not pinned (spec/code drifted
+    — digests no longer line up), or the detection counters changed.
+    """
+    expected: Dict[str, Dict[str, object]] = dict(
+        expectations.get("scenarios", {})  # type: ignore[arg-type]
+    )
+    drifts: List[str] = []
+    seen: Set[str] = set()
+    for record in records:
+        label = _scenario_label(record.scenario)
+        pinned = expected.get(record.digest)
+        if pinned is None:
+            drifts.append(
+                f"unexpected scenario {label} (digest {record.digest[:12]}) — "
+                "not pinned in the expectations file; regenerate it if the "
+                "spec or scenario schema changed intentionally"
+            )
+            continue
+        seen.add(record.digest)
+        if int(pinned["detections"]) != record.detections or int(
+            pinned["trials"]
+        ) != record.trials:
+            drifts.append(
+                f"detection drift for {label}: expected "
+                f"{pinned['detections']}/{pinned['trials']}, got "
+                f"{record.detections}/{record.trials}"
+            )
+    for digest, pinned in expected.items():
+        if digest not in seen:
+            drifts.append(
+                f"missing scenario {_scenario_label(pinned.get('scenario', {}))} "
+                f"(digest {digest[:12]}) — pinned but absent from the store"
+            )
+    return drifts
+
+
+def _scenario_label(scenario: Dict[str, object]) -> str:
+    axes = ("model", "attack", "criterion", "strategy", "budget")
+    return "/".join(str(scenario.get(a, "?")) for a in axes)
+
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "ResultStore",
+    "ScenarioRecord",
+    "diff_against_expectations",
+    "expectations_from_records",
+]

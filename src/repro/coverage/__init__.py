@@ -18,7 +18,11 @@ from repro.coverage.bitmap import (
     popcount_rows,
     unpack_words,
 )
-from repro.coverage.activation import ActivationCriterion, default_criterion_for
+from repro.coverage.activation import (
+    ActivationCriterion,
+    default_criterion_for,
+    resolve_criterion,
+)
 from repro.coverage.neuron_coverage import (
     NeuronCoverage,
     NeuronCoverageTracker,
@@ -46,6 +50,7 @@ from repro.coverage.parameter_coverage import (
 __all__ = [
     "ActivationCriterion",
     "default_criterion_for",
+    "resolve_criterion",
     # packed representation
     "CoverageCriterion",
     "CoverageMap",

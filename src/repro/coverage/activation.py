@@ -83,4 +83,40 @@ def default_criterion_for(model: Sequential, scalarization: str = "sum") -> Acti
     return ActivationCriterion(epsilon=epsilon, scalarization=scalarization)
 
 
-__all__ = ["ActivationCriterion", "default_criterion_for"]
+def resolve_criterion(
+    name: str, model: Sequential
+) -> ActivationCriterion:
+    """Resolve a criterion *name* (as used by campaign specs) for a model.
+
+    Recognised names:
+
+    * ``"default"`` — the model-appropriate criterion from
+      :func:`default_criterion_for` (ε = 0 for ReLU, ε = 1e-2 saturating);
+    * ``"exact"`` — strictly non-zero gradients (ε = 0);
+    * ``"eps:<float>"`` — an explicit threshold, e.g. ``"eps:1e-4"``.
+
+    Any name may carry a ``"@<scalarization>"`` suffix (``sum``, ``max`` or
+    ``predicted``) to override the output scalarisation, e.g.
+    ``"eps:1e-2@max"``.
+    """
+    scalarization = "sum"
+    base = name
+    if "@" in name:
+        base, scalarization = name.split("@", 1)
+    if base == "default":
+        return default_criterion_for(model, scalarization=scalarization)
+    if base == "exact":
+        return ActivationCriterion(epsilon=0.0, scalarization=scalarization)
+    if base.startswith("eps:"):
+        try:
+            epsilon = float(base.split(":", 1)[1])
+        except ValueError as exc:
+            raise ValueError(f"invalid criterion epsilon in {name!r}") from exc
+        return ActivationCriterion(epsilon=epsilon, scalarization=scalarization)
+    raise ValueError(
+        f"unknown criterion {name!r}; use 'default', 'exact' or 'eps:<float>' "
+        "(optionally suffixed with '@<scalarization>')"
+    )
+
+
+__all__ = ["ActivationCriterion", "default_criterion_for", "resolve_criterion"]

@@ -23,6 +23,11 @@ from repro.nn.model import Sequential
 from repro.utils.rng import RngLike
 
 
+#: default training learning rates per Table-I setup (the values
+#: prepare_experiment uses; campaign specs inherit them per model axis)
+MODEL_LEARNING_RATES = {"mnist": 2e-3, "cifar": 3e-3}
+
+
 def _scaled(width: int, multiplier: float) -> int:
     """Scale a channel/unit count, never going below 2."""
     return max(2, int(round(width * multiplier)))
@@ -174,6 +179,7 @@ def build_model(name: str, rng: RngLike = None, **kwargs: object) -> Sequential:
 
 
 __all__ = [
+    "MODEL_LEARNING_RATES",
     "mnist_cnn",
     "cifar_cnn",
     "mnist_cnn_scaled",

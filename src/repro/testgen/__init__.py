@@ -1,11 +1,20 @@
 """Functional test generation: the paper's Algorithms 1 and 2, their
-combination, and the neuron-coverage / random baselines."""
+combination, the neuron-coverage / random baselines, and a name-based
+strategy registry so declarative specs (``repro.campaign``) can look
+generators up without hardcoding constructors."""
 
 from repro.testgen.base import GenerationResult, TestGenerator, stack_samples
 from repro.testgen.combined import CombinedGenerator
 from repro.testgen.gradient_gen import TARGET_MODES, GradientTestGenerator
 from repro.testgen.neuron_testgen import NeuronCoverageSelector
 from repro.testgen.random_select import RandomSelector
+from repro.testgen.registry import (
+    available_strategies,
+    build_generator,
+    get_strategy,
+    register_strategy,
+    strategy_knobs,
+)
 from repro.testgen.selection import TrainingSetSelector
 
 __all__ = [
@@ -18,4 +27,9 @@ __all__ = [
     "NeuronCoverageSelector",
     "RandomSelector",
     "TrainingSetSelector",
+    "available_strategies",
+    "build_generator",
+    "get_strategy",
+    "register_strategy",
+    "strategy_knobs",
 ]

@@ -2,17 +2,21 @@
 detection-rate experiment harness (Tables II/III)."""
 
 from repro.validation.detection import (
+    ATTACK_NAMES,
     DetectionCell,
     DetectionExperiment,
     DetectionTable,
     default_attack_factories,
     run_detection_experiment,
+    stack_package_prefixes,
 )
 from repro.validation.package import DEFAULT_OUTPUT_ATOL, FORMAT_VERSION, ValidationPackage
 from repro.validation.user import BlackBoxIP, IPUser, ValidationReport, validate_ip
 from repro.validation.vendor import IPVendor
 
 __all__ = [
+    "ATTACK_NAMES",
+    "stack_package_prefixes",
     "DetectionCell",
     "DetectionExperiment",
     "DetectionTable",

@@ -36,6 +36,39 @@ logger = get_logger("validation.detection")
 
 AttackFactory = Callable[[np.random.Generator], ParameterAttack]
 
+#: every attack family the library implements, in table-column order
+ATTACK_NAMES = ("sba", "gda", "random", "bitflip")
+
+
+def stack_package_prefixes(
+    packages: Dict[str, ValidationPackage], budget: int
+) -> Tuple[List[str], np.ndarray, np.ndarray, Dict[str, int]]:
+    """Stack the first ``budget`` tests of every package into one batch.
+
+    Returns ``(methods, stacked_tests, expected_outputs, offsets)`` where
+    ``offsets[m]`` is the start of method ``m``'s slice in the stacked batch.
+    Replaying the stacked batch once per perturbed model (one engine dispatch)
+    and slicing per method/budget afterwards is the Tables II/III inner loop;
+    the campaign runner shares this exact stacking.
+    """
+    if not packages:
+        raise ValueError("at least one validation package is required")
+    methods = list(packages)
+    for method, pkg in packages.items():
+        if pkg.num_tests < budget:
+            raise ValueError(
+                f"package for method {method!r} has only {pkg.num_tests} tests "
+                f"but the stacking budget is {budget}"
+            )
+    stacked_tests = np.concatenate(
+        [packages[m].tests[:budget] for m in methods], axis=0
+    )
+    expected = np.concatenate(
+        [packages[m].expected_outputs[:budget] for m in methods], axis=0
+    )
+    offsets = {m: i * budget for i, m in enumerate(methods)}
+    return methods, stacked_tests, expected, offsets
+
 
 @dataclass
 class DetectionCell:
@@ -203,14 +236,9 @@ class DetectionExperiment:
 
         # stack every package's test prefix once; per-method slices of the
         # stacked batch are recovered from the offsets below
-        methods = list(self.packages)
-        stacked_tests = np.concatenate(
-            [self.packages[m].tests[:max_budget] for m in methods], axis=0
+        methods, stacked_tests, expected, offsets = stack_package_prefixes(
+            self.packages, max_budget
         )
-        expected = np.concatenate(
-            [self.packages[m].expected_outputs[:max_budget] for m in methods], axis=0
-        )
-        offsets = {m: i * max_budget for i, m in enumerate(methods)}
 
         for attack_name, attack_rng in zip(cfg.attacks, attack_rngs):
             factory = self.attack_factories[attack_name]
@@ -264,9 +292,11 @@ def run_detection_experiment(
 
 
 __all__ = [
+    "ATTACK_NAMES",
     "DetectionCell",
     "DetectionTable",
     "DetectionExperiment",
     "default_attack_factories",
     "run_detection_experiment",
+    "stack_package_prefixes",
 ]
