@@ -6,60 +6,70 @@ maximises *neuron* coverage, and the paper's combined method that maximises
 parameter-perturbation attacks (SBA, GDA, random noise) at several test
 budgets.
 
+Both packages come from one :class:`repro.Session`: the two release requests
+differ only in their ``strategy`` field, so the session trains the victim
+once and serves both generations from the same cached model and memoizing
+engine.
+
 Run with:  python examples/attack_detection.py
 """
 
 from __future__ import annotations
 
-from repro.analysis import (
-    build_method_packages,
-    detection_table_markdown,
-    prepare_experiment,
-)
-from repro.utils.config import DetectionConfig, TrainingConfig, env_int
-from repro.validation import default_attack_factories, DetectionExperiment
+from repro import ReleaseRequest, Session
+from repro.analysis import detection_table_markdown
+from repro.utils.config import DetectionConfig, env_int
+from repro.validation import DetectionExperiment, default_attack_factories
 
 
 def main() -> None:
-    print("training the scaled Table-I MNIST model (Tanh)...")
-    prepared = prepare_experiment(
-        "mnist",
-        train_size=env_int("REPRO_EXAMPLE_TRAIN", 300),
-        test_size=env_int("REPRO_EXAMPLE_TEST", 80),
-        width_multiplier=0.125,
-        training=TrainingConfig(
-            epochs=env_int("REPRO_EXAMPLE_EPOCHS", 8),
-            batch_size=32,
-            learning_rate=2e-3,
-        ),
-        rng=0,
-    )
-    print(f"test accuracy: {prepared.test_accuracy:.3f}")
-
     max_budget = env_int("REPRO_EXAMPLE_TESTS", 15)
     budgets = tuple(b for b in (5, 10, 15) if b < max_budget) + (max_budget,)
-    print("\ngenerating functional-test packages for both methods...")
-    packages = build_method_packages(
-        prepared,
+    base = ReleaseRequest(
+        dataset="mnist",
+        train_size=env_int("REPRO_EXAMPLE_TRAIN", 300),
+        test_size=env_int("REPRO_EXAMPLE_TEST", 80),
+        epochs=env_int("REPRO_EXAMPLE_EPOCHS", 8),
+        width_multiplier=0.125,
         num_tests=max(budgets),
         candidate_pool=env_int("REPRO_EXAMPLE_POOL", 80),
-        rng=1,
-        gradient_kwargs={"max_updates": env_int("REPRO_EXAMPLE_UPDATES", 30)},
+        gradient_updates=env_int("REPRO_EXAMPLE_UPDATES", 30),
     )
-    for name, pkg in packages.items():
-        print(f"  {name:20s} parameter coverage: {pkg.metadata['validation_coverage']:.1%}")
 
-    config = DetectionConfig(
-        trials=env_int("REPRO_EXAMPLE_TRIALS", 40),
-        test_budgets=budgets,
-        attacks=("sba", "gda", "random"),
-        seed=2,
-    )
-    factories = default_attack_factories(
-        prepared.test.images[:20], gda_parameters=20, random_parameters=10
-    )
-    print(f"\nrunning {config.trials} perturbation trials per attack...")
-    table = DetectionExperiment(prepared.model, packages, factories, config).run()
+    with Session() as session:
+        print("training the scaled Table-I MNIST model (Tanh)...")
+        print("generating functional-test packages for both methods...")
+        releases = {
+            "parameter-coverage": session.release(base),  # the combined method
+            "neuron-coverage": session.release(base.with_overrides(strategy="neuron")),
+        }
+        released = releases["parameter-coverage"]
+        print(f"test accuracy: {released.test_accuracy:.3f}")
+        packages = {name: r.package for name, r in releases.items()}
+        for name, pkg in packages.items():
+            print(
+                f"  {name:20s} parameter coverage: "
+                f"{pkg.metadata['validation_coverage']:.1%}"
+            )
+
+        prepared = session.prepare(
+            base.dataset,
+            train_size=base.train_size,
+            test_size=base.test_size,
+            epochs=base.epochs,
+            width_multiplier=base.width_multiplier,
+        )
+        config = DetectionConfig(
+            trials=env_int("REPRO_EXAMPLE_TRIALS", 40),
+            test_budgets=budgets,
+            attacks=("sba", "gda", "random"),
+            seed=2,
+        )
+        factories = default_attack_factories(
+            prepared.test.images[:20], gda_parameters=20, random_parameters=10
+        )
+        print(f"\nrunning {config.trials} perturbation trials per attack...")
+        table = DetectionExperiment(released.model, packages, factories, config).run()
 
     print("\n=== Detection rates (rows: test budget N; columns: method:attack) ===")
     print(

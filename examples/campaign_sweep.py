@@ -1,7 +1,8 @@
 """Campaign sweep: the paper's evaluation as one declarative, resumable run.
 
 Builds a small :class:`~repro.campaign.CampaignSpec` covering all four attack
-families on the scaled Table-I MNIST model, executes it into a JSONL result
+families on the scaled Table-I MNIST model, executes it through the
+:class:`repro.Session` façade's ``sweep`` operation into a JSONL result
 store, demonstrates resume semantics (a second invocation executes zero
 scenarios), and renders the Tables II/III-style detection-rate report.
 
@@ -9,8 +10,8 @@ Run with:  python examples/campaign_sweep.py
 
 The same sweep is available from the command line::
 
-    python -m repro.campaign run --spec spec.toml --store results.jsonl
-    python -m repro.campaign report --store results.jsonl
+    python -m repro campaign run --spec spec.toml --store results.jsonl
+    python -m repro campaign report --store results.jsonl
 """
 
 from __future__ import annotations
@@ -18,8 +19,9 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
+from repro import Session, SweepRequest
 from repro.analysis import render_campaign_report
-from repro.campaign import CampaignSpec, ResultStore, run_campaign
+from repro.campaign import CampaignSpec, ResultStore
 from repro.utils.config import env_int
 
 
@@ -48,15 +50,16 @@ def main() -> None:
         f"{len(spec.budgets)} budgets)"
     )
 
-    with tempfile.TemporaryDirectory() as tmp:
+    with tempfile.TemporaryDirectory() as tmp, Session() as session:
         store_path = Path(tmp) / "results.jsonl"
+        request = SweepRequest(spec=spec, store=str(store_path))
 
         print("\n--- first invocation: executes everything ---")
-        summary = run_campaign(spec, str(store_path), progress=print)
+        summary = session.sweep(request)
         print(summary.describe())
 
         print("\n--- second invocation: resumes, executes nothing ---")
-        resumed = run_campaign(spec, str(store_path))
+        resumed = session.sweep(request)
         print(resumed.describe())
         assert resumed.executed == 0, "a completed campaign must fully resume"
 

@@ -6,57 +6,57 @@
   generation methods (training-set selection, gradient-based generation and
   the combined method).
 
+The trained model comes from ``session.prepare(...)`` — the façade's managed
+(and cached) preparation step — while the figure builders consume it
+directly.
+
 Run with:  python examples/coverage_study.py
 """
 
 from __future__ import annotations
 
+from repro import Session
 from repro.analysis import (
     ascii_bar_chart,
     ascii_line_chart,
     coverage_vs_budget,
     image_set_coverage,
-    prepare_experiment,
 )
-from repro.utils.config import TrainingConfig, env_int
+from repro.utils.config import env_int
 
 
 def main() -> None:
     print("training the scaled CIFAR-style ReLU model (the paper's Fig. 3 model)...")
-    prepared = prepare_experiment(
-        "cifar",
-        train_size=env_int("REPRO_EXAMPLE_TRAIN", 400),
-        test_size=env_int("REPRO_EXAMPLE_TEST", 100),
-        width_multiplier=0.125,
-        training=TrainingConfig(
+    with Session() as session:
+        prepared = session.prepare(
+            "cifar",
+            train_size=env_int("REPRO_EXAMPLE_TRAIN", 400),
+            test_size=env_int("REPRO_EXAMPLE_TEST", 100),
             epochs=env_int("REPRO_EXAMPLE_EPOCHS", 10),
-            batch_size=32,
-            learning_rate=3e-3,
-        ),
-        rng=0,
-    )
-    print(f"test accuracy: {prepared.test_accuracy:.3f}")
-    model, train = prepared.model, prepared.train
+            width_multiplier=0.125,
+        )
+        print(f"test accuracy: {prepared.test_accuracy:.3f}")
+        model, train = prepared.model, prepared.train
 
-    print("\n=== Fig. 2: average validation coverage per image population ===")
-    fig2 = image_set_coverage(
-        model, train, num_samples=env_int("REPRO_EXAMPLE_SAMPLES", 20), rng=1
-    )
-    print(ascii_bar_chart(fig2.coverage_by_set))
-    print(
-        "expected shape: the training set activates the most parameters, "
-        "pure noise the fewest"
-    )
+        print("\n=== Fig. 2: average validation coverage per image population ===")
+        fig2 = image_set_coverage(
+            model, train, num_samples=env_int("REPRO_EXAMPLE_SAMPLES", 20), rng=1
+        )
+        print(ascii_bar_chart(fig2.coverage_by_set))
+        print(
+            "expected shape: the training set activates the most parameters, "
+            "pure noise the fewest"
+        )
 
-    print("\n=== Fig. 3: coverage vs. number of functional tests ===")
-    curves = coverage_vs_budget(
-        model,
-        train,
-        max_tests=env_int("REPRO_EXAMPLE_TESTS", 15),
-        candidate_pool=env_int("REPRO_EXAMPLE_POOL", 80),
-        rng=2,
-        gradient_kwargs={"max_updates": env_int("REPRO_EXAMPLE_UPDATES", 30)},
-    )
+        print("\n=== Fig. 3: coverage vs. number of functional tests ===")
+        curves = coverage_vs_budget(
+            model,
+            train,
+            max_tests=env_int("REPRO_EXAMPLE_TESTS", 15),
+            candidate_pool=env_int("REPRO_EXAMPLE_POOL", 80),
+            rng=2,
+            gradient_kwargs={"max_updates": env_int("REPRO_EXAMPLE_UPDATES", 30)},
+        )
     print(ascii_line_chart(curves.curves))
     for method, values in curves.curves.items():
         print(

@@ -1,15 +1,15 @@
 """Quickstart: train a DNN IP, generate functional tests, detect tampering.
 
-This walks the full story of the paper in a few minutes on a laptop CPU:
+This walks the full story of the paper in a few minutes on a laptop CPU,
+through the :class:`repro.Session` façade:
 
-1. the *vendor* trains a small CNN (a scaled-down Table-I MNIST model) on the
-   synthetic digit dataset;
-2. the vendor generates a handful of functional tests with the combined
-   method (Algorithm 1 + Algorithm 2) and packages them with the model's
-   reference outputs;
-3. an *attacker* perturbs the model parameters (single bias attack);
-4. the *user*, with black-box access only, replays the functional tests and
-   detects the tampering.
+1. the *vendor* trains a small CNN (a scaled-down Table-I MNIST model) and
+   generates a handful of functional tests with the combined method
+   (Algorithm 1 + Algorithm 2), packaged with the model's reference outputs
+   — one ``session.release(...)`` call;
+2. an *attacker* perturbs the model parameters (single bias attack);
+3. the *user*, with black-box access only, replays the functional tests and
+   detects the tampering — one ``session.validate(...)`` call.
 
 Run with:  python examples/quickstart.py
 """
@@ -18,65 +18,67 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import prepare_experiment
+from repro import ReleaseRequest, Session, ValidateRequest
 from repro.attacks import SingleBiasAttack
-from repro.utils.config import TrainingConfig, env_int
-from repro.validation import IPVendor, validate_ip
+from repro.utils.config import env_int
 
 
 def main() -> None:
-    print("=== 1. Vendor trains the DNN IP (scaled Table-I MNIST model) ===")
     # every expensive knob is env-cappable so the CI smoke job can shrink it
-    prepared = prepare_experiment(
-        "mnist",
+    request = ReleaseRequest(
+        dataset="mnist",
         train_size=env_int("REPRO_EXAMPLE_TRAIN", 300),
         test_size=env_int("REPRO_EXAMPLE_TEST", 80),
+        epochs=env_int("REPRO_EXAMPLE_EPOCHS", 8),
         width_multiplier=0.125,
-        training=TrainingConfig(
-            epochs=env_int("REPRO_EXAMPLE_EPOCHS", 8),
-            batch_size=32,
-            learning_rate=2e-3,
-        ),
-        rng=0,
-    )
-    print(f"model: {prepared.model.name}")
-    print(f"parameters: {prepared.model.num_parameters()}")
-    print(f"test accuracy: {prepared.test_accuracy:.3f}")
-
-    print("\n=== 2. Vendor generates functional tests and builds a package ===")
-    vendor = IPVendor(prepared.model, prepared.train)
-    package = vendor.release(
         num_tests=env_int("REPRO_EXAMPLE_TESTS", 15),
         candidate_pool=env_int("REPRO_EXAMPLE_POOL", 100),
-        rng=1,
-        max_updates=env_int("REPRO_EXAMPLE_UPDATES", 30),
+        gradient_updates=env_int("REPRO_EXAMPLE_UPDATES", 30),
     )
-    print(f"functional tests: {package.num_tests}")
-    print(f"validation coverage: {package.metadata['validation_coverage']:.1%}")
 
-    print("\n=== 3. Attacker perturbs one bias parameter in the shipped IP ===")
-    attack = SingleBiasAttack(
-        magnitude=10.0, reference_inputs=prepared.test.images[:20], rng=2
-    )
-    outcome = attack.apply(prepared.model)
-    record = outcome.record
-    print(
-        f"attack touched {record.num_modified} parameter(s) "
-        f"({record.parameter_names[0]}), |delta| = {record.max_abs_delta:.3f}"
-    )
-    accuracy_after = np.mean(
-        outcome.model.predict_classes(prepared.test.images) == prepared.test.labels
-    )
-    print(f"victim accuracy after attack: {accuracy_after:.3f}")
+    with Session() as session:
+        print("=== 1. Vendor trains the IP and releases a package ===")
+        released = session.release(request)
+        print(f"model: {released.model.name}")
+        print(f"parameters: {released.model.num_parameters()}")
+        print(f"test accuracy: {released.test_accuracy:.3f}")
+        print(f"functional tests: {released.num_tests}")
+        print(f"validation coverage: {released.coverage:.1%}")
 
-    print("\n=== 4. User validates the black-box IP with the package ===")
-    clean_report = validate_ip(prepared.model, package)
-    tampered_report = validate_ip(outcome.model, package)
-    print(f"clean IP     -> {clean_report.summary()}")
-    print(f"tampered IP  -> {tampered_report.summary()}")
+        print("\n=== 2. Attacker perturbs one bias parameter in the shipped IP ===")
+        prepared = session.prepare(
+            request.dataset,
+            train_size=request.train_size,
+            test_size=request.test_size,
+            epochs=request.epochs,
+            width_multiplier=request.width_multiplier,
+        )
+        attack = SingleBiasAttack(
+            magnitude=10.0, reference_inputs=prepared.test.images[:20], rng=2
+        )
+        outcome = attack.apply(released.model)
+        record = outcome.record
+        print(
+            f"attack touched {record.num_modified} parameter(s) "
+            f"({record.parameter_names[0]}), |delta| = {record.max_abs_delta:.3f}"
+        )
+        accuracy_after = np.mean(
+            outcome.model.predict_classes(prepared.test.images) == prepared.test.labels
+        )
+        print(f"victim accuracy after attack: {accuracy_after:.3f}")
 
-    assert clean_report.passed
-    assert tampered_report.detected
+        print("\n=== 3. User validates the black-box IP with the package ===")
+        clean = session.validate(
+            ValidateRequest(package=released.package), ip=released.model
+        )
+        tampered = session.validate(
+            ValidateRequest(package=released.package), ip=outcome.model
+        )
+        print(f"clean IP     -> {clean.summary()}")
+        print(f"tampered IP  -> {tampered.summary()}")
+
+        assert clean.passed
+        assert tampered.detected
     print("\nTampering detected from outputs alone — no access to parameters needed.")
 
 

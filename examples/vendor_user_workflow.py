@@ -3,12 +3,18 @@
 Unlike the quickstart, this example exercises the full release pipeline as two
 separate roles communicating only through files:
 
-* the vendor trains the IP, generates functional tests, and writes both the
-  model file and the validation package to disk;
+* the vendor runs ``session.release(...)`` and saves both artefacts —
+  ``model.npz`` and ``package.npz`` — with one ``ReleasePackage.save`` call;
 * the user loads the package, treats the received model strictly as a black
-  box (a callable), and validates it — once for an intact copy and once for a
-  copy whose parameters were swapped by an attacker in transit (the
-  "unsecure IP distribution" arrow of Fig. 1).
+  box, and validates it with ``session.validate(...)`` — once for an intact
+  copy and once for a copy whose parameters were swapped by an attacker in
+  transit (the "unsecure IP distribution" arrow of Fig. 1).
+
+The same two roles are scriptable from the command line::
+
+    python -m repro release  --dataset mnist --tests 12 --out release/
+    python -m repro validate --package release/package.npz \\
+        --model release/model.npz --arch mnist
 
 Run with:  python examples/vendor_user_workflow.py
 """
@@ -18,55 +24,52 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-import numpy as np
-
-from repro.analysis import prepare_experiment
+from repro import ReleaseRequest, Session, ValidateRequest
 from repro.attacks import GradientDescentAttack
 from repro.models.zoo import mnist_cnn
 from repro.nn.serialization import load_model_into, save_model
-from repro.utils.config import TrainingConfig, env_int
-from repro.validation import IPVendor, ValidationPackage, validate_ip
+from repro.utils.config import env_int
+
+WIDTH = 0.125
 
 
-def vendor_side(workdir: Path) -> dict:
+def vendor_side(session: Session, workdir: Path) -> dict:
     """Train, generate tests, and write the release artefacts."""
-    print("--- vendor: training the IP ---")
-    prepared = prepare_experiment(
+    print("--- vendor: training the IP and building the package ---")
+    released = session.release(
+        ReleaseRequest(
+            dataset="mnist",
+            train_size=env_int("REPRO_EXAMPLE_TRAIN", 300),
+            test_size=env_int("REPRO_EXAMPLE_TEST", 80),
+            epochs=env_int("REPRO_EXAMPLE_EPOCHS", 8),
+            width_multiplier=WIDTH,
+            num_tests=env_int("REPRO_EXAMPLE_TESTS", 12),
+            candidate_pool=env_int("REPRO_EXAMPLE_POOL", 80),
+            gradient_updates=env_int("REPRO_EXAMPLE_UPDATES", 30),
+        )
+    )
+    print(f"vendor model accuracy: {released.test_accuracy:.3f}")
+
+    paths = released.save(workdir)
+    print(f"vendor wrote {paths['model'].name} and {paths['package'].name}")
+    prepared = session.prepare(
         "mnist",
         train_size=env_int("REPRO_EXAMPLE_TRAIN", 300),
         test_size=env_int("REPRO_EXAMPLE_TEST", 80),
-        width_multiplier=0.125,
-        training=TrainingConfig(
-            epochs=env_int("REPRO_EXAMPLE_EPOCHS", 8),
-            batch_size=32,
-            learning_rate=2e-3,
-        ),
-        rng=0,
+        epochs=env_int("REPRO_EXAMPLE_EPOCHS", 8),
+        width_multiplier=WIDTH,
     )
-    print(f"vendor model accuracy: {prepared.test_accuracy:.3f}")
-
-    vendor = IPVendor(prepared.model, prepared.train)
-    package = vendor.release(
-        num_tests=env_int("REPRO_EXAMPLE_TESTS", 12),
-        candidate_pool=env_int("REPRO_EXAMPLE_POOL", 80),
-        rng=1,
-        max_updates=env_int("REPRO_EXAMPLE_UPDATES", 30),
-    )
-
-    model_path = save_model(prepared.model, workdir / "dnn_ip.npz")
-    package_path = package.save(workdir / "validation_package.npz")
-    print(f"vendor wrote {model_path.name} and {package_path.name}")
     return {
-        "model_path": model_path,
-        "package_path": package_path,
+        "model_path": paths["model"],
+        "package_path": paths["package"],
         "reference_inputs": prepared.test.images[:10],
     }
 
 
-def attacker_in_transit(model_path: Path, reference_inputs: np.ndarray) -> Path:
+def attacker_in_transit(model_path: Path, reference_inputs) -> Path:
     """Tamper with the shipped parameters (reverse-engineer-and-replace threat)."""
     print("--- attacker: replacing parameters in the shipped model ---")
-    victim = mnist_cnn(width_multiplier=0.125, rng=0)
+    victim = mnist_cnn(width_multiplier=WIDTH, rng=0)
     load_model_into(victim, model_path)
     outcome = GradientDescentAttack(reference_inputs, num_parameters=25, rng=7).apply(victim)
     tampered_path = model_path.with_name("dnn_ip_tampered.npz")
@@ -78,29 +81,30 @@ def attacker_in_transit(model_path: Path, reference_inputs: np.ndarray) -> Path:
     return tampered_path
 
 
-def user_side(model_path: Path, package_path: Path, label: str) -> None:
-    """Load the received artefacts and validate the black-box IP."""
-    received = mnist_cnn(width_multiplier=0.125, rng=0)
-    load_model_into(received, model_path, verify_digest=False)
-    package = ValidationPackage.load(package_path)
-
-    # the user only ever calls the IP, never inspects it
-    black_box = lambda inputs: received.predict(inputs)  # noqa: E731
-    report = validate_ip(black_box, package)
-    print(f"user validating {label}: {report.summary()}")
+def user_side(session: Session, model_path: Path, package_path: Path, label: str) -> None:
+    """Validate the received IP purely from its files — black box only."""
+    outcome = session.validate(
+        ValidateRequest(
+            package=str(package_path),
+            model_path=str(model_path),
+            arch="mnist",
+            width_multiplier=WIDTH,
+        )
+    )
+    print(f"user validating {label}: {outcome.summary()}")
 
 
 def main() -> None:
-    with tempfile.TemporaryDirectory() as tmp:
+    with tempfile.TemporaryDirectory() as tmp, Session() as session:
         workdir = Path(tmp)
-        artefacts = vendor_side(workdir)
+        artefacts = vendor_side(session, workdir)
         tampered_path = attacker_in_transit(
             artefacts["model_path"], artefacts["reference_inputs"]
         )
 
         print("--- user: validating the received IPs ---")
-        user_side(artefacts["model_path"], artefacts["package_path"], "intact IP")
-        user_side(tampered_path, artefacts["package_path"], "tampered IP")
+        user_side(session, artefacts["model_path"], artefacts["package_path"], "intact IP")
+        user_side(session, tampered_path, artefacts["package_path"], "tampered IP")
 
 
 if __name__ == "__main__":

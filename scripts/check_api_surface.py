@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""CI check: the public façade surface matches the committed snapshot.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_api_surface.py            # verify
+    PYTHONPATH=src python scripts/check_api_surface.py --update   # re-pin
+
+Walks the ``__all__`` exports and signatures of ``repro``, ``repro.api`` and
+``repro.registry`` (see :func:`repro.api.surface.api_surface`) and compares
+them to ``tests/data/api_surface.json``.  A mismatch means the public API
+changed: if intentional, re-run with ``--update`` and commit the new
+snapshot; if not, you just caught an accidental breaking change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SNAPSHOT = Path(__file__).resolve().parent.parent / "tests" / "data" / "api_surface.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the snapshot from the live surface"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.api.surface import api_surface
+
+    live = api_surface()
+    if args.update:
+        SNAPSHOT.parent.mkdir(parents=True, exist_ok=True)
+        SNAPSHOT.write_text(json.dumps(live, indent=2, sort_keys=True) + "\n")
+        print(f"pinned API surface to {SNAPSHOT}")
+        return 0
+
+    if not SNAPSHOT.exists():
+        print(f"missing snapshot {SNAPSHOT}; run with --update to create it", file=sys.stderr)
+        return 1
+    pinned = json.loads(SNAPSHOT.read_text())
+    if live == pinned:
+        total = sum(len(v) for v in live.values())
+        print(f"API surface OK ({total} exports across {len(live)} modules)")
+        return 0
+
+    for module in sorted(set(live) | set(pinned)):
+        live_mod = live.get(module, {})
+        pinned_mod = pinned.get(module, {})
+        for name in sorted(set(live_mod) | set(pinned_mod)):
+            if name not in live_mod:
+                print(f"REMOVED: {module}.{name}", file=sys.stderr)
+            elif name not in pinned_mod:
+                print(f"ADDED:   {module}.{name}", file=sys.stderr)
+            elif live_mod[name] != pinned_mod[name]:
+                print(
+                    f"CHANGED: {module}.{name}\n"
+                    f"  pinned: {pinned_mod[name]}\n"
+                    f"  live:   {live_mod[name]}",
+                    file=sys.stderr,
+                )
+    print(
+        "API surface drifted from tests/data/api_surface.json; if intentional, "
+        "re-pin with: PYTHONPATH=src python scripts/check_api_surface.py --update",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

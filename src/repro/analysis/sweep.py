@@ -23,11 +23,10 @@ import numpy as np
 from repro.coverage.activation import ActivationCriterion, default_criterion_for
 from repro.data.datasets import Dataset
 from repro.engine import Engine
-from repro.data.synth_digits import load_synth_mnist
-from repro.data.synth_objects import load_synth_cifar
 from repro.models.training import Trainer, TrainingHistory
-from repro.models.zoo import MODEL_LEARNING_RATES, cifar_cnn, mnist_cnn
+from repro.models.zoo import MODEL_LEARNING_RATES
 from repro.nn.model import Sequential
+from repro.registry import registry
 from repro.testgen.combined import CombinedGenerator
 from repro.testgen.neuron_testgen import NeuronCoverageSelector
 from repro.utils.config import TrainingConfig
@@ -54,34 +53,77 @@ class PreparedExperiment:
         return self.history.final_test_accuracy
 
 
+def preparable_datasets() -> List[str]:
+    """Registry dataset names carrying an experiment recipe in their metadata."""
+    return [
+        name
+        for name in registry.names("datasets")
+        if "model" in registry.metadata("datasets", name)
+    ]
+
+
+def dataset_recipe(dataset: str) -> Dict[str, object]:
+    """The dataset entry's experiment recipe (raises for recipe-less entries).
+
+    Recipe keys: ``model`` (zoo/registry model name, required), ``epochs``
+    (default training length), ``width_scale`` (factor applied to the
+    caller's ``width_multiplier``) and optionally ``learning_rate``
+    (defaults to the model's :data:`~repro.models.zoo.MODEL_LEARNING_RATES`
+    entry).
+    """
+    recipe = registry.metadata("datasets", dataset)
+    if "model" not in recipe:
+        raise ValueError(
+            f"dataset {dataset!r} has no experiment recipe; "
+            f"preparable datasets: {preparable_datasets()}"
+        )
+    return recipe
+
+
 def prepare_experiment(
     dataset: str = "mnist",
     train_size: int = 400,
     test_size: int = 120,
     width_multiplier: float = 0.125,
     training: Optional[TrainingConfig] = None,
+    epochs: Optional[int] = None,
     rng: RngLike = None,
 ) -> PreparedExperiment:
     """Train a Table-I style model on one of the synthetic datasets.
 
     ``dataset`` is ``"mnist"`` (Tanh CNN on synthetic digits) or ``"cifar"``
     (ReLU CNN on synthetic colour objects), mirroring the paper's two setups.
+    Resolution goes through the ``datasets``/``models`` namespaces of
+    :mod:`repro.registry`: the dataset entry's loader yields the train/test
+    pair and its metadata is the *experiment recipe* (see
+    :func:`dataset_recipe`), so registered third-party datasets with a
+    recipe are trainable by name.
+
+    ``epochs`` overrides just the recipe's training length; passing a full
+    ``training`` config supersedes the recipe entirely (and is mutually
+    exclusive with ``epochs``).
     """
     gen = as_generator(rng)
-    if dataset == "mnist":
-        train, test = load_synth_mnist(train_size, test_size, rng=gen)
-        model = mnist_cnn(width_multiplier=width_multiplier, rng=gen)
-        default_training = TrainingConfig(
-            epochs=8, batch_size=32, learning_rate=MODEL_LEARNING_RATES["mnist"]
-        )
-    elif dataset == "cifar":
-        train, test = load_synth_cifar(train_size, test_size, rng=gen)
-        model = cifar_cnn(width_multiplier=width_multiplier / 2, rng=gen)
-        default_training = TrainingConfig(
-            epochs=12, batch_size=32, learning_rate=MODEL_LEARNING_RATES["cifar"]
-        )
-    else:
-        raise ValueError(f"unknown dataset {dataset!r}; choose 'mnist' or 'cifar'")
+    entry = registry.entry("datasets", dataset)
+    recipe = dataset_recipe(dataset)
+    if training is not None and epochs is not None:
+        raise ValueError("pass either training= or epochs=, not both")
+    model_name = str(recipe["model"])
+    train, test = entry.factory(train_size, test_size, rng=gen)  # type: ignore[misc]
+    model = registry.create(
+        "models",
+        model_name,
+        width_multiplier=width_multiplier * float(recipe.get("width_scale", 1.0)),
+        rng=gen,
+    )
+    learning_rate = float(
+        recipe.get("learning_rate", MODEL_LEARNING_RATES.get(model_name, 1e-3))
+    )
+    default_training = TrainingConfig(
+        epochs=int(epochs if epochs is not None else recipe.get("epochs", 8)),
+        batch_size=32,
+        learning_rate=learning_rate,
+    )
 
     config = training or default_training
     history = Trainer(config).fit(model, train, test)
@@ -213,6 +255,8 @@ def scalarization_sweep(
 
 __all__ = [
     "PreparedExperiment",
+    "dataset_recipe",
+    "preparable_datasets",
     "prepare_experiment",
     "build_method_packages",
     "SweepResult",

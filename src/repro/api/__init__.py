@@ -1,0 +1,47 @@
+"""``repro.api`` — the unified façade for the paper's workflow.
+
+One stable, typed entry surface over the five subsystems that implement
+Fig. 1: a :class:`Session` owns execution configuration
+(:class:`RunConfig`) and managed, memoizing engines, and exposes the three
+paper-level operations as typed request → result calls:
+
+=====================  =======================  ============================
+operation              request                  result
+=====================  =======================  ============================
+:meth:`Session.release`   :class:`ReleaseRequest`   :class:`ReleasePackage`
+:meth:`Session.validate`  :class:`ValidateRequest`  :class:`ValidationOutcome`
+:meth:`Session.sweep`     :class:`SweepRequest`     :class:`~repro.campaign.CampaignSummary`
+=====================  =======================  ============================
+
+Requests and the run config are resolvable from plain dicts and TOML/JSON
+files (the :class:`~repro.campaign.CampaignSpec` convention), and every
+pluggable component resolves through :mod:`repro.registry`.  Module-level
+:func:`release` / :func:`validate` / :func:`sweep` wrap a throwaway session
+for one-shot use; the same operations are scriptable via ``python -m repro``.
+"""
+
+from repro.api.config import RunConfig
+from repro.api.requests import (
+    ReleasePackage,
+    ReleaseRequest,
+    SweepRequest,
+    ValidateRequest,
+    ValidationOutcome,
+)
+from repro.api.session import BlackBox, Session, release, sweep, validate
+from repro.api.surface import api_surface
+
+__all__ = [
+    "BlackBox",
+    "ReleasePackage",
+    "ReleaseRequest",
+    "RunConfig",
+    "Session",
+    "SweepRequest",
+    "ValidateRequest",
+    "ValidationOutcome",
+    "api_surface",
+    "release",
+    "sweep",
+    "validate",
+]

@@ -1,0 +1,156 @@
+"""Session-level run configuration, plus the shared dataclass (de)serialiser.
+
+A :class:`RunConfig` gathers every knob that describes *how* work executes —
+backend, compute dtype, parallelism, chunking, cache and memory budgets, rng
+seeding — as opposed to the request objects (:mod:`repro.api.requests`),
+which describe *what* to compute.  One config serves a whole
+:class:`~repro.api.session.Session`; every engine the session builds
+inherits it.
+
+Like :class:`~repro.campaign.CampaignSpec`, a config is resolvable from a
+plain dict or a TOML/JSON file (optionally nested under a ``[run]``
+table)::
+
+    config = RunConfig(backend="parallel", workers=4, dtype="float32")
+    config = RunConfig.from_dict({"backend": "numpy", "batch_size": 128})
+    config = RunConfig.load("run.toml")
+
+The dict/file plumbing lives in :class:`TableSerde` (over
+:func:`repro.utils.config.load_table_data`, which the campaign spec loader
+shares), so the config, every request dataclass and :class:`CampaignSpec`
+all load identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields, replace
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.utils.config import load_table_data
+
+PathLike = Union[str, Path]
+
+
+class TableSerde:
+    """from_dict / to_dict / load / with_overrides / coerce for the façade
+    dataclasses.
+
+    Subclasses set ``_TABLE`` to their TOML table name and define
+    ``validate()``; every façade object then resolves from an instance, a
+    plain dict, keyword arguments, or a ``.toml``/``.json`` file the same
+    way.
+    """
+
+    _TABLE = "config"
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)  # type: ignore[call-overload]
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]):
+        known = {f.name for f in fields(cls)}  # type: ignore[arg-type]
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown {cls.__name__} fields {sorted(unknown)}; "
+                f"known fields: {sorted(known)}"
+            )
+        return cls(**data)  # type: ignore[arg-type]
+
+    @classmethod
+    def load(cls, path: PathLike):
+        """Load from a ``.toml`` or ``.json`` file (optional [_TABLE] table)."""
+        instance = cls.from_dict(load_table_data(path, cls._TABLE, kind=cls._TABLE))
+        instance.validate()  # type: ignore[attr-defined]
+        return instance
+
+    def with_overrides(self, **overrides: object):
+        """A copy with some fields replaced."""
+        return replace(self, **overrides)  # type: ignore[type-var]
+
+    @classmethod
+    def coerce(cls, value, **overrides: object):
+        """Resolve from an instance, a dict, or keyword arguments — validated."""
+        if value is None:
+            instance = cls(**overrides)  # type: ignore[arg-type]
+        elif isinstance(value, cls):
+            instance = value.with_overrides(**overrides) if overrides else value
+        elif isinstance(value, dict):
+            merged = dict(value)
+            merged.update(overrides)
+            instance = cls.from_dict(merged)
+        else:
+            raise TypeError(
+                f"cannot build a {cls.__name__} from {type(value).__name__}"
+            )
+        instance.validate()  # type: ignore[attr-defined]
+        return instance
+
+
+@dataclass(frozen=True)
+class RunConfig(TableSerde):
+    """How a :class:`~repro.api.session.Session` executes its requests.
+
+    Attributes
+    ----------
+    backend:
+        Engine backend name (``"numpy"`` or ``"parallel"``; any registered
+        ``backends`` entry of :mod:`repro.registry` resolves).
+    workers:
+        Worker count when ``backend="parallel"`` (``None`` = auto).
+    dtype:
+        Compute-dtype policy for every engine (``None``/``"float64"``
+        default, ``"float32"`` for halved memory traffic at documented
+        tolerances — see :mod:`repro.nn.dtypes`).
+    batch_size:
+        Engine chunk size for large pools.
+    memory_budget_bytes:
+        Optional cap on the transient dense buffers of streaming packed-mask
+        queries (the engine-level default of
+        :attr:`repro.engine.Engine.memory_budget_bytes`).
+    engine_cache_size:
+        LRU capacity of the session's per-parameter-digest engine pool.
+    prepared_cache_size:
+        LRU capacity of the session's trained-experiment cache.
+    seed:
+        Base seed mixed into every request-level seed derivation.
+    discover_plugins:
+        Run :func:`repro.registry.discover_entry_points` when the session is
+        created, loading third-party registrations from installed packages.
+    """
+
+    _TABLE = "run"
+
+    backend: str = "numpy"
+    workers: Optional[int] = None
+    dtype: Optional[str] = None
+    batch_size: int = 64
+    memory_budget_bytes: Optional[int] = None
+    engine_cache_size: int = 8
+    prepared_cache_size: int = 4
+    seed: int = 0
+    discover_plugins: bool = False
+
+    def validate(self) -> None:
+        if self.workers is not None and self.backend != "parallel":
+            raise ValueError(
+                "workers is only meaningful with backend='parallel'"
+            )
+        if self.workers is not None and self.workers <= 0:
+            raise ValueError("workers must be positive when given")
+        if self.dtype is not None and self.dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"unknown dtype {self.dtype!r}; choose 'float64' or 'float32'"
+            )
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.memory_budget_bytes is not None and self.memory_budget_bytes <= 0:
+            raise ValueError("memory_budget_bytes must be positive when given")
+        if self.engine_cache_size <= 0:
+            raise ValueError("engine_cache_size must be positive")
+        if self.prepared_cache_size <= 0:
+            raise ValueError("prepared_cache_size must be positive")
+
+
+__all__ = ["RunConfig", "TableSerde", "load_table_data"]

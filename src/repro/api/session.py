@@ -1,0 +1,409 @@
+"""The :class:`Session` façade: managed engines + the three paper operations.
+
+A session owns one :class:`~repro.api.config.RunConfig` and everything the
+config governs: a shared execution backend, an LRU pool of memoizing
+:class:`~repro.engine.Engine` instances keyed by model parameter digest, and
+an LRU cache of trained experiments.  The paper-level operations —
+:meth:`release`, :meth:`validate` and :meth:`sweep` — accept the typed
+request objects of :mod:`repro.api.requests` (or plain dicts / keyword
+arguments) and route all compute through the managed engines, so callers
+never hand-wire Engine/backend/dtype plumbing per call site::
+
+    from repro.api import ReleaseRequest, Session, ValidateRequest
+
+    with Session(backend="numpy") as session:
+        released = session.release(ReleaseRequest(dataset="mnist", num_tests=12))
+        outcome = session.validate(
+            ValidateRequest(package=released.package), ip=released.model
+        )
+        assert outcome.passed
+
+Seeding: every stochastic step derives its seed from the request seed, the
+session seed and the step's coordinates through SHA-256 (the campaign
+convention, :func:`repro.campaign.spec.derive_scenario_seed`), so a request
+re-run in a fresh session reproduces its artefacts exactly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.api.config import RunConfig
+from repro.api.requests import (
+    ReleasePackage,
+    ReleaseRequest,
+    SweepRequest,
+    ValidateRequest,
+    ValidationOutcome,
+)
+from repro.engine import Engine, ExecutionBackend, ParallelBackend, get_backend
+from repro.nn.model import Sequential
+from repro.nn.serialization import parameter_digest
+from repro.utils.logging import get_logger
+
+logger = get_logger("api.session")
+
+#: black-box IP shapes accepted by validate(): a model or a batch callable
+BlackBox = Union[Sequential, Callable[[np.ndarray], np.ndarray]]
+
+
+class Session:
+    """Configured entry point for the vendor/user/sweep workflow.
+
+    Parameters
+    ----------
+    config:
+        A :class:`RunConfig`, a plain dict of its fields, or ``None`` for
+        defaults; keyword arguments override individual fields either way
+        (``Session(backend="parallel", workers=2)``).
+
+    Engines built by the session share its backend, dtype policy, batch size
+    and memory budget; they are memoizing and pooled per parameter digest,
+    so repeated requests against the same trained model reuse cached
+    gradient/mask matrices.  Sessions are context managers — leaving the
+    ``with`` block releases the backend's worker pools.
+    """
+
+    def __init__(
+        self,
+        config: Union[RunConfig, Dict[str, object], None] = None,
+        **overrides: object,
+    ) -> None:
+        self.config = RunConfig.coerce(config, **overrides)
+        config = self.config
+        if config.discover_plugins:
+            from repro.registry import discover_entry_points
+
+            discover_entry_points()
+        self._backend: Optional[ExecutionBackend] = None
+        self._engines: "OrderedDict[Tuple[str, object], Engine]" = OrderedDict()
+        self._prepared: "OrderedDict[Tuple[object, ...], object]" = OrderedDict()
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The session's shared backend, built lazily on first use."""
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if self._backend is None:
+            cfg = self.config
+            if cfg.backend == "parallel" and cfg.workers is not None:
+                self._backend = ParallelBackend(workers=cfg.workers)
+            else:
+                self._backend = get_backend(cfg.backend)
+        return self._backend
+
+    def close(self) -> None:
+        """Release the backend's worker pools and drop cached engines.
+
+        The session always owns its backend (it is built from the config in
+        :attr:`backend`), so closing it here cannot strand another owner.
+        """
+        if self._backend is not None:
+            self._backend.close()
+        self._backend = None
+        self._engines.clear()
+        self._prepared.clear()
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- managed engines -----------------------------------------------------
+    def engine_for(
+        self, model: Sequential, criterion: Optional[object] = None
+    ) -> Engine:
+        """A memoizing engine for ``model`` under the session's config.
+
+        Engines are pooled in an LRU keyed by the model's *parameter digest*
+        (plus the criterion): re-requesting an engine for the same trained
+        parameters returns the same instance — with its memo cache warm —
+        while perturbed copies (different digest) get their own.  At most
+        ``config.engine_cache_size`` engines are retained.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        criterion_key = (
+            (type(criterion).__name__, repr(criterion)) if criterion is not None else None
+        )
+        key = (parameter_digest(model), criterion_key)
+        engine = self._engines.get(key)
+        if engine is not None and engine.model is model:
+            self._engines.move_to_end(key)
+            return engine
+        cfg = self.config
+        engine = Engine(
+            model,
+            criterion=criterion,
+            backend=self.backend,
+            dtype=cfg.dtype,
+            batch_size=cfg.batch_size,
+            memory_budget_bytes=cfg.memory_budget_bytes,
+        )
+        self._engines[key] = engine
+        self._engines.move_to_end(key)
+        while len(self._engines) > cfg.engine_cache_size:
+            self._engines.popitem(last=False)
+        return engine
+
+    # -- preparation ---------------------------------------------------------
+    def prepare(
+        self,
+        dataset: str = "mnist",
+        train_size: int = 300,
+        test_size: int = 80,
+        epochs: Optional[int] = None,
+        width_multiplier: float = 0.125,
+        seed: int = 0,
+    ):
+        """Train (or fetch the cached) experiment model for ``dataset``.
+
+        Resolution goes through the registry's dataset recipe, exactly like
+        :func:`repro.analysis.prepare_experiment`; results are cached in an
+        LRU keyed by every preparation-relevant argument plus the session
+        seed, so two release requests differing only in generation knobs
+        train once.  Returns a
+        :class:`~repro.analysis.sweep.PreparedExperiment`.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        from repro.analysis.sweep import prepare_experiment
+        from repro.campaign.spec import derive_scenario_seed
+
+        key = (dataset, train_size, test_size, epochs, width_multiplier, seed)
+        prepared = self._prepared.get(key)
+        if prepared is not None:
+            self._prepared.move_to_end(key)
+            return prepared
+
+        rng = derive_scenario_seed(self.config.seed, "prepare", dataset, seed)
+        logger.info(
+            "preparing %s (train=%d, test=%d)", dataset, train_size, test_size
+        )
+        prepared = prepare_experiment(
+            dataset,
+            train_size=train_size,
+            test_size=test_size,
+            width_multiplier=width_multiplier,
+            epochs=epochs,
+            rng=rng,
+        )
+        self._prepared[key] = prepared
+        self._prepared.move_to_end(key)
+        while len(self._prepared) > self.config.prepared_cache_size:
+            self._prepared.popitem(last=False)
+        return prepared
+
+    # -- the three paper operations ------------------------------------------
+    def release(
+        self,
+        request: Union[ReleaseRequest, Dict[str, object], None] = None,
+        **overrides: object,
+    ) -> ReleasePackage:
+        """Vendor side of Fig. 1: train, generate tests, build the package."""
+        req = ReleaseRequest.coerce(request, **overrides)
+        from repro.campaign.spec import derive_scenario_seed
+        from repro.coverage.activation import resolve_criterion
+        from repro.registry import registry
+        from repro.testgen.strategies import build_generator
+        from repro.validation.vendor import IPVendor
+
+        prepared = self.prepare(
+            req.dataset,
+            train_size=req.train_size,
+            test_size=req.test_size,
+            epochs=req.epochs,
+            width_multiplier=req.width_multiplier,
+            seed=req.seed,
+        )
+        criterion = resolve_criterion(req.criterion, prepared.model)
+        engine = self.engine_for(prepared.model, criterion)
+
+        # the strategy's registry-declared knobs, drawn from request fields
+        # (the campaign-runner convention)
+        kwargs: Dict[str, object] = {}
+        for kwarg, request_field in registry.knobs("strategies", req.strategy).items():
+            try:
+                kwargs[kwarg] = getattr(req, str(request_field))
+            except AttributeError as exc:
+                raise ValueError(
+                    f"strategy {req.strategy!r} declares knob {kwarg!r} from "
+                    f"field {request_field!r}, which ReleaseRequest does not define"
+                ) from exc
+
+        generation_seed = derive_scenario_seed(
+            self.config.seed, "release", req.dataset, req.criterion, req.strategy, req.seed
+        )
+        generator = build_generator(
+            req.strategy,
+            prepared.model,
+            prepared.train,
+            criterion=criterion,
+            rng=generation_seed,
+            engine=engine,
+            **kwargs,
+        )
+        result = generator.generate(req.num_tests)
+        vendor = IPVendor(prepared.model, prepared.train, criterion=criterion)
+        package = vendor.build_package(
+            result,
+            output_atol=req.output_atol,
+            include_coverage_masks=req.include_coverage_masks,
+            engine=engine,
+        )
+        released = ReleasePackage(
+            request=req,
+            package=package,
+            model=prepared.model,
+            generation=result,
+            test_accuracy=prepared.test_accuracy,
+        )
+        logger.info("%s", released.describe())
+        return released
+
+    def validate(
+        self,
+        request: Union[ValidateRequest, Dict[str, object], None] = None,
+        ip: Optional[BlackBox] = None,
+        **overrides: object,
+    ) -> ValidationOutcome:
+        """User side of Fig. 1: replay the package against a black-box IP.
+
+        The IP is ``ip`` when given (a model or any batch callable); else it
+        is loaded from the request's ``model_path`` by rebuilding ``arch``
+        from the registry and loading the shipped parameters into it.
+        """
+        req = ValidateRequest.coerce(request, **overrides)
+        from repro.validation.user import validate_ip
+
+        package = req.resolve_package()
+        if ip is None:
+            if req.model_path is None:
+                raise ValueError(
+                    "no IP to validate: pass ip=... or set model_path on the request"
+                )
+            ip = self._load_black_box(req)
+        report = validate_ip(ip, package)
+        outcome = ValidationOutcome.from_report(report, package)
+        logger.info("%s", outcome.summary())
+        return outcome
+
+    def _load_black_box(self, req: ValidateRequest) -> Sequential:
+        """Rebuild the received model file as a queryable black box.
+
+        ``req.width_multiplier`` means the same thing it meant at release
+        time: when ``arch`` also names a dataset with an experiment recipe,
+        the recipe's ``width_scale`` is applied exactly as
+        :func:`~repro.analysis.prepare_experiment` applied it (cifar trains
+        at half the requested width), so a symmetric release/validate pair
+        always rebuilds matching parameter shapes.
+        """
+        from repro.nn.serialization import load_metadata, load_model_into
+        from repro.registry import registry
+
+        path = Path(str(req.model_path))
+        input_size = req.input_size
+        if input_size is None:
+            shape = load_metadata(path).get("input_shape") or ()
+            if shape:
+                input_size = int(shape[-1])
+        try:
+            recipe = registry.metadata("datasets", req.arch)
+        except ValueError:
+            recipe = {}
+        width = req.width_multiplier
+        model_name = req.arch
+        if "model" in recipe:
+            model_name = str(recipe["model"])
+            width = width * float(recipe.get("width_scale", 1.0))
+        build_kwargs: Dict[str, object] = {
+            "width_multiplier": width,
+            "rng": 0,
+        }
+        if input_size is not None:
+            build_kwargs["input_size"] = input_size
+        model = registry.create("models", model_name, **build_kwargs)
+        load_model_into(model, path, verify_digest=req.verify_digest)
+        return model  # type: ignore[return-value]
+
+    def sweep(
+        self,
+        request: Union[SweepRequest, Dict[str, object], None] = None,
+        **overrides: object,
+    ):
+        """Run (or resume) a campaign sweep; returns its
+        :class:`~repro.campaign.CampaignSummary`.
+
+        Delegates to :func:`repro.campaign.run_campaign` on the session's
+        shared backend (or the request's override), so scenario results —
+        digests, seeds, detection outcomes — are identical to the
+        ``python -m repro campaign`` path.
+        """
+        req = SweepRequest.coerce(request, **overrides)
+        from repro.campaign.runner import run_campaign
+        from repro.campaign.store import ResultStore
+
+        spec = req.resolve_spec()
+        store = ResultStore(req.store)
+        backend: Union[str, ExecutionBackend]
+        workers = None
+        if req.backend is not None:
+            backend = req.backend
+            workers = req.workers
+        else:
+            backend = self.backend
+        summary = run_campaign(
+            spec, store, backend=backend, workers=workers, progress=logger.info
+        )
+        if req.report is not None:
+            from repro.analysis.campaign import write_campaign_report
+
+            write_campaign_report(store.records(), req.report, title=spec.name)
+        return summary
+
+
+# ---------------------------------------------------------------------------
+# module-level one-shot conveniences
+# ---------------------------------------------------------------------------
+
+
+def release(
+    request: Union[ReleaseRequest, Dict[str, object], None] = None,
+    config: Union[RunConfig, Dict[str, object], None] = None,
+    **overrides: object,
+) -> ReleasePackage:
+    """One-shot :meth:`Session.release` in a throwaway session."""
+    with Session(config) as session:
+        return session.release(request, **overrides)
+
+
+def validate(
+    request: Union[ValidateRequest, Dict[str, object], None] = None,
+    ip: Optional[BlackBox] = None,
+    config: Union[RunConfig, Dict[str, object], None] = None,
+    **overrides: object,
+) -> ValidationOutcome:
+    """One-shot :meth:`Session.validate` in a throwaway session."""
+    with Session(config) as session:
+        return session.validate(request, ip=ip, **overrides)
+
+
+def sweep(
+    request: Union[SweepRequest, Dict[str, object], None] = None,
+    config: Union[RunConfig, Dict[str, object], None] = None,
+    **overrides: object,
+):
+    """One-shot :meth:`Session.sweep` in a throwaway session."""
+    with Session(config) as session:
+        return session.sweep(request, **overrides)
+
+
+__all__ = ["BlackBox", "Session", "release", "sweep", "validate"]

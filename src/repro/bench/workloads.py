@@ -35,10 +35,9 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.bench.harness import BenchmarkResult, measure
-from repro.data.synth_digits import generate_digits
-from repro.engine import Engine, ParallelBackend, default_worker_count, get_backend
-from repro.models.zoo import mnist_cnn
+from repro.engine import Engine, default_worker_count
 from repro.nn.model import Sequential
+from repro.registry import registry
 from repro.utils.logging import get_logger
 
 logger = get_logger("bench.workloads")
@@ -102,12 +101,17 @@ def default_backends() -> List[str]:
 
 def build_model(width: float = 0.125, input_size: int = 28, rng: int = 0) -> Sequential:
     """The width-scaled Table-I MNIST model every workload runs on."""
-    return mnist_cnn(width_multiplier=width, input_size=input_size, rng=rng)
+    return registry.create(  # type: ignore[return-value]
+        "models", "mnist", width_multiplier=width, input_size=input_size, rng=rng
+    )
 
 
 def build_pool(model: Sequential, pool_size: int, rng: int = 1) -> np.ndarray:
     """A deterministic digit pool matching the model's input size."""
-    return generate_digits(pool_size, rng=rng, size=model.input_shape[-1]).images
+    dataset = registry.create(
+        "datasets", "digits", pool_size, rng=rng, size=model.input_shape[-1]
+    )
+    return dataset.images  # type: ignore[union-attr]
 
 
 def _perturbed_copies(model: Sequential, trials: int) -> List[Sequential]:
@@ -146,9 +150,11 @@ def run_workloads(
         # digests plus the clean model; a smaller publication LRU would make
         # every trial a 100%-miss re-ship and bench the transport, not the
         # compute
-        backend = ParallelBackend(workers=workers, max_published=DETECTION_TRIALS + 2)
+        backend = registry.create(
+            "backends", "parallel", workers=workers, max_published=DETECTION_TRIALS + 2
+        )
     else:
-        backend = get_backend(backend_name)
+        backend = registry.create("backends", backend_name)
     n = images.shape[0]
     results: List[BenchmarkResult] = []
     try:

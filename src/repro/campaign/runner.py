@@ -39,7 +39,8 @@ from repro.coverage.activation import resolve_criterion
 from repro.coverage.bitmap import CoverageMap
 from repro.engine import Engine, ExecutionBackend, ParallelBackend, get_backend
 from repro.models.zoo import MODEL_LEARNING_RATES
-from repro.testgen.registry import build_generator, strategy_knobs
+from repro.registry import registry
+from repro.testgen.strategies import build_generator
 from repro.utils.config import TrainingConfig
 from repro.utils.logging import get_logger
 from repro.utils.rng import spawn
@@ -75,9 +76,9 @@ class CampaignSummary:
 def _generator_kwargs(spec: CampaignSpec, strategy: str) -> Dict[str, object]:
     """The strategy's registry-declared knobs, drawn from the spec fields."""
     kwargs: Dict[str, object] = {}
-    for kwarg, spec_field in strategy_knobs(strategy).items():
+    for kwarg, spec_field in registry.knobs("strategies", strategy).items():
         try:
-            kwargs[kwarg] = getattr(spec, spec_field)
+            kwargs[kwarg] = getattr(spec, str(spec_field))
         except AttributeError as exc:
             raise ValueError(
                 f"strategy {strategy!r} declares knob {kwarg!r} from spec "
@@ -161,14 +162,20 @@ class CampaignRunner:
     # -- shared-work preparation --------------------------------------------
     def _prepare_model(self, model_name: str):
         """Train the named victim once (seeded by spec seed + model only)."""
-        from repro.analysis.sweep import prepare_experiment
+        from repro.analysis.sweep import dataset_recipe, prepare_experiment
 
         spec = self.spec
         seed = derive_scenario_seed(spec.seed, "train", model_name)
+        # learning rate comes from the dataset's registry recipe (explicit
+        # ``learning_rate`` entry, else the zoo model's default)
+        recipe = dataset_recipe(model_name)
+        zoo_model = str(recipe.get("model", model_name))
         training = TrainingConfig(
             epochs=spec.epochs,
             batch_size=min(32, spec.train_size),
-            learning_rate=MODEL_LEARNING_RATES[model_name],
+            learning_rate=float(
+                recipe.get("learning_rate", MODEL_LEARNING_RATES.get(zoo_model, 1e-3))
+            ),
         )
         self._emit(
             f"[{model_name}] training victim "
@@ -209,7 +216,11 @@ class CampaignRunner:
         )
         vendor = IPVendor(prepared.model, prepared.train, criterion=criterion)
         result = generator.generate(spec.max_budget)
-        package = vendor.build_package(result, output_atol=spec.output_atol)
+        # the shared per-model engine serves the mask pass too, so package
+        # coverage metadata reuses the gradients generation just memoized
+        package = vendor.build_package(
+            result, output_atol=spec.output_atol, engine=engine
+        )
         self._emit(
             f"[{prepared.dataset_name}] package {strategy}/{criterion_name}: "
             f"{package.num_tests} tests, coverage "

@@ -26,15 +26,14 @@ from dataclasses import asdict, dataclass, fields, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.validation.detection import ATTACK_NAMES
-
 PathLike = Union[str, Path]
 
 #: bump when scenario execution semantics change incompatibly — completed
 #: store entries stop matching and campaigns re-run affected scenarios
 SCENARIO_SCHEMA_VERSION = 1
 
-#: model axis values understood by the runner (prepare_experiment datasets)
+#: builtin model axis values (the full set is dynamic: any registry dataset
+#: with an experiment recipe — see repro.analysis.preparable_datasets)
 MODEL_NAMES = ("mnist", "cifar")
 
 
@@ -42,21 +41,6 @@ def _stable_digest(payload: Dict[str, object]) -> str:
     """SHA-256 hex digest of a canonical-JSON-encoded payload."""
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
-
-
-def _toml_loads(text: str) -> Dict[str, object]:
-    """Parse TOML via stdlib :mod:`tomllib` (3.11+) or the tomli backport."""
-    try:
-        import tomllib
-    except ModuleNotFoundError:  # pragma: no cover - py<3.11 only
-        try:
-            import tomli as tomllib  # type: ignore[no-redef]
-        except ModuleNotFoundError as exc:
-            raise RuntimeError(
-                "TOML specs need Python >= 3.11 (tomllib) or the tomli "
-                "backport; use a .json spec otherwise"
-            ) from exc
-    return tomllib.loads(text)
 
 
 #: throwaway model for syntax-checking criterion names at validate() time,
@@ -168,22 +152,29 @@ class CampaignSpec:
 
     # -- validation ---------------------------------------------------------
     def validate(self) -> None:
-        from repro.testgen.registry import available_strategies
+        from repro.registry import registry
+        from repro.validation.detection import available_attacks
 
         for axis in ("attacks", "models", "criteria", "strategies", "budgets"):
             if not getattr(self, axis):
                 raise ValueError(f"campaign axis {axis!r} is empty")
-        unknown_attacks = set(self.attacks) - set(ATTACK_NAMES)
+        known_attacks = available_attacks()
+        unknown_attacks = set(self.attacks) - set(known_attacks)
         if unknown_attacks:
             raise ValueError(
-                f"unknown attacks {sorted(unknown_attacks)}; choose from {ATTACK_NAMES}"
+                f"unknown attacks {sorted(unknown_attacks)}; "
+                f"choose from {tuple(known_attacks)}"
             )
-        unknown_models = set(self.models) - set(MODEL_NAMES)
+        from repro.analysis.sweep import preparable_datasets
+
+        known_models = preparable_datasets()
+        unknown_models = set(self.models) - set(known_models)
         if unknown_models:
             raise ValueError(
-                f"unknown models {sorted(unknown_models)}; choose from {MODEL_NAMES}"
+                f"unknown models {sorted(unknown_models)}; "
+                f"choose from {tuple(known_models)}"
             )
-        known_strategies = set(available_strategies())
+        known_strategies = set(registry.names("strategies"))
         unknown_strategies = set(self.strategies) - known_strategies
         if unknown_strategies:
             raise ValueError(
@@ -309,29 +300,15 @@ class CampaignSpec:
 
     @classmethod
     def load(cls, path: PathLike) -> "CampaignSpec":
-        """Load a spec from a ``.toml`` or ``.json`` file."""
-        path = Path(path)
-        text = path.read_text(encoding="utf-8")
-        if path.suffix == ".toml":
-            data = _toml_loads(text)
-        elif path.suffix == ".json":
-            data = json.loads(text)
-        else:
-            raise ValueError(
-                f"unsupported spec format {path.suffix!r}; use .toml or .json"
-            )
-        # allow the axes/knobs under a [campaign] table for self-documenting
-        # TOML files, or at the top level — but never both, or a knob typed
-        # above the table header would silently fall back to its default
-        if "campaign" in data and isinstance(data["campaign"], dict):
-            stray = sorted(set(data) - {"campaign"})
-            if stray:
-                raise ValueError(
-                    f"spec keys {stray} found outside the [campaign] table; "
-                    "move them inside it"
-                )
-            data = data["campaign"]
-        spec = cls.from_dict(data)
+        """Load a spec from a ``.toml`` or ``.json`` file.
+
+        Fields live either inside a ``[campaign]`` table or at the top level
+        (see :func:`repro.utils.config.load_table_data`, shared with the
+        :mod:`repro.api` config/request loaders).
+        """
+        from repro.utils.config import load_table_data
+
+        spec = cls.from_dict(load_table_data(path, "campaign", kind="spec"))
         spec.validate()
         return spec
 

@@ -1,0 +1,231 @@
+"""The unified command-line interface: ``python -m repro``.
+
+One front door over every operational surface of the library::
+
+    python -m repro release  --dataset mnist --tests 12 --out release/
+    python -m repro validate --package release/package.npz \\
+        --model release/model.npz --arch mnist
+    python -m repro campaign run --spec spec.toml --store results.jsonl
+    python -m repro bench --quick
+    python -m repro registry --namespace strategies
+    python -m repro version
+
+``campaign`` and ``bench`` delegate to the existing subsystem CLIs
+(``python -m repro.campaign`` / ``python -m repro.bench``), which keep
+working standalone; ``release`` and ``validate`` drive the
+:class:`repro.api.Session` façade; ``registry`` lists the cross-subsystem
+plugin registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Functional test generation for DNN IPs: release packages, "
+            "validate black-box IPs, run campaigns and benchmarks."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    release = sub.add_parser(
+        "release", help="vendor side: train a model and release a validation package"
+    )
+    release.add_argument("--dataset", default="mnist", help="registry dataset name")
+    release.add_argument(
+        "--tests", type=int, default=20, dest="num_tests", help="functional-test budget"
+    )
+    release.add_argument("--strategy", default="combined", help="generation strategy")
+    release.add_argument("--criterion", default="default", help="coverage criterion")
+    release.add_argument("--train-size", type=int, default=300)
+    release.add_argument("--test-size", type=int, default=80)
+    release.add_argument(
+        "--epochs", type=int, default=None, help="default: the dataset recipe's epochs"
+    )
+    release.add_argument("--width", type=float, default=0.125, dest="width_multiplier")
+    release.add_argument(
+        "--pool", type=int, default=100, dest="candidate_pool", help="candidate pool size"
+    )
+    release.add_argument(
+        "--updates", type=int, default=30, dest="gradient_updates",
+        help="Algorithm 2 gradient updates",
+    )
+    release.add_argument("--seed", type=int, default=0)
+    release.add_argument(
+        "--out", required=True, help="directory for model.npz + package.npz"
+    )
+    _add_run_config_flags(release)
+
+    validate = sub.add_parser(
+        "validate", help="user side: replay a package against a black-box IP"
+    )
+    validate.add_argument("--package", required=True, help="package .npz path")
+    validate.add_argument(
+        "--model", required=True, dest="model_path", help="received model .npz path"
+    )
+    validate.add_argument(
+        "--arch", default="mnist", help="registry model name to rebuild the IP"
+    )
+    validate.add_argument("--width", type=float, default=0.125, dest="width_multiplier")
+    validate.add_argument(
+        "--input-size", type=int, default=None,
+        help="default: read from the model file's metadata",
+    )
+    validate.add_argument(
+        "--expect-detected", action="store_true",
+        help="exit 0 when tampering IS detected (for negative tests)",
+    )
+    _add_run_config_flags(validate)
+
+    registry_cmd = sub.add_parser(
+        "registry", help="list the cross-subsystem plugin registry"
+    )
+    registry_cmd.add_argument(
+        "--namespace", default=None, help="restrict the listing to one namespace"
+    )
+    registry_cmd.add_argument(
+        "--discover", action="store_true",
+        help="load third-party 'repro.plugins' entry points first",
+    )
+
+    sub.add_parser("version", help="print the library version")
+
+    for name, doc in (
+        ("campaign", "declarative evaluation sweeps (python -m repro.campaign)"),
+        ("bench", "engine benchmark matrix (python -m repro.bench)"),
+    ):
+        delegate = sub.add_parser(name, help=doc, add_help=False)
+        delegate.add_argument("rest", nargs=argparse.REMAINDER)
+    return parser
+
+
+def _add_run_config_flags(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--backend", default="numpy", help="engine backend (numpy or parallel)"
+    )
+    cmd.add_argument(
+        "--workers", type=int, default=None, help="parallel-backend worker count"
+    )
+    cmd.add_argument(
+        "--dtype", default=None, help="compute dtype (float64 or float32)"
+    )
+
+
+def _session(args: argparse.Namespace):
+    from repro.api import RunConfig, Session
+
+    return Session(
+        RunConfig(
+            backend=args.backend,
+            workers=args.workers,
+            dtype=args.dtype,
+        )
+    )
+
+
+def _cmd_release(args: argparse.Namespace) -> int:
+    from repro.api import ReleaseRequest
+
+    request = ReleaseRequest(
+        dataset=args.dataset,
+        num_tests=args.num_tests,
+        strategy=args.strategy,
+        criterion=args.criterion,
+        train_size=args.train_size,
+        test_size=args.test_size,
+        epochs=args.epochs,
+        width_multiplier=args.width_multiplier,
+        candidate_pool=args.candidate_pool,
+        gradient_updates=args.gradient_updates,
+        seed=args.seed,
+    )
+    with _session(args) as session:
+        released = session.release(request)
+        paths = released.save(args.out)
+    print(released.describe())
+    for kind, path in sorted(paths.items()):
+        print(f"wrote {kind}: {path}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.api import ValidateRequest
+
+    request = ValidateRequest(
+        package=args.package,
+        model_path=args.model_path,
+        arch=args.arch,
+        width_multiplier=args.width_multiplier,
+        input_size=args.input_size,
+    )
+    with _session(args) as session:
+        outcome = session.validate(request)
+    print(outcome.summary())
+    if args.expect_detected:
+        return 0 if outcome.detected else 3
+    return 0 if outcome.passed else 3
+
+
+def _cmd_registry(args: argparse.Namespace) -> int:
+    from repro.registry import discover_entry_points, registry
+
+    if args.discover:
+        hooks = discover_entry_points()
+        print(f"loaded {hooks} plugin hook(s)")
+    namespaces = [args.namespace] if args.namespace else registry.namespaces()
+    for namespace in namespaces:
+        entries = registry.entries(namespace)
+        print(f"[{namespace}] {len(entries)} entr{'y' if len(entries) == 1 else 'ies'}")
+        for entry in entries:
+            knobs = (
+                "  knobs: " + ", ".join(f"{k}<-{v}" for k, v in entry.knobs.items())
+                if entry.knobs
+                else ""
+            )
+            metadata = (
+                "  metadata: "
+                + ", ".join(f"{k}={v}" for k, v in entry.metadata.items())
+                if entry.metadata
+                else ""
+            )
+            summary = f" — {entry.summary}" if entry.summary else ""
+            print(f"  {entry.name}{summary}{knobs}{metadata}")
+    return 0
+
+
+def _cmd_version(args: argparse.Namespace) -> int:
+    from repro import __version__
+
+    print(__version__)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # delegate before argparse so the sub-CLIs own their --help and flags
+    if argv and argv[0] == "campaign":
+        from repro.campaign.__main__ import main as campaign_main
+
+        return campaign_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.bench.__main__ import main as bench_main
+
+        return bench_main(argv[1:])
+    args = _parser().parse_args(argv)
+    handlers = {
+        "release": _cmd_release,
+        "validate": _cmd_validate,
+        "registry": _cmd_registry,
+        "version": _cmd_version,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.nn.activations import is_exact_zero_gradient
 from repro.nn.model import Sequential
+from repro.registry import register, registry
 
 
 @dataclass(frozen=True)
@@ -83,12 +84,53 @@ def default_criterion_for(model: Sequential, scalarization: str = "sum") -> Acti
     return ActivationCriterion(epsilon=epsilon, scalarization=scalarization)
 
 
+# -- named criterion resolvers (the ``criteria`` registry namespace) --------
+#
+# A criterion name has the shape ``base[:argument][@scalarization]``; the
+# base resolves through the cross-subsystem registry so out-of-tree criteria
+# (e.g. a per-layer ε schedule) plug in with one ``register`` call.  Each
+# resolver is called as ``resolver(model, argument, scalarization)``.
+
+
+@register(
+    "criteria",
+    "default",
+    summary="model-appropriate criterion: ε = 0 for ReLU, ε = 1e-2 saturating",
+)
+def _resolve_default(
+    model: Sequential, argument: "str | None", scalarization: str
+) -> ActivationCriterion:
+    if argument is not None:
+        raise ValueError(f"criterion 'default' takes no argument, got {argument!r}")
+    return default_criterion_for(model, scalarization=scalarization)
+
+
+@register("criteria", "exact", summary="strictly non-zero gradients (ε = 0)")
+def _resolve_exact(
+    model: Sequential, argument: "str | None", scalarization: str
+) -> ActivationCriterion:
+    if argument is not None:
+        raise ValueError(f"criterion 'exact' takes no argument, got {argument!r}")
+    return ActivationCriterion(epsilon=0.0, scalarization=scalarization)
+
+
+@register("criteria", "eps", summary="explicit threshold, e.g. 'eps:1e-4'")
+def _resolve_eps(
+    model: Sequential, argument: "str | None", scalarization: str
+) -> ActivationCriterion:
+    try:
+        epsilon = float(argument)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"invalid criterion epsilon in {argument!r}") from exc
+    return ActivationCriterion(epsilon=epsilon, scalarization=scalarization)
+
+
 def resolve_criterion(
     name: str, model: Sequential
 ) -> ActivationCriterion:
     """Resolve a criterion *name* (as used by campaign specs) for a model.
 
-    Recognised names:
+    Builtin names:
 
     * ``"default"`` — the model-appropriate criterion from
       :func:`default_criterion_for` (ε = 0 for ReLU, ε = 1e-2 saturating);
@@ -97,26 +139,25 @@ def resolve_criterion(
 
     Any name may carry a ``"@<scalarization>"`` suffix (``sum``, ``max`` or
     ``predicted``) to override the output scalarisation, e.g.
-    ``"eps:1e-2@max"``.
+    ``"eps:1e-2@max"``.  Additional bases resolve through the ``criteria``
+    namespace of :mod:`repro.registry`.
     """
     scalarization = "sum"
     base = name
     if "@" in name:
         base, scalarization = name.split("@", 1)
-    if base == "default":
-        return default_criterion_for(model, scalarization=scalarization)
-    if base == "exact":
-        return ActivationCriterion(epsilon=0.0, scalarization=scalarization)
-    if base.startswith("eps:"):
-        try:
-            epsilon = float(base.split(":", 1)[1])
-        except ValueError as exc:
-            raise ValueError(f"invalid criterion epsilon in {name!r}") from exc
-        return ActivationCriterion(epsilon=epsilon, scalarization=scalarization)
-    raise ValueError(
-        f"unknown criterion {name!r}; use 'default', 'exact' or 'eps:<float>' "
-        "(optionally suffixed with '@<scalarization>')"
-    )
+    argument: "str | None" = None
+    if ":" in base:
+        base, argument = base.split(":", 1)
+    try:
+        resolver = registry.get("criteria", base)
+    except ValueError as exc:
+        raise ValueError(
+            f"unknown criterion {name!r}; choose a base from "
+            f"{registry.names('criteria')} "
+            "(optionally ':<argument>' and/or '@<scalarization>' suffixed)"
+        ) from exc
+    return resolver(model, argument, scalarization)  # type: ignore[return-value]
 
 
 __all__ = ["ActivationCriterion", "default_criterion_for", "resolve_criterion"]

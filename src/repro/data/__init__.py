@@ -4,7 +4,17 @@ The paper evaluates on MNIST, CIFAR-10, ImageNet (as an off-distribution
 probe set) and Gaussian-noise images.  None of those are available offline,
 so this subpackage synthesises stand-ins that preserve the properties the
 experiments actually use — see DESIGN.md §2 for the substitution rationale.
+
+Loaders register in the ``datasets`` namespace of the cross-subsystem
+:mod:`repro.registry`.  The ``mnist``/``cifar`` entries additionally carry
+an *experiment recipe* in their entry metadata (which zoo model to train,
+default epochs, a width scale) — :func:`repro.analysis.prepare_experiment`
+resolves both the loader and the model through the registry, so a registered
+third-party dataset with a recipe becomes trainable (and campaign-sweepable)
+by name.
 """
+
+from repro.registry import register
 
 from repro.data.datasets import Dataset, normalize_images
 from repro.data.imagenet_proxy import generate_imagenet_proxy
@@ -18,6 +28,44 @@ from repro.data.synth_objects import (
     generate_objects,
     load_synth_cifar,
     render_object,
+)
+
+# -- registry entries --------------------------------------------------------
+# train/test experiment loaders: factory(train_size, test_size, rng=...);
+# the metadata is the experiment recipe consumed by prepare_experiment
+register(
+    "datasets",
+    "mnist",
+    load_synth_mnist,
+    metadata={"model": "mnist", "epochs": 8, "width_scale": 1.0},
+    summary="synthetic MNIST stand-in (train/test pair, 28x28 grayscale)",
+)
+register(
+    "datasets",
+    "cifar",
+    load_synth_cifar,
+    metadata={"model": "cifar", "epochs": 12, "width_scale": 0.5},
+    summary="synthetic CIFAR-10 stand-in (train/test pair, 32x32 colour)",
+)
+# raw single-population generators (no experiment recipe): probe sets for
+# coverage studies and benchmark pools
+register(
+    "datasets",
+    "digits",
+    generate_digits,
+    summary="one balanced synthetic-digit population (benchmark pools)",
+)
+register(
+    "datasets",
+    "noise",
+    generate_noise_images,
+    summary="Gaussian-noise images (the Fig. 2 noise population)",
+)
+register(
+    "datasets",
+    "imagenet",
+    generate_imagenet_proxy,
+    summary="off-distribution natural-looking images (the Fig. 2 probe set)",
 )
 
 __all__ = [

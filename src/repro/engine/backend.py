@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.nn.losses import Loss, get_loss
 from repro.nn.model import Sequential
+from repro.registry import registry as _registry
 
 
 def threshold_and_pack(grads: np.ndarray, epsilon: float) -> np.ndarray:
@@ -214,11 +215,21 @@ BackendSpec = Union[str, ExecutionBackend, Type[ExecutionBackend]]
 
 
 def register_backend(cls: Type[ExecutionBackend]) -> Type[ExecutionBackend]:
-    """Register a backend class under its ``name`` (usable as a decorator)."""
+    """Register a backend class under its ``name`` (usable as a decorator).
+
+    The class is also published to the ``backends`` namespace of the
+    cross-subsystem :mod:`repro.registry`, so declarative drivers and the
+    ``python -m repro registry`` listing see engine backends alongside
+    strategies, attacks, criteria, datasets and models.
+    """
     name = cls.name
     if not name or name == ExecutionBackend.name:
         raise ValueError(f"backend class {cls.__name__} must define a unique name")
     _BACKENDS[name] = cls
+    doc = (cls.__doc__ or "").strip()
+    _registry.register(
+        "backends", name, cls, summary=doc.splitlines()[0] if doc else ""
+    )
     return cls
 
 

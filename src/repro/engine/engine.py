@@ -133,6 +133,11 @@ class Engine:
         LRU byte budget of the memo cache (per-sample gradient matrices for
         large pools dominate; least-recently-used entries are evicted once
         the budget is exceeded).
+    memory_budget_bytes:
+        Default transient-buffer cap for the streaming packed-mask queries
+        (:meth:`packed_activation_masks` / :meth:`packed_neuron_masks`);
+        per-call ``memory_budget_bytes`` arguments override it.  ``None``
+        leaves chunking governed by ``batch_size`` alone.
     """
 
     def __init__(
@@ -145,11 +150,14 @@ class Engine:
         cache: bool = True,
         cache_entries: int = DEFAULT_CACHE_ENTRIES,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
+        memory_budget_bytes: Optional[int] = None,
     ) -> None:
         if not model.built:
             raise ValueError("Engine requires a built model")
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if memory_budget_bytes is not None and memory_budget_bytes <= 0:
+            raise ValueError("memory_budget_bytes must be positive")
         self.model = model
         if criterion is None:
             # imported lazily: repro.coverage depends on repro.engine, not
@@ -161,6 +169,7 @@ class Engine:
         self.backend: ExecutionBackend = get_backend(backend)
         self.dtype_policy = DtypePolicy.resolve(dtype)
         self.batch_size = int(batch_size)
+        self.memory_budget_bytes = memory_budget_bytes
         self._cache: Optional[BatchResultCache] = (
             BatchResultCache(cache_entries, cache_bytes) if cache else None
         )
@@ -247,8 +256,11 @@ class Engine:
 
         ``per_row_bytes`` is the query's per-sample transient cost; defaults
         to one float64 gradient row (``P × 8`` bytes), the dominant buffer of
-        the parameter-mask queries.
+        the parameter-mask queries.  A per-call ``None`` falls back to the
+        engine-level :attr:`memory_budget_bytes` default.
         """
+        if memory_budget_bytes is None:
+            memory_budget_bytes = self.memory_budget_bytes
         if memory_budget_bytes is None:
             return None
         if memory_budget_bytes <= 0:

@@ -20,6 +20,7 @@ from typing import Optional
 
 from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D
 from repro.nn.model import Sequential
+from repro.registry import register
 from repro.utils.rng import RngLike
 
 
@@ -157,25 +158,39 @@ def small_mlp(
     return model
 
 
+# -- registry entries --------------------------------------------------------
+# every zoo builder is resolvable by name through the ``models`` namespace of
+# the cross-subsystem registry (the basis of build_model and the datasets'
+# experiment recipes)
+register("models", "mnist", mnist_cnn, summary="Table-I MNIST CNN (Tanh)")
+register("models", "cifar", cifar_cnn, summary="Table-I CIFAR-10 CNN (ReLU)")
+register(
+    "models",
+    "mnist_scaled",
+    mnist_cnn_scaled,
+    summary="x1/8-width MNIST CNN (examples/benchmarks default)",
+)
+register(
+    "models",
+    "cifar_scaled",
+    cifar_cnn_scaled,
+    summary="x1/16-width CIFAR CNN (examples/benchmarks default)",
+)
+register("models", "small_cnn", small_cnn, summary="tiny one-block CNN for unit tests")
+register("models", "small_mlp", small_mlp, summary="small MLP for fast property tests")
+
+
 def build_model(name: str, rng: RngLike = None, **kwargs: object) -> Sequential:
     """Build a zoo model by name.
 
-    Recognised names: ``mnist``, ``mnist_scaled``, ``cifar``, ``cifar_scaled``,
-    ``small_cnn``, ``small_mlp``.
+    Builtin names: ``mnist``, ``mnist_scaled``, ``cifar``, ``cifar_scaled``,
+    ``small_cnn``, ``small_mlp``; resolution goes through the ``models``
+    namespace of :mod:`repro.registry`, so registered third-party builders
+    work here too.
     """
-    builders = {
-        "mnist": mnist_cnn,
-        "mnist_scaled": mnist_cnn_scaled,
-        "cifar": cifar_cnn,
-        "cifar_scaled": cifar_cnn_scaled,
-        "small_cnn": small_cnn,
-        "small_mlp": small_mlp,
-    }
-    try:
-        builder = builders[name]
-    except KeyError as exc:
-        raise ValueError(f"unknown model {name!r}; choose from {sorted(builders)}") from exc
-    return builder(rng=rng, **kwargs)  # type: ignore[arg-type]
+    from repro.registry import registry
+
+    return registry.create("models", name, rng=rng, **kwargs)  # type: ignore[return-value]
 
 
 __all__ = [

@@ -1,7 +1,12 @@
 """Functional test generation: the paper's Algorithms 1 and 2, their
-combination, the neuron-coverage / random baselines, and a name-based
-strategy registry so declarative specs (``repro.campaign``) can look
-generators up without hardcoding constructors."""
+combination, and the neuron-coverage / random baselines.
+
+Strategies register in the ``strategies`` namespace of the cross-subsystem
+:mod:`repro.registry` (see :mod:`repro.testgen.strategies`), so declarative
+specs (``repro.campaign``) and the :class:`repro.api.Session` facade look
+generators up by name without hardcoding constructors.  The deprecated
+per-name helpers of :mod:`repro.testgen.registry` still resolve but warn.
+"""
 
 from repro.testgen.base import GenerationResult, TestGenerator, stack_samples
 from repro.testgen.combined import CombinedGenerator
@@ -10,12 +15,12 @@ from repro.testgen.neuron_testgen import NeuronCoverageSelector
 from repro.testgen.random_select import RandomSelector
 from repro.testgen.registry import (
     available_strategies,
-    build_generator,
     get_strategy,
     register_strategy,
     strategy_knobs,
 )
 from repro.testgen.selection import TrainingSetSelector
+from repro.testgen.strategies import StrategyFactory, build_generator
 
 __all__ = [
     "GenerationResult",
@@ -27,6 +32,7 @@ __all__ = [
     "NeuronCoverageSelector",
     "RandomSelector",
     "TrainingSetSelector",
+    "StrategyFactory",
     "available_strategies",
     "build_generator",
     "get_strategy",

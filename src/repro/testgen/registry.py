@@ -1,218 +1,27 @@
-"""Name-based registry of test-generation strategies.
+"""Deprecated shim: the strategy registry moved to :mod:`repro.registry`.
 
-Declarative experiment specs (``repro.campaign``) reference generators by
-name, so the mapping from name to :class:`~repro.testgen.base.TestGenerator`
-construction has to live in one place rather than being re-hardcoded by every
-driver.  Each registered factory normalises the shared construction surface
-(model, training set, criterion, rng, engine, plus per-strategy keyword
-arguments), so callers can build any strategy through one call::
+This module was the first name-based registry in the library (PR 4).  The
+cross-subsystem registry (``repro.registry``, ``strategies`` namespace)
+absorbed it; the builtin strategy factories now live in
+:mod:`repro.testgen.strategies`.  Every function here still works but emits
+a :class:`DeprecationWarning` pointing at its replacement:
 
-    from repro.testgen import build_generator
-
-    gen = build_generator(
-        "combined", model, training_set, criterion=criterion, rng=rng,
-        candidate_pool=100,
-    )
-
-Out-of-tree strategies can be added with :func:`register_strategy`; the
-campaign spec validator uses :func:`available_strategies` so unknown names
-fail at load time, not mid-run.
+==========================  =============================================
+``register_strategy(n, f)``  ``repro.registry.register("strategies", n, f)``
+``available_strategies()``   ``repro.registry.names("strategies")``
+``get_strategy(n)``          ``repro.registry.get("strategies", n)``
+``strategy_knobs(n)``        ``repro.registry.knobs("strategies", n)``
+``build_generator(...)``     ``repro.testgen.build_generator(...)``
+==========================  =============================================
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+import warnings
+from typing import Dict, List, Optional
 
-from repro.coverage.activation import ActivationCriterion
-from repro.data.datasets import Dataset
-from repro.engine import Engine
-from repro.nn.model import Sequential
-from repro.testgen.base import TestGenerator
-from repro.testgen.combined import CombinedGenerator
-from repro.testgen.gradient_gen import GradientTestGenerator
-from repro.testgen.neuron_testgen import NeuronCoverageSelector
-from repro.testgen.random_select import RandomSelector
-from repro.testgen.selection import TrainingSetSelector
-from repro.utils.rng import RngLike
-
-#: factory signature shared by every registered strategy
-StrategyFactory = Callable[..., TestGenerator]
-
-_STRATEGIES: Dict[str, StrategyFactory] = {}
-_STRATEGY_KNOBS: Dict[str, Dict[str, str]] = {}
-
-
-def register_strategy(
-    name: str,
-    factory: Optional[StrategyFactory] = None,
-    *,
-    knobs: Optional[Dict[str, str]] = None,
-):
-    """Register a generator factory under ``name`` (usable as a decorator).
-
-    The factory is called as ``factory(model, training_set, criterion=...,
-    rng=..., engine=..., **kwargs)`` and must return a
-    :class:`~repro.testgen.base.TestGenerator`.  Re-registering a name
-    replaces the previous factory (mirrors
-    :func:`repro.engine.backend.register_backend`).
-
-    ``knobs`` maps the strategy's constructor keyword arguments onto the
-    campaign-spec fields that feed them (e.g. ``{"max_updates":
-    "gradient_updates"}``), so declarative drivers learn a strategy's
-    tunables from the registry instead of hardcoding them per name.
-    """
-
-    def _register(fn: StrategyFactory) -> StrategyFactory:
-        _STRATEGIES[name] = fn
-        _STRATEGY_KNOBS[name] = dict(knobs or {})
-        return fn
-
-    if factory is not None:
-        return _register(factory)
-    return _register
-
-
-def available_strategies() -> List[str]:
-    """Sorted names of every registered test-generation strategy."""
-    return sorted(_STRATEGIES)
-
-
-def get_strategy(name: str) -> StrategyFactory:
-    """Look up a registered strategy factory by name."""
-    try:
-        return _STRATEGIES[name]
-    except KeyError as exc:
-        raise ValueError(
-            f"unknown strategy {name!r}; choose from {available_strategies()}"
-        ) from exc
-
-
-def strategy_knobs(name: str) -> Dict[str, str]:
-    """The named strategy's ``{constructor kwarg: spec field}`` declaration."""
-    get_strategy(name)  # raises on unknown names
-    return dict(_STRATEGY_KNOBS.get(name, {}))
-
-
-def build_generator(
-    name: str,
-    model: Sequential,
-    training_set: Optional[Dataset] = None,
-    criterion: Optional[ActivationCriterion] = None,
-    rng: RngLike = None,
-    engine: Optional[Engine] = None,
-    **kwargs: object,
-) -> TestGenerator:
-    """Build the named strategy's generator for ``model``.
-
-    ``training_set`` is required by the selection-based strategies and
-    ignored by purely synthetic ones; per-strategy keyword arguments
-    (``candidate_pool``, ``max_updates``, ...) pass through to the factory.
-    """
-    return get_strategy(name)(
-        model, training_set, criterion=criterion, rng=rng, engine=engine, **kwargs
-    )
-
-
-def _require_dataset(name: str, training_set: Optional[Dataset]) -> Dataset:
-    if training_set is None:
-        raise ValueError(f"strategy {name!r} requires a training set")
-    return training_set
-
-
-@register_strategy(
-    "combined",
-    knobs={"candidate_pool": "candidate_pool", "max_updates": "gradient_updates"},
-)
-def _combined(
-    model: Sequential,
-    training_set: Optional[Dataset],
-    criterion: Optional[ActivationCriterion] = None,
-    rng: RngLike = None,
-    engine: Optional[Engine] = None,
-    **kwargs: object,
-) -> TestGenerator:
-    return CombinedGenerator(
-        model,
-        _require_dataset("combined", training_set),
-        criterion=criterion,
-        rng=rng,
-        engine=engine,
-        **kwargs,  # type: ignore[arg-type]
-    )
-
-
-@register_strategy("selection", knobs={"candidate_pool": "candidate_pool"})
-def _selection(
-    model: Sequential,
-    training_set: Optional[Dataset],
-    criterion: Optional[ActivationCriterion] = None,
-    rng: RngLike = None,
-    engine: Optional[Engine] = None,
-    **kwargs: object,
-) -> TestGenerator:
-    return TrainingSetSelector(
-        model,
-        _require_dataset("selection", training_set),
-        criterion=criterion,
-        rng=rng,
-        engine=engine,
-        **kwargs,  # type: ignore[arg-type]
-    )
-
-
-@register_strategy("gradient", knobs={"max_updates": "gradient_updates"})
-def _gradient(
-    model: Sequential,
-    training_set: Optional[Dataset],
-    criterion: Optional[ActivationCriterion] = None,
-    rng: RngLike = None,
-    engine: Optional[Engine] = None,
-    **kwargs: object,
-) -> TestGenerator:
-    # purely synthetic: the training set (if any) is not consulted
-    return GradientTestGenerator(
-        model, criterion=criterion, rng=rng, engine=engine, **kwargs  # type: ignore[arg-type]
-    )
-
-
-@register_strategy("neuron", knobs={"candidate_pool": "candidate_pool"})
-def _neuron(
-    model: Sequential,
-    training_set: Optional[Dataset],
-    criterion: Optional[ActivationCriterion] = None,
-    rng: RngLike = None,
-    engine: Optional[Engine] = None,
-    **kwargs: object,
-) -> TestGenerator:
-    # the neuron-coverage baseline tracks neurons, not parameters; the
-    # parameter criterion only affects how the resulting package is audited
-    return NeuronCoverageSelector(
-        model,
-        _require_dataset("neuron", training_set),
-        rng=rng,
-        engine=engine,
-        **kwargs,  # type: ignore[arg-type]
-    )
-
-
-@register_strategy("random")
-def _random(
-    model: Sequential,
-    training_set: Optional[Dataset],
-    criterion: Optional[ActivationCriterion] = None,
-    rng: RngLike = None,
-    engine: Optional[Engine] = None,
-    **kwargs: object,
-) -> TestGenerator:
-    return RandomSelector(
-        model,
-        _require_dataset("random", training_set),
-        criterion=criterion,
-        rng=rng,
-        engine=engine,
-        **kwargs,  # type: ignore[arg-type]
-    )
-
+import repro.registry as _registry
+from repro.testgen.strategies import StrategyFactory, build_generator as _build_generator
 
 __all__ = [
     "StrategyFactory",
@@ -222,3 +31,46 @@ __all__ = [
     "register_strategy",
     "strategy_knobs",
 ]
+
+
+def _warn(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.testgen.registry.{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def register_strategy(
+    name: str,
+    factory: Optional[StrategyFactory] = None,
+    *,
+    knobs: Optional[Dict[str, str]] = None,
+):
+    """Deprecated alias of ``repro.registry.register("strategies", ...)``."""
+    _warn("register_strategy", 'repro.registry.register("strategies", ...)')
+    return _registry.register("strategies", name, factory, knobs=knobs)
+
+
+def available_strategies() -> List[str]:
+    """Deprecated alias of ``repro.registry.names("strategies")``."""
+    _warn("available_strategies", 'repro.registry.names("strategies")')
+    return _registry.names("strategies")
+
+
+def get_strategy(name: str) -> StrategyFactory:
+    """Deprecated alias of ``repro.registry.get("strategies", name)``."""
+    _warn("get_strategy", 'repro.registry.get("strategies", name)')
+    return _registry.get("strategies", name)  # type: ignore[return-value]
+
+
+def strategy_knobs(name: str) -> Dict[str, str]:
+    """Deprecated alias of ``repro.registry.knobs("strategies", name)``."""
+    _warn("strategy_knobs", 'repro.registry.knobs("strategies", name)')
+    return _registry.knobs("strategies", name)  # type: ignore[return-value]
+
+
+def build_generator(*args: object, **kwargs: object):
+    """Deprecated alias of :func:`repro.testgen.strategies.build_generator`."""
+    _warn("build_generator", "repro.testgen.build_generator")
+    return _build_generator(*args, **kwargs)  # type: ignore[arg-type]

@@ -13,7 +13,6 @@ at 1/8 the memory.
 
 from __future__ import annotations
 
-import warnings
 from typing import Optional
 
 import numpy as np
@@ -135,34 +134,22 @@ class TrainingSetSelector(TestGenerator):
     def selected_dataset_indices(self, result: GenerationResult) -> np.ndarray:
         """Map a result's tests back to indices in the original training set.
 
-        Results produced by this library record their dataset indices at
-        selection time (:attr:`GenerationResult.dataset_indices`) and are
-        returned directly.  For legacy results without the record, a
-        deprecated pixel-equality rematch against the cached pool is
-        attempted — it silently returns the *first* matching index for
-        duplicate training images, which is why it was replaced.
+        Results record their dataset indices at selection time
+        (:attr:`GenerationResult.dataset_indices`), which is the only
+        duplicate-safe provenance record.  The deprecated pixel-equality
+        rematch fallback for index-less legacy results was removed: it was
+        O(T·N·P) and silently returned the *first* matching index for
+        duplicate training images.  Regenerate legacy results to obtain
+        recorded indices.
         """
-        if result.dataset_indices is not None:
-            return result.dataset_indices.copy()
-        warnings.warn(
-            "selected_dataset_indices: result has no recorded dataset_indices; "
-            "falling back to a pixel-equality rematch, which is O(T·N·P) and "
-            "ambiguous for duplicate training images. Regenerate the result "
-            "with this version to record indices at selection time.",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        cache = self._ensure_cache()
-        assert self._pool_indices is not None
-        indices = []
-        for test in result.tests:
-            matches = np.where(
-                np.all(cache.images.reshape(len(cache), -1) == test.ravel(), axis=1)
-            )[0]
-            if matches.size == 0:
-                raise ValueError("test does not originate from this selector's pool")
-            indices.append(int(self._pool_indices[matches[0]]))
-        return np.asarray(indices, dtype=np.int64)
+        if result.dataset_indices is None:
+            raise ValueError(
+                "result has no recorded dataset_indices; the pixel-equality "
+                "rematch fallback was removed (it was ambiguous for duplicate "
+                "training images) — regenerate the result to record indices "
+                "at selection time"
+            )
+        return result.dataset_indices.copy()
 
 
 __all__ = ["TrainingSetSelector"]

@@ -8,9 +8,58 @@ one config object.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field, asdict
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+PathLike = Union[str, Path]
+
+
+def toml_loads(text: str) -> Dict[str, object]:
+    """Parse TOML via stdlib :mod:`tomllib` (3.11+) or the tomli backport."""
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # pragma: no cover - py<3.11 only
+        try:
+            import tomli as tomllib  # type: ignore[no-redef]
+        except ModuleNotFoundError as exc:
+            raise RuntimeError(
+                "TOML files need Python >= 3.11 (tomllib) or the tomli "
+                "backport; use a .json file otherwise"
+            ) from exc
+    return tomllib.loads(text)
+
+
+def load_table_data(path: PathLike, table: str, kind: str = "file") -> Dict[str, object]:
+    """TOML/JSON loading shared by campaign specs and the façade objects.
+
+    Fields live either all inside a ``[table]`` table (self-documenting TOML
+    files) or all at the top level — never split across both, or a key typed
+    above the table header would silently fall back to its default.
+    ``kind`` names the file's role in error messages (``"spec"``,
+    ``"config"``, ...).
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix == ".toml":
+        data = toml_loads(text)
+    elif path.suffix == ".json":
+        data = json.loads(text)
+    else:
+        raise ValueError(
+            f"unsupported {kind} format {path.suffix!r}; use .toml or .json"
+        )
+    if table in data and isinstance(data[table], dict):
+        stray = sorted(set(data) - {table})
+        if stray:
+            raise ValueError(
+                f"{kind} keys {stray} found outside the [{table}] table; "
+                "move them inside it"
+            )
+        data = data[table]
+    return data
 
 
 def env_int(name: str, default: int) -> int:
@@ -157,6 +206,8 @@ class ExperimentConfig:
 
 
 __all__ = [
+    "load_table_data",
+    "toml_loads",
     "TrainingConfig",
     "CoverageConfig",
     "TestGenConfig",

@@ -19,10 +19,6 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.attacks.base import ParameterAttack
-from repro.attacks.bitflip import BitFlipAttack
-from repro.attacks.gda import GradientDescentAttack
-from repro.attacks.random_noise import RandomPerturbation
-from repro.attacks.sba import SingleBiasAttack
 from repro.data.datasets import Dataset
 from repro.engine import Engine
 from repro.nn.model import Sequential
@@ -138,44 +134,69 @@ class DetectionTable:
         ]
 
 
+def available_attacks() -> List[str]:
+    """Every attack family in the registry, builtins first in table order."""
+    from repro.registry import registry
+
+    names = list(ATTACK_NAMES)
+    names.extend(n for n in registry.names("attacks") if n not in names)
+    return names
+
+
 def default_attack_factories(
     reference_inputs: np.ndarray,
     sba_magnitude: float = 10.0,
     gda_parameters: int = 20,
     random_parameters: int = 10,
     random_relative_std: float = 2.0,
+    **extra_settings: object,
 ) -> Dict[str, AttackFactory]:
     """The paper's three attacks (plus the bit-flip extension) as factories.
 
     Each factory takes a per-trial RNG so that every perturbation trial draws
     an independent fault, matching the "implement each kind of parameter
     perturbation 10000 times" protocol of Section V-C.
+
+    Attack construction resolves through the ``attacks`` namespace of
+    :mod:`repro.registry`: every registered family contributes one factory,
+    with its keyword arguments drawn from this function's settings according
+    to the entry's knob declaration (``sba`` ← ``sba_magnitude``, ``gda`` ←
+    ``gda_parameters``, ``random`` ← ``random_parameters`` /
+    ``random_relative_std``).  Settings for third-party attacks pass through
+    ``extra_settings`` under the field names their knobs declare.
     """
+    from repro.registry import registry
+
     reference_inputs = np.asarray(reference_inputs, dtype=np.float64)
     if reference_inputs.shape[0] == 0:
         raise ValueError("reference_inputs must be a non-empty batch")
 
-    def sba(rng: np.random.Generator) -> ParameterAttack:
-        return SingleBiasAttack(
-            magnitude=sba_magnitude, reference_inputs=reference_inputs, rng=rng
-        )
+    settings: Dict[str, object] = {
+        "sba_magnitude": sba_magnitude,
+        "gda_parameters": gda_parameters,
+        "random_parameters": random_parameters,
+        "random_relative_std": random_relative_std,
+    }
+    settings.update(extra_settings)
 
-    def gda(rng: np.random.Generator) -> ParameterAttack:
-        return GradientDescentAttack(
-            target_inputs=reference_inputs, num_parameters=gda_parameters, rng=rng
-        )
+    factories: Dict[str, AttackFactory] = {}
+    for name in available_attacks():
+        entry_factory = registry.get("attacks", name)
+        kwargs = {
+            kwarg: settings[field]  # type: ignore[index]
+            for kwarg, field in registry.knobs("attacks", name).items()
+            if field in settings
+        }
 
-    def random(rng: np.random.Generator) -> ParameterAttack:
-        return RandomPerturbation(
-            num_parameters=random_parameters,
-            relative_std=random_relative_std,
-            rng=rng,
-        )
+        def factory(
+            rng: np.random.Generator,
+            _build: Callable[..., object] = entry_factory,
+            _kwargs: Dict[str, object] = kwargs,
+        ) -> ParameterAttack:
+            return _build(reference_inputs, rng=rng, **_kwargs)  # type: ignore[return-value]
 
-    def bitflip(rng: np.random.Generator) -> ParameterAttack:
-        return BitFlipAttack(num_parameters=1, rng=rng)
-
-    return {"sba": sba, "gda": gda, "random": random, "bitflip": bitflip}
+        factories[name] = factory
+    return factories
 
 
 class DetectionExperiment:
@@ -293,6 +314,7 @@ def run_detection_experiment(
 
 __all__ = [
     "ATTACK_NAMES",
+    "available_attacks",
     "DetectionCell",
     "DetectionTable",
     "DetectionExperiment",

@@ -77,6 +77,7 @@ class IPVendor:
         output_atol: float = DEFAULT_OUTPUT_ATOL,
         extra_metadata: Optional[Dict[str, object]] = None,
         include_coverage_masks: bool = True,
+        engine=None,
     ) -> ValidationPackage:
         """Compute reference outputs for ``tests`` and wrap them in a package.
 
@@ -85,6 +86,12 @@ class IPVendor:
         (unless ``include_coverage_masks=False``) the packed masks themselves
         ship in the package, so coverage composition stays auditable without
         white-box access to the vendor model.
+
+        ``engine`` optionally routes the mask pass through a caller-managed
+        :class:`~repro.engine.Engine` (the :class:`repro.api.Session` and the
+        campaign runner pass theirs), reusing its backend and memoized
+        gradients; the reference outputs always come from the vendor model's
+        own float64 forward pass, since they are the package's ground truth.
         """
         if isinstance(tests, GenerationResult):
             metadata: Dict[str, object] = {
@@ -99,7 +106,9 @@ class IPVendor:
             raise ValueError("cannot build a package with zero tests")
 
         expected = self.model.predict(test_array)
-        packed = packed_activation_masks(self.model, test_array, self.criterion)
+        packed = packed_activation_masks(
+            self.model, test_array, self.criterion, engine=engine
+        )
         metadata.update(
             {
                 "model": self.model.name,

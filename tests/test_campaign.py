@@ -29,7 +29,16 @@ from repro.campaign import (
 from repro.campaign.runner import CampaignRunner
 from repro.coverage.activation import ActivationCriterion, resolve_criterion
 from repro.models.zoo import small_mlp
-from repro.testgen.registry import available_strategies, build_generator, get_strategy
+from repro.registry import registry
+from repro.testgen.strategies import build_generator
+
+
+def available_strategies():
+    return registry.names("strategies")
+
+
+def get_strategy(name):
+    return registry.get("strategies", name)
 
 
 def _toml_available() -> bool:
@@ -385,30 +394,31 @@ class TestStrategyRegistry:
             get_strategy("psychic")
 
     def test_knob_declarations(self):
-        from repro.testgen.registry import strategy_knobs
-
-        assert strategy_knobs("combined") == {
+        assert registry.knobs("strategies", "combined") == {
             "candidate_pool": "candidate_pool",
             "max_updates": "gradient_updates",
         }
-        assert strategy_knobs("random") == {}
+        assert registry.knobs("strategies", "random") == {}
         with pytest.raises(ValueError, match="unknown strategy"):
-            strategy_knobs("psychic")
+            registry.knobs("strategies", "psychic")
 
     def test_runner_rejects_knob_without_spec_field(self):
         """A registered strategy declaring a knob CampaignSpec lacks must
         fail with a clear error, not an AttributeError."""
         from repro.campaign.runner import _generator_kwargs
-        from repro.testgen.registry import _STRATEGIES, _STRATEGY_KNOBS
 
         name = "test-bad-knob"
-        _STRATEGIES[name] = lambda *a, **k: None
-        _STRATEGY_KNOBS[name] = {"zap": "no_such_field"}
+        registry.register(
+            "strategies",
+            name,
+            lambda *a, **k: None,
+            knobs={"zap": "no_such_field"},
+        )
         try:
             with pytest.raises(ValueError, match="does not define"):
                 _generator_kwargs(tiny_spec(), name)
         finally:
-            del _STRATEGIES[name], _STRATEGY_KNOBS[name]
+            registry.unregister("strategies", name)
 
     def test_build_generator_requires_dataset_where_needed(self, trained_mlp):
         with pytest.raises(ValueError, match="requires a training set"):

@@ -291,10 +291,11 @@ class TestDatasetIndexRecording:
         recorded = selector.selected_dataset_indices(result)
 
         # every pool index selected exactly once — the duplicate pair appears
-        # as {2, 5}, which the deprecated pixel rematch could never produce
+        # as {2, 5}, which the removed pixel rematch could never produce
         assert sorted(recorded.tolist()) == [0, 1, 2, 3, 4, 5]
 
-        # the legacy scan, by contrast, collapses the duplicates
+        # index-less legacy results are rejected outright: the ambiguous
+        # pixel-equality rematch fallback was removed
         legacy = GenerationResult(
             tests=result.tests,
             coverage_history=list(result.coverage_history),
@@ -302,10 +303,8 @@ class TestDatasetIndexRecording:
             sources=list(result.sources),
             method=result.method,
         )
-        with pytest.warns(DeprecationWarning, match="pixel-equality rematch"):
-            scanned = selector.selected_dataset_indices(legacy)
-        assert sorted(scanned.tolist()) != [0, 1, 2, 3, 4, 5]
-        assert np.count_nonzero(scanned == 2) == 2  # first match wins twice
+        with pytest.raises(ValueError, match="no recorded dataset_indices"):
+            selector.selected_dataset_indices(legacy)
 
     def test_round_trip_with_candidate_pool(self, mnist_model, mnist_pool):
         dataset = Dataset(
