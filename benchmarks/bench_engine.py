@@ -9,14 +9,19 @@ model, comparing
   image (the pre-engine hot path),
 * ``mean_validation_coverage`` — chunked batched passes through
   :class:`repro.engine.Engine` (``NumpyBackend``),
-* the memoized revisit (greedy-loop / ablation-sweep access pattern), and
-* on hosts with ≥ 4 usable cores, the multi-core ``ParallelBackend``.
+* the memoized revisit (greedy-loop / ablation-sweep access pattern),
+* on hosts with ≥ 4 usable cores, the multi-core ``ParallelBackend``, and
+* the ``ModelAxisBackend``: one fused ``stacked_forward`` dispatch over 8
+  perturbed model copies vs the bit-identical per-copy loop (the Tables
+  II/III detection inner loop).
 
 Asserted acceptance criteria:
 
 * ≥ 5× batched-vs-per-sample wall-clock speedup and ≤ 1e-8 equivalence;
 * on ≥ 4-core hosts, ≥ 2× parallel-vs-numpy wall-clock on the 100-image
-  coverage+detection workload at ≤ 1e-8 equivalence.
+  coverage+detection workload at ≤ 1e-8 equivalence;
+* ≥ 3× fused-vs-loop wall-clock on the 8-copy stacked replay at exact
+  (bitwise) equality of the stacked logits.
 
 Run with::
 
@@ -32,7 +37,11 @@ from __future__ import annotations
 
 import os
 
+import numpy as np
+
+from repro.attacks.base import bias_flat_indices
 from repro.bench import measure, write_report
+from repro.engine.model_axis import ModelAxisBackend
 from repro.coverage.parameter_coverage import (
     mean_validation_coverage,
     mean_validation_coverage_reference,
@@ -44,6 +53,8 @@ from repro.models.zoo import mnist_cnn
 POOL_SIZE = 100
 REQUIRED_SPEEDUP = 5.0
 REQUIRED_PARALLEL_SPEEDUP = 2.0
+REQUIRED_MODEL_AXIS_SPEEDUP = 3.0
+MODEL_AXIS_COPIES = 8
 PARALLEL_MIN_CORES = 4
 TOLERANCE = 1e-8
 
@@ -135,6 +146,46 @@ def main() -> None:
     else:
         print(f"parallel backend:     skipped ({cores} usable core(s) < {PARALLEL_MIN_CORES})")
 
+    # model-axis fused dispatch vs the bit-identical per-copy loop: the
+    # detection inner loop at MODEL_AXIS_COPIES perturbed copies per group.
+    # Each copy carries a large fault on a distinct output-head bias (the
+    # single-bias attack's most effective placement, and the fused backend's
+    # design point — the shared trunk is computed once for the whole group)
+    biases = bias_flat_indices(model)
+    copies = []
+    for trial in range(MODEL_AXIS_COPIES):
+        copy = model.copy()
+        copy.parameter_view().add_scalar(int(biases[-1 - trial]), 10.0)
+        copies.append(copy)
+    loop_engine = Engine(model, cache=False)
+    looped = measure(
+        "model_axis",
+        lambda: loop_engine.stacked_forward(copies, images),
+        samples=POOL_SIZE * MODEL_AXIS_COPIES,
+        backend="numpy",
+        repeats=5,
+    )
+    results.append(looped)
+    fused_engine = Engine(model, backend=ModelAxisBackend(), cache=False)
+    fused = measure(
+        "model_axis",
+        lambda: fused_engine.stacked_forward(copies, images),
+        samples=POOL_SIZE * MODEL_AXIS_COPIES,
+        backend="model_axis",
+        repeats=5,
+    )
+    results.append(fused)
+    model_axis_speedup = looped.wall_s / fused.wall_s
+    model_axis_identical = np.array_equal(
+        loop_engine.stacked_forward(copies, images),
+        fused_engine.stacked_forward(copies, images),
+    )
+    print(
+        f"model-axis fused:     {fused.wall_s * 1e3:9.1f} ms  "
+        f"({MODEL_AXIS_COPIES} copies, {model_axis_speedup:.1f}x vs per-copy loop "
+        f"{looped.wall_s * 1e3:.1f} ms)"
+    )
+
     write_report(results, "BENCH_engine.json", meta={"pool_size": POOL_SIZE})
 
     assert error <= TOLERANCE, (
@@ -145,6 +196,9 @@ def main() -> None:
         assert parallel_error <= TOLERANCE, (
             f"parallel coverage differs from numpy by {parallel_error:.2e} > {TOLERANCE:.0e}"
         )
+    assert model_axis_identical, (
+        "model-axis stacked logits are not bitwise identical to the per-copy loop"
+    )
     if os.environ.get("BENCH_ENGINE_SKIP_SPEEDUP"):
         print(f"OK: ≤{TOLERANCE:.0e} equivalence holds (speedup assertions skipped)")
         return
@@ -156,6 +210,10 @@ def main() -> None:
             f"parallel backend is only {parallel_speedup:.1f}x faster; "
             f"required ≥{REQUIRED_PARALLEL_SPEEDUP}x on ≥{PARALLEL_MIN_CORES} cores"
         )
+    assert model_axis_speedup >= REQUIRED_MODEL_AXIS_SPEEDUP, (
+        f"model-axis fused dispatch is only {model_axis_speedup:.1f}x faster; "
+        f"required ≥{REQUIRED_MODEL_AXIS_SPEEDUP}x at {MODEL_AXIS_COPIES} copies"
+    )
     print(f"OK: ≥{REQUIRED_SPEEDUP:g}x speedup and ≤{TOLERANCE:.0e} equivalence hold")
 
 

@@ -1,0 +1,134 @@
+"""Micro-benchmark: greedy selection over in-RAM vs memory-mapped masks.
+
+Built on the shared :mod:`repro.bench` harness.  Measures Algorithm 1's
+greedy inner loop (repeated ``best_candidate`` + union) over the packed
+activation masks of a pool 4× the engine benchmark's, comparing
+
+* the dense in-RAM :class:`~repro.coverage.MaskMatrix` (the packed-refactor
+  baseline), against
+* a disk-spilled :class:`~repro.coverage.MmapMaskMatrix` whose in-RAM
+  window is capped at *half* the packed matrix bytes, so every
+  ``best_candidate`` sweep streams the store in windows instead of holding
+  it resident.
+
+Asserted acceptance criteria:
+
+* the mmap-backed selection picks byte-identical test indices (and final
+  coverage words) under half the in-RAM budget;
+* the mmap store on disk is byte-for-byte the packed words of the in-RAM
+  matrix (plus the 24-byte header).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_selection.py
+
+A ``BENCH_selection.json`` report is written to the working directory.
+There is no wall-clock speedup assertion here — the mmap path trades a
+bounded slowdown (windowed re-reads through the page cache) for the memory
+cap; the report records the ratio so regressions stay visible.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.bench import measure, write_report
+from repro.coverage.bitmap import CoverageMap, MaskMatrix, MmapMaskMatrix
+from repro.data.synth_digits import generate_digits
+from repro.engine import Engine
+from repro.models.zoo import mnist_cnn
+
+BASE_POOL_SIZE = 100
+POOL_MULTIPLIER = 4
+BUDGET = 25
+
+
+def greedy(masks: MaskMatrix, budget: int) -> Tuple[List[int], CoverageMap]:
+    covered = CoverageMap(masks.nbits)
+    available = np.ones(len(masks), dtype=bool)
+    selected: List[int] = []
+    for _ in range(budget):
+        best, _count = masks.best_candidate(covered, available)
+        covered.union_(masks.row(best))
+        available[best] = False
+        selected.append(int(best))
+    return selected, covered
+
+
+def main() -> None:
+    model = mnist_cnn(width_multiplier=0.125, input_size=28, rng=0)
+    pool_size = BASE_POOL_SIZE * POOL_MULTIPLIER
+    images = generate_digits(pool_size, rng=2, size=28).images
+    engine = Engine(model)
+    print(f"model: {model.name} ({model.num_parameters()} parameters)")
+    print(f"pool:  {pool_size} images, greedy budget {BUDGET}")
+
+    results = []
+    dense = engine.packed_activation_masks(images)
+    in_ram = measure(
+        "selection",
+        lambda: greedy(dense, BUDGET)[1].fraction,
+        samples=pool_size,
+        backend="in-ram",
+        repeats=3,
+        value_of=lambda r: r,
+        packed_mask_bytes=int(dense.nbytes),
+    )
+    results.append(in_ram)
+    print(f"in-RAM packed:  {in_ram.wall_s * 1e3:9.1f} ms  (coverage {in_ram.value:.6f})")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        spilled = engine.packed_activation_masks(images, spill_dir=tmp)
+        window_budget = max(1, int(dense.nbytes) // 2)
+        windowed = MmapMaskMatrix.open(spilled.path, memory_budget_bytes=window_budget)
+        stored = Path(windowed.path).read_bytes()
+        mmap_result = measure(
+            "mmap_selection",
+            lambda: greedy(windowed, BUDGET)[1].fraction,
+            samples=pool_size,
+            backend="mmap",
+            repeats=3,
+            value_of=lambda r: r,
+            packed_mask_bytes=int(dense.nbytes),
+            window_budget_bytes=window_budget,
+        )
+        results.append(mmap_result)
+        print(
+            f"mmap windowed:  {mmap_result.wall_s * 1e3:9.1f} ms  "
+            f"(window {window_budget} of {int(dense.nbytes)} packed bytes, "
+            f"{mmap_result.wall_s / in_ram.wall_s:.2f}x in-RAM wall)"
+        )
+
+        dense_selected, dense_covered = greedy(dense, BUDGET)
+        mmap_selected, mmap_covered = greedy(windowed, BUDGET)
+
+    write_report(
+        results,
+        "BENCH_selection.json",
+        meta={
+            "pool_size": pool_size,
+            "pool_multiplier": POOL_MULTIPLIER,
+            "budget": BUDGET,
+            "window_budget_bytes": window_budget,
+        },
+    )
+
+    assert dense_selected == mmap_selected, (
+        f"mmap-backed greedy selected {mmap_selected}, in-RAM {dense_selected}"
+    )
+    assert np.array_equal(dense_covered.words, mmap_covered.words)
+    assert stored[-dense.words.nbytes :] == np.ascontiguousarray(
+        dense.words.astype("<u8", copy=False)
+    ).tobytes(), "spilled store bytes differ from the in-RAM packed words"
+    print(
+        f"OK: byte-identical selection under a {window_budget}-byte window "
+        f"({int(dense.nbytes)} packed bytes in RAM otherwise)"
+    )
+
+
+if __name__ == "__main__":
+    main()

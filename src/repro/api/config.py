@@ -95,10 +95,14 @@ class RunConfig(TableSerde):
     Attributes
     ----------
     backend:
-        Engine backend name (``"numpy"`` or ``"parallel"``; any registered
-        ``backends`` entry of :mod:`repro.registry` resolves).
+        Engine backend name (``"numpy"``, ``"parallel"`` or
+        ``"model_axis"``; any registered ``backends`` entry of
+        :mod:`repro.registry` resolves).
     workers:
         Worker count when ``backend="parallel"`` (``None`` = auto).
+    model_axis_size:
+        Perturbed copies fused per dispatch when ``backend="model_axis"``
+        (``None`` = the backend's default capacity).
     dtype:
         Compute-dtype policy for every engine (``None``/``"float64"``
         default, ``"float32"`` for halved memory traffic at documented
@@ -108,7 +112,14 @@ class RunConfig(TableSerde):
     memory_budget_bytes:
         Optional cap on the transient dense buffers of streaming packed-mask
         queries (the engine-level default of
-        :attr:`repro.engine.Engine.memory_budget_bytes`).
+        :attr:`repro.engine.Engine.memory_budget_bytes`).  With
+        ``spill_dir`` set it also caps the in-RAM window of memory-mapped
+        mask iteration.
+    spill_dir:
+        Optional directory where packed-mask matrices are spilled to disk as
+        memory-mapped stores (:class:`repro.coverage.MmapMaskMatrix`)
+        instead of being materialised in RAM; greedy selection then
+        iterates mmap windows under ``memory_budget_bytes``.
     engine_cache_size:
         LRU capacity of the session's per-parameter-digest engine pool.
     prepared_cache_size:
@@ -124,9 +135,11 @@ class RunConfig(TableSerde):
 
     backend: str = "numpy"
     workers: Optional[int] = None
+    model_axis_size: Optional[int] = None
     dtype: Optional[str] = None
     batch_size: int = 64
     memory_budget_bytes: Optional[int] = None
+    spill_dir: Optional[str] = None
     engine_cache_size: int = 8
     prepared_cache_size: int = 4
     seed: int = 0
@@ -139,6 +152,12 @@ class RunConfig(TableSerde):
             )
         if self.workers is not None and self.workers <= 0:
             raise ValueError("workers must be positive when given")
+        if self.model_axis_size is not None and self.backend != "model_axis":
+            raise ValueError(
+                "model_axis_size is only meaningful with backend='model_axis'"
+            )
+        if self.model_axis_size is not None and self.model_axis_size <= 0:
+            raise ValueError("model_axis_size must be positive when given")
         if self.dtype is not None and self.dtype not in ("float64", "float32"):
             raise ValueError(
                 f"unknown dtype {self.dtype!r}; choose 'float64' or 'float32'"

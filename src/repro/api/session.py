@@ -94,6 +94,10 @@ class Session:
             cfg = self.config
             if cfg.backend == "parallel" and cfg.workers is not None:
                 self._backend = ParallelBackend(workers=cfg.workers)
+            elif cfg.backend == "model_axis" and cfg.model_axis_size is not None:
+                from repro.engine import ModelAxisBackend
+
+                self._backend = ModelAxisBackend(max_models=cfg.model_axis_size)
             else:
                 self._backend = get_backend(cfg.backend)
         return self._backend
@@ -147,6 +151,7 @@ class Session:
             dtype=cfg.dtype,
             batch_size=cfg.batch_size,
             memory_budget_bytes=cfg.memory_budget_bytes,
+            spill_dir=cfg.spill_dir,
         )
         self._engines[key] = engine
         self._engines.move_to_end(key)

@@ -35,11 +35,13 @@ from repro.bench.harness import (
 )
 from repro.bench.workloads import (
     DEFAULT_POOL_SIZE,
+    MODEL_AXIS_COPIES,
     QUICK_POOL_SIZE,
     WORKLOAD_NAMES,
     build_model,
     build_pool,
     default_backends,
+    model_axis_speedup,
     parallel_speedup,
     run_benchmark_matrix,
     run_workloads,
@@ -64,11 +66,13 @@ __all__ = [
     "write_report",
     # workloads
     "DEFAULT_POOL_SIZE",
+    "MODEL_AXIS_COPIES",
     "QUICK_POOL_SIZE",
     "WORKLOAD_NAMES",
     "build_model",
     "build_pool",
     "default_backends",
+    "model_axis_speedup",
     "parallel_speedup",
     "run_benchmark_matrix",
     "run_workloads",

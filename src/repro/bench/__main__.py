@@ -36,6 +36,7 @@ from repro.bench.workloads import (
     QUICK_POOL_SIZE,
     WORKLOAD_NAMES,
     default_backends,
+    model_axis_speedup,
     parallel_speedup,
     run_benchmark_matrix,
 )
@@ -68,7 +69,7 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--backends",
         default=None,
-        help="comma-separated backend names (default: numpy, plus parallel on multi-core hosts)",
+        help="comma-separated backend names (default: numpy and model_axis, plus parallel on multi-core hosts)",
     )
     parser.add_argument(
         "--dtypes", default="float64,float32", help="comma-separated compute dtypes"
@@ -114,6 +115,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if speedups:
         line = ", ".join(f"{k}={v:.2f}x" for k, v in speedups.items())
         print(f"parallel speedup vs numpy (float64): {line}")
+    fused = model_axis_speedup(results)
+    if fused is not None:
+        print(f"model-axis fused speedup vs per-copy loop (float64): {fused:.2f}x")
 
     report = write_report(
         results, args.output, meta={"quick": bool(args.quick), "pool_size": pool_size}

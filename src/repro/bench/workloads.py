@@ -15,6 +15,13 @@ The workloads cover the library's hot paths end to end:
                    small one (records both byte counts)
 ``detection``      stacked replay of a test batch against perturbed model
                    copies (the Tables II/III inner loop)
+``model_axis``     one ``stacked_forward`` dispatch over a set of perturbed
+                   copies — fused along the model axis on backends that
+                   advertise the capacity, a per-copy loop elsewhere (the
+                   fused-vs-loop ratio is the model-axis speedup)
+``mmap_selection`` packed greedy selection over a disk-spilled
+                   (memory-mapped) mask store whose in-RAM window is capped
+                   at half the packed matrix bytes
 ``revisit``        memoized re-query of the coverage workload (greedy-loop
                    access pattern; measures the cache, not the compute)
 ``campaign``       a micro campaign (train, package, paired trials, store)
@@ -50,6 +57,10 @@ QUICK_POOL_SIZE = 24
 #: perturbed model copies replayed by the detection workload
 DETECTION_TRIALS = 5
 
+#: perturbed model copies fused by the model_axis workload (the acceptance
+#: speedup is measured at this many copies)
+MODEL_AXIS_COPIES = 8
+
 #: pool multiplier of the selection workload: packed masks of a pool this
 #: many times larger still occupy fewer bytes than the dense masks of the
 #: base pool (packed is 1/8 dense, so 4x pool -> 1/2 the bytes)
@@ -65,7 +76,9 @@ WORKLOAD_NAMES = (
     "coverage",
     "packing",
     "selection",
+    "mmap_selection",
     "detection",
+    "model_axis",
     "revisit",
     "campaign",
 )
@@ -93,7 +106,7 @@ CAMPAIGN_WORKLOAD_SPEC = dict(
 
 def default_backends() -> List[str]:
     """Backends worth timing on this host: ``parallel`` needs real cores."""
-    backends = ["numpy"]
+    backends = ["numpy", "model_axis"]
     if default_worker_count() >= 2:
         backends.append("parallel")
     return backends
@@ -115,13 +128,22 @@ def build_pool(model: Sequential, pool_size: int, rng: int = 1) -> np.ndarray:
 
 
 def _perturbed_copies(model: Sequential, trials: int) -> List[Sequential]:
-    """Deterministic single-bias-perturbed copies for the detection workload."""
-    from repro.attacks.sba import SingleBiasAttack
+    """Deterministic single-bias-perturbed copies for the stacked workloads.
 
+    Each copy receives a large fault on one output-head bias, a distinct
+    index per copy — the single-bias attack's most effective placement, and
+    the model-axis backend's design point: every layer before the head is
+    bitwise shared with the victim, so the fused dispatch re-runs only the
+    classifier head per copy.
+    """
+    from repro.attacks.base import bias_flat_indices
+
+    biases = bias_flat_indices(model)
     copies = []
     for trial in range(trials):
-        outcome = SingleBiasAttack(rng=1000 + trial).apply(model)
-        copies.append(outcome.model)
+        copy = model.copy()
+        copy.parameter_view().add_scalar(int(biases[-1 - trial]), 10.0)
+        copies.append(copy)
     return copies
 
 
@@ -241,6 +263,48 @@ def run_workloads(
                 )
             )
 
+        if "mmap_selection" in selected:
+            import tempfile
+
+            from repro.coverage.bitmap import CoverageMap, MmapMaskMatrix
+
+            mmap_pool = build_pool(model, n * SELECTION_POOL_MULTIPLIER, rng=2)
+            with tempfile.TemporaryDirectory() as tmp:
+                spilled = engine.packed_activation_masks(mmap_pool, spill_dir=tmp)
+                # re-open with the in-RAM window capped at half the packed
+                # matrix: greedy selection must stream, not materialise
+                window_budget = max(1, int(spilled.nbytes) // 2)
+                windowed = MmapMaskMatrix.open(
+                    spilled.path, memory_budget_bytes=window_budget
+                )
+                budget = min(SELECTION_BUDGET, len(windowed))
+
+                def mmap_selection() -> float:
+                    covered = CoverageMap(windowed.nbits)
+                    available = np.ones(len(windowed), dtype=bool)
+                    for _ in range(budget):
+                        best, _count = windowed.best_candidate(covered, available)
+                        covered.union_(windowed.row(best))
+                        available[best] = False
+                    return covered.fraction
+
+                results.append(
+                    measure(
+                        "mmap_selection",
+                        mmap_selection,
+                        samples=len(windowed),
+                        backend=backend_name,
+                        dtype=dtype,
+                        repeats=repeats,
+                        value_of=lambda r: r,
+                        pool_size=len(windowed),
+                        pool_multiplier=SELECTION_POOL_MULTIPLIER,
+                        budget=budget,
+                        packed_mask_bytes=int(spilled.nbytes),
+                        window_budget_bytes=window_budget,
+                    )
+                )
+
         if "detection" in selected:
             copies = _perturbed_copies(model, DETECTION_TRIALS)
             expected = engine.forward(images)
@@ -263,6 +327,27 @@ def run_workloads(
                     dtype=dtype,
                     repeats=repeats,
                     value_of=lambda r: r,
+                )
+            )
+
+        if "model_axis" in selected:
+            stacked_copies = _perturbed_copies(model, MODEL_AXIS_COPIES)
+
+            def model_axis() -> float:
+                observed = engine.stacked_forward(stacked_copies, images)
+                return float(np.abs(observed).mean())
+
+            results.append(
+                measure(
+                    "model_axis",
+                    model_axis,
+                    samples=n * MODEL_AXIS_COPIES,
+                    backend=backend_name,
+                    dtype=dtype,
+                    repeats=repeats,
+                    value_of=lambda r: r,
+                    copies=MODEL_AXIS_COPIES,
+                    fused=bool(backend.model_axis_capacity),
                 )
             )
 
@@ -367,16 +452,34 @@ def parallel_speedup(results: Sequence[BenchmarkResult]) -> Dict[str, float]:
     return speedups
 
 
+def model_axis_speedup(results: Sequence[BenchmarkResult]) -> Optional[float]:
+    """Fused-vs-loop ratio of the ``model_axis`` workload (float64 only).
+
+    Compares the workload on the ``model_axis`` backend (one fused dispatch
+    for all :data:`MODEL_AXIS_COPIES` copies) against ``numpy`` (the
+    bit-identical per-copy fallback loop); ``None`` when either leg is
+    missing from ``results``.
+    """
+    by_key = {r.key: r for r in results}
+    base = by_key.get(("model_axis", "numpy", "float64"))
+    fused = by_key.get(("model_axis", "model_axis", "float64"))
+    if base is None or fused is None or fused.wall_s <= 0:
+        return None
+    return base.wall_s / fused.wall_s
+
+
 __all__ = [
     "DEFAULT_POOL_SIZE",
     "QUICK_POOL_SIZE",
     "DETECTION_TRIALS",
+    "MODEL_AXIS_COPIES",
     "SELECTION_BUDGET",
     "SELECTION_POOL_MULTIPLIER",
     "WORKLOAD_NAMES",
     "build_model",
     "build_pool",
     "default_backends",
+    "model_axis_speedup",
     "parallel_speedup",
     "run_benchmark_matrix",
     "run_workloads",

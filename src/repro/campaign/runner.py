@@ -357,21 +357,40 @@ class CampaignRunner:
         }
         modified_counts: List[int] = []
         max_abs_deltas: List[float] = []
-        for trial_rng in trial_rngs:
-            attack = factory(trial_rng)
-            outcome = attack.apply(prepared.model)
-            modified_counts.append(outcome.record.num_modified)
-            max_abs_deltas.append(outcome.record.max_abs_delta)
-            # one engine dispatch per perturbed copy; the memo cache is off
-            # because each copy serves exactly one batch
-            trial_engine = Engine(outcome.model, backend=backend, cache=False)
-            observed = trial_engine.forward(stacked_tests)
-            deviations = np.abs(observed - expected).max(axis=1)
-            for method in methods:
-                lo = offsets[method]
-                for budget in spec.budgets:
-                    if np.any(deviations[lo : lo + budget] > spec.output_atol):
-                        detections[(method, budget)] += 1
+        # backends advertising a model-axis capacity evaluate that many
+        # perturbed copies per fused dispatch; others fall back to one
+        # engine pass per trial (bit-identical counts either way)
+        capacity = backend.model_axis_capacity
+        group_size = capacity if capacity > 0 else 1
+        stacked_engine = (
+            Engine(prepared.model, backend=backend, cache=False)
+            if capacity > 0
+            else None
+        )
+        for start in range(0, spec.trials, group_size):
+            copies = []
+            for trial_rng in trial_rngs[start : start + group_size]:
+                attack = factory(trial_rng)
+                outcome = attack.apply(prepared.model)
+                modified_counts.append(outcome.record.num_modified)
+                max_abs_deltas.append(outcome.record.max_abs_delta)
+                copies.append(outcome.model)
+            if stacked_engine is not None:
+                observed_group = stacked_engine.stacked_forward(copies, stacked_tests)
+            else:
+                # one engine dispatch per perturbed copy; the memo cache is
+                # off because each copy serves exactly one batch
+                observed_group = [
+                    Engine(copy, backend=backend, cache=False).forward(stacked_tests)
+                    for copy in copies
+                ]
+            for observed in observed_group:
+                deviations = np.abs(observed - expected).max(axis=1)
+                for method in methods:
+                    lo = offsets[method]
+                    for budget in spec.budgets:
+                        if np.any(deviations[lo : lo + budget] > spec.output_atol):
+                            detections[(method, budget)] += 1
 
         mean_modified = float(np.mean(modified_counts)) if modified_counts else 0.0
         mean_max_delta = float(np.mean(max_abs_deltas)) if max_abs_deltas else 0.0

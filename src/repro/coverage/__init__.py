@@ -11,6 +11,8 @@ from repro.coverage.bitmap import (
     CoverageCriterion,
     CoverageMap,
     MaskMatrix,
+    MmapMaskMatrix,
+    MmapMaskWriter,
     PackedCoverageTracker,
     pack_bool,
     packed_nbytes,
@@ -55,6 +57,8 @@ __all__ = [
     "CoverageCriterion",
     "CoverageMap",
     "MaskMatrix",
+    "MmapMaskMatrix",
+    "MmapMaskWriter",
     "PackedCoverageTracker",
     "pack_bool",
     "packed_nbytes",

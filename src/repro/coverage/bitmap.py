@@ -38,6 +38,8 @@ cycles.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -444,6 +446,210 @@ class MaskMatrix:
         )
 
 
+#: magic prefix of the on-disk packed-mask store (versioned: bump the digit
+#: when the layout changes)
+MMAP_MAGIC = b"RPRMASK1"
+
+#: bytes of the on-disk header: magic + nbits (u64 LE) + rows (u64 LE)
+MMAP_HEADER_BYTES = len(MMAP_MAGIC) + 2 * WORD_BYTES
+
+
+class MmapMaskWriter:
+    """Streaming writer for the on-disk packed-mask store.
+
+    Chunks of packed words are appended as they are computed, so building a
+    training-set-sized candidate pool never concatenates the full word
+    matrix in RAM.  Writes go to a ``.tmp`` sibling and are atomically
+    renamed into place on :meth:`close` (which also patches the row count
+    into the header), so a crash mid-build can never leave a file that
+    :meth:`MmapMaskMatrix.open` would accept — torn stores are detected and
+    rejected by the size/header validation.
+
+    The layout is explicitly little-endian (``'<u8'`` words), matching
+    :func:`pack_bool`'s bit order, so stores are portable across hosts.
+    """
+
+    def __init__(self, path: Union[str, Path], nbits: int) -> None:
+        if nbits < 0:
+            raise ValueError("nbits must be non-negative")
+        self.path = Path(path)
+        self.nbits = int(nbits)
+        self.rows = 0
+        self._tmp = self.path.with_name(self.path.name + ".tmp")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self._tmp, "wb")
+        self._fh.write(MMAP_MAGIC)
+        self._fh.write(np.uint64(self.nbits).astype("<u8").tobytes())
+        self._fh.write(np.uint64(0).astype("<u8").tobytes())  # rows, patched on close
+
+    def append(self, words: np.ndarray) -> None:
+        """Append a ``(n, num_words(nbits))`` uint64 chunk."""
+        if self._fh is None:
+            raise ValueError("writer is closed")
+        words = np.asarray(words, dtype=np.uint64)
+        if words.ndim != 2 or words.shape[1] != num_words(self.nbits):
+            raise ValueError(
+                f"chunk has shape {words.shape}, expected "
+                f"(n, {num_words(self.nbits)}) for {self.nbits} bits"
+            )
+        self._fh.write(np.ascontiguousarray(words).astype("<u8", copy=False).tobytes())
+        self.rows += int(words.shape[0])
+
+    def close(
+        self, memory_budget_bytes: Optional[int] = None
+    ) -> "MmapMaskMatrix":
+        """Finalise the store and return it opened for windowed reads."""
+        if self._fh is None:
+            raise ValueError("writer is closed")
+        self._fh.seek(len(MMAP_MAGIC) + WORD_BYTES)
+        self._fh.write(np.uint64(self.rows).astype("<u8").tobytes())
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.close()
+        self._fh = None
+        os.replace(self._tmp, self.path)
+        return MmapMaskMatrix.open(self.path, memory_budget_bytes=memory_budget_bytes)
+
+    def abort(self) -> None:
+        """Discard the partial store (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        if self._tmp.exists():
+            self._tmp.unlink()
+
+    def __enter__(self) -> "MmapMaskWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.abort()
+
+
+class MmapMaskMatrix(MaskMatrix):
+    """A :class:`MaskMatrix` whose words live in a memory-mapped file.
+
+    Candidate pools the size of the full training set exceed RAM even
+    packed; this store streams Algorithm 1's ``popcount(candidate &
+    ~covered)`` from disk instead.  The coverage primitives the greedy loop
+    calls (:meth:`counts`, :meth:`union`, :meth:`marginal_counts` — and
+    therefore the inherited :meth:`best_candidate`) iterate fixed-size row
+    windows bounded by ``memory_budget_bytes``, so resident memory stays at
+    one window's words plus its popcount temporaries while results remain
+    byte-identical to the in-RAM matrix.
+
+    Construct via :meth:`open` (existing store) or
+    :class:`MmapMaskWriter` (streaming build).
+    """
+
+    __slots__ = ("path", "memory_budget_bytes")
+
+    def __init__(
+        self,
+        nbits: int,
+        words: np.ndarray,
+        path: Optional[Path] = None,
+        memory_budget_bytes: Optional[int] = None,
+    ) -> None:
+        if memory_budget_bytes is not None and memory_budget_bytes <= 0:
+            raise ValueError("memory_budget_bytes must be positive")
+        super().__init__(nbits, words)
+        self.path = path
+        self.memory_budget_bytes = memory_budget_bytes
+
+    @classmethod
+    def open(
+        cls,
+        path: Union[str, Path],
+        memory_budget_bytes: Optional[int] = None,
+    ) -> "MmapMaskMatrix":
+        """Map an existing store, validating its header and size.
+
+        Raises :class:`ValueError` for wrong-magic, torn or truncated files
+        (e.g. a crash while an old non-atomic writer was mid-append), so a
+        corrupt store is rebuilt instead of silently mis-read.
+        """
+        path = Path(path)
+        size = path.stat().st_size
+        if size < MMAP_HEADER_BYTES:
+            raise ValueError(
+                f"torn mask store {path}: {size} bytes is smaller than the "
+                f"{MMAP_HEADER_BYTES}-byte header"
+            )
+        with open(path, "rb") as fh:
+            header = fh.read(MMAP_HEADER_BYTES)
+        if header[: len(MMAP_MAGIC)] != MMAP_MAGIC:
+            raise ValueError(f"{path} is not a packed mask store (bad magic)")
+        nbits, rows = np.frombuffer(header, dtype="<u8", offset=len(MMAP_MAGIC))
+        nbits, rows = int(nbits), int(rows)
+        expected = MMAP_HEADER_BYTES + rows * num_words(nbits) * WORD_BYTES
+        if size != expected:
+            raise ValueError(
+                f"torn mask store {path}: {size} bytes on disk, header "
+                f"declares {rows} rows × {num_words(nbits)} words "
+                f"({expected} bytes)"
+            )
+        words = np.memmap(
+            path,
+            dtype="<u8",
+            mode="r",
+            offset=MMAP_HEADER_BYTES,
+            shape=(rows, num_words(nbits)),
+        )
+        return cls(
+            nbits, words, path=path, memory_budget_bytes=memory_budget_bytes
+        )
+
+    # -- windowed iteration ---------------------------------------------------
+    def _window_rows(self) -> int:
+        """Rows per streamed window under the memory budget (≥ 1)."""
+        if self.memory_budget_bytes is None:
+            return max(1, len(self))
+        row_bytes = num_words(self.nbits) * WORD_BYTES
+        return max(1, int(self.memory_budget_bytes) // max(1, row_bytes))
+
+    def _windows(self) -> Iterable[slice]:
+        step = self._window_rows()
+        for start in range(0, len(self), step):
+            yield slice(start, min(start + step, len(self)))
+
+    # -- streamed coverage primitives ----------------------------------------
+    def counts(self) -> np.ndarray:
+        out = np.empty(len(self), dtype=np.int64)
+        for s in self._windows():
+            out[s] = popcount_rows(np.asarray(self.words[s], dtype=np.uint64))
+        return out
+
+    def union(self) -> CoverageMap:
+        if len(self) == 0:
+            return CoverageMap(self.nbits)
+        acc = np.zeros(num_words(self.nbits), dtype=np.uint64)
+        for s in self._windows():
+            window = np.asarray(self.words[s], dtype=np.uint64)
+            np.bitwise_or(acc, np.bitwise_or.reduce(window, axis=0), out=acc)
+        return CoverageMap(self.nbits, acc)
+
+    def marginal_counts(self, covered: CoverageMap) -> np.ndarray:
+        # best_candidate routes through this override, so the whole greedy
+        # loop streams windows — the dense word matrix is never resident
+        if covered.nbits != self.nbits:
+            raise ValueError(
+                f"covered mask has {covered.nbits} bits, expected {self.nbits}"
+            )
+        inverted = ~covered.words
+        out = np.empty(len(self), dtype=np.int64)
+        for s in self._windows():
+            window = np.asarray(self.words[s], dtype=np.uint64)
+            out[s] = popcount_rows(window & inverted[None, :])
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MmapMaskMatrix(candidates={len(self)}, nbits={self.nbits}, "
+            f"path={str(self.path)!r}, window={self._window_rows()} rows)"
+        )
+
+
 class PackedCoverageTracker:
     """Incremental union bookkeeping over a packed covered map.
 
@@ -542,11 +748,15 @@ class CoverageCriterion:
 
 
 __all__ = [
+    "MMAP_HEADER_BYTES",
+    "MMAP_MAGIC",
     "WORD_BITS",
     "WORD_BYTES",
     "CoverageCriterion",
     "CoverageMap",
     "MaskMatrix",
+    "MmapMaskMatrix",
+    "MmapMaskWriter",
     "PackedCoverageTracker",
     "as_coverage_map",
     "num_words",

@@ -5,11 +5,17 @@ generation, attacks and validation run as fast as the hardware allows": one
 :class:`~repro.engine.engine.Engine` per model batches every gradient/mask
 query across whole candidate pools, memoizes immutable results keyed by
 ``(parameter digest, array fingerprint)``, and routes all execution through a
-pluggable :class:`~repro.engine.backend.ExecutionBackend`.  Two backends
-ship: the in-process :class:`~repro.engine.backend.NumpyBackend` (default)
-and the multi-core :class:`~repro.engine.parallel.ParallelBackend`, which
-shards chunks across a persistent worker pool with shared-memory transport —
-selecting it is the only call-site change multi-core execution needs.
+pluggable :class:`~repro.engine.backend.ExecutionBackend`.  Three backends
+ship: the in-process :class:`~repro.engine.backend.NumpyBackend` (default);
+the multi-core :class:`~repro.engine.parallel.ParallelBackend`, which shards
+chunks across a persistent worker pool with shared-memory transport; and the
+:class:`~repro.engine.model_axis.ModelAxisBackend`, which fuses sets of
+same-architecture models (the detection experiments' perturbed copies) into
+one batched dispatch per layer along a leading model axis.  Selecting a
+backend is the only call-site change either optimisation needs: the engine's
+``stacked_forward`` groups models by the backend's advertised
+``model_axis_capacity`` and falls back to a bit-identical per-copy loop on
+backends without native support.
 
 Layering: ``repro.engine`` depends only on ``repro.nn`` (plus a lazy default
 criterion lookup); ``repro.coverage``, ``repro.testgen``, ``repro.attacks``,
@@ -37,12 +43,14 @@ from repro.engine.engine import (
     neuron_layer_indices,
     resolve_engine,
 )
+from repro.engine.model_axis import ModelAxisBackend
 from repro.engine.parallel import ParallelBackend, default_worker_count
 
 __all__ = [
     # backends
     "BackendSpec",
     "ExecutionBackend",
+    "ModelAxisBackend",
     "NumpyBackend",
     "ParallelBackend",
     "available_backends",

@@ -15,7 +15,7 @@ backend class.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple, Type, Union
+from typing import Dict, List, Optional, Tuple, Type, Union
 
 import numpy as np
 
@@ -66,6 +66,20 @@ class ExecutionBackend:
 
     #: registry name; subclasses must override
     name: str = "backend"
+
+    @property
+    def model_axis_capacity(self) -> int:
+        """Models fused per stacked dispatch (0 = no native model-axis path).
+
+        Backends advertising a positive capacity execute
+        :meth:`stacked_forward` / :meth:`stacked_forward_collect` /
+        :meth:`stacked_packed_masks` with genuinely fused weight stacks, and
+        the detection/campaign runners group their perturbed copies into
+        batches of this size.  The default implementations below loop the
+        models one at a time and stack the results, so every backend
+        supports the stacked API with identical semantics either way.
+        """
+        return 0
 
     @property
     def parallelism(self) -> int:
@@ -161,6 +175,49 @@ class ExecutionBackend:
         """
         return pack_neuron_outputs(
             self.forward_collect(model, x), x.shape[0], threshold, layer_indices
+        )
+
+    # -- model-axis (stacked) primitives ------------------------------------
+    def stacked_forward(
+        self,
+        models: List[Sequential],
+        x: np.ndarray,
+        base: Optional[Sequential] = None,
+    ) -> np.ndarray:
+        """Logits for every model of a same-architecture set, shape
+        ``(M, N, num_classes)``.
+
+        Slice ``m`` must equal ``forward(models[m], x)`` bit for bit.  The
+        default loops the models; backends with a positive
+        :attr:`model_axis_capacity` fuse them into one dispatch per layer.
+        ``base``, when given, is the unperturbed victim the models were
+        derived from — fused backends share its activation trunk up to each
+        copy's first divergent layer (equal parameters on equal inputs are
+        bit-identical, so the shortcut is unobservable); the default loop
+        ignores it.
+        """
+        return np.stack([self.forward(model, x) for model in models])
+
+    def stacked_forward_collect(
+        self, models: List[Sequential], x: np.ndarray
+    ) -> List[np.ndarray]:
+        """Every layer's output for every model: a list of ``(M, N, ...)``
+        arrays, one per layer, matching :meth:`forward_collect` per slice."""
+        collected = [self.forward_collect(model, x) for model in models]
+        return [np.stack(layer_outs) for layer_outs in zip(*collected)]
+
+    def stacked_packed_masks(
+        self,
+        models: List[Sequential],
+        x: np.ndarray,
+        scalarization: str,
+        epsilon: float,
+    ) -> np.ndarray:
+        """Packed activation masks for every model, shape ``(M, N, W)``.
+
+        Slice ``m`` must equal ``packed_masks(models[m], x, ...)``."""
+        return np.stack(
+            [self.packed_masks(model, x, scalarization, epsilon) for model in models]
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

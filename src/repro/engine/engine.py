@@ -24,6 +24,15 @@ Key properties:
   :class:`~repro.engine.backend.ExecutionBackend`; the default
   :class:`~repro.engine.backend.NumpyBackend` runs the model's own NumPy
   passes in-process.
+* **Model-axis batched** — :meth:`Engine.stacked_forward` evaluates many
+  same-architecture models (the detection experiments' perturbed copies) on
+  one batch.  The model-axis dispatch is chosen per backend: when
+  ``backend.model_axis_capacity > 0`` (the ``model_axis`` backend), copies
+  are grouped up to that capacity and each group rides one fused dispatch
+  per layer through :class:`~repro.nn.stacked.StackedSequential`; a zero
+  capacity (numpy/parallel) falls back to a per-copy loop with bit-identical
+  results.  ``DetectionExperiment`` and the campaign runner switch onto this
+  query automatically when their backend advertises the capability.
 
 Use :class:`Engine` whenever the same model is queried for more than a
 handful of samples; use raw ``Model.forward`` for one-off single-sample
@@ -32,7 +41,10 @@ queries where the engine's hashing overhead is not worth paying.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple, Union
+import hashlib
+import warnings
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -137,7 +149,14 @@ class Engine:
         Default transient-buffer cap for the streaming packed-mask queries
         (:meth:`packed_activation_masks` / :meth:`packed_neuron_masks`);
         per-call ``memory_budget_bytes`` arguments override it.  ``None``
-        leaves chunking governed by ``batch_size`` alone.
+        leaves chunking governed by ``batch_size`` alone.  When masks spill
+        to disk, the same budget also bounds the mmap window the greedy
+        selection streams through.
+    spill_dir:
+        Default directory for disk-spilled packed-mask stores
+        (:class:`~repro.coverage.bitmap.MmapMaskMatrix`); per-call
+        ``spill_dir`` arguments override it.  ``None`` (default) keeps
+        packed masks in RAM.
     """
 
     def __init__(
@@ -151,6 +170,7 @@ class Engine:
         cache_entries: int = DEFAULT_CACHE_ENTRIES,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         memory_budget_bytes: Optional[int] = None,
+        spill_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if not model.built:
             raise ValueError("Engine requires a built model")
@@ -158,6 +178,7 @@ class Engine:
             raise ValueError("batch_size must be positive")
         if memory_budget_bytes is not None and memory_budget_bytes <= 0:
             raise ValueError("memory_budget_bytes must be positive")
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
         self.model = model
         if criterion is None:
             # imported lazily: repro.coverage depends on repro.engine, not
@@ -210,9 +231,21 @@ class Engine:
             self._cache.clear()
 
     def _memoized(self, op: str, batch: np.ndarray, extra: tuple, compute):
+        return self._memoized_for(
+            op, parameter_digest(self.model), batch, extra, compute
+        )
+
+    def _memoized_for(self, op: str, digest_key, batch: np.ndarray, extra: tuple, compute):
+        """Memoize under an explicit parameter-digest key.
+
+        The single-model queries key by this engine's model digest; the
+        stacked queries key by the *tuple* of digests of the models in the
+        stack, so a repeated stacked query over the same copies is a cache
+        hit while any reordering or perturbation of the set is a miss.
+        """
         if self._cache is None:
             return compute()
-        key = (op, parameter_digest(self.model), array_fingerprint(batch), extra)
+        key = (op, digest_key, array_fingerprint(batch), extra)
         value = self._cache.get(key)
         if value is None:
             value = compute()
@@ -267,7 +300,19 @@ class Engine:
             raise ValueError("memory_budget_bytes must be positive")
         if per_row_bytes is None:
             per_row_bytes = self.model.num_parameters() * 8
-        return max(1, int(memory_budget_bytes) // max(1, per_row_bytes))
+        rows = int(memory_budget_bytes) // max(1, per_row_bytes)
+        if rows < 1:
+            warnings.warn(
+                f"memory_budget_bytes={int(memory_budget_bytes)} is smaller "
+                f"than one sample's transient buffers ({per_row_bytes} bytes "
+                "per row); chunking at one sample per chunk, which will "
+                f"exceed the budget by up to {per_row_bytes - int(memory_budget_bytes)} "
+                "bytes",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return 1
+        return rows
 
     def _activation_volume(self) -> int:
         """Scalars per sample that ``forward_collect`` keeps resident.
@@ -317,6 +362,61 @@ class Engine:
     def predict_classes(self, batch: np.ndarray) -> np.ndarray:
         """Predicted class index per sample (through the memoized forward)."""
         return np.argmax(self.forward(batch), axis=1)
+
+    # -- model-axis queries --------------------------------------------------
+    def stacked_forward(
+        self, models: Sequence[Sequential], batch: np.ndarray
+    ) -> np.ndarray:
+        """Logits of many same-architecture models on one batch: ``(M, N, C)``.
+
+        The Tables II/III inner loop as a single query: ``models`` are the
+        perturbed copies of one victim (same architecture, different weight
+        values) and slice ``m`` of the result equals
+        ``Engine(models[m]).forward(batch)`` bit for bit.  Backends with a
+        positive :attr:`~repro.engine.backend.ExecutionBackend.model_axis_capacity`
+        fuse up to that many copies per dispatch (one batched matmul per
+        layer); others fall back to a per-model loop with identical results.
+        Memoization keys on the *tuple* of parameter digests, so revisiting
+        the same set of copies is a cache hit.
+        """
+        models = list(models)
+        if not models:
+            raise ValueError("stacked_forward needs at least one model")
+        batch = self._as_batch(batch)
+        for model in models:
+            if not model.built:
+                raise ValueError("stacked_forward requires built models")
+            if tuple(model.input_shape or ()) != tuple(self.model.input_shape or ()):
+                raise ValueError(
+                    "stacked models must share this engine's input shape"
+                )
+        digests = tuple(parameter_digest(model) for model in models)
+
+        def compute() -> np.ndarray:
+            if self.dtype_policy.is_default:
+                run = models
+            else:
+                run = [self.dtype_policy.cast_model(model) for model in models]
+            # the engine's own model is the unperturbed base the copies were
+            # derived from: fused backends share its activation trunk up to
+            # each copy's first divergent layer
+            base = self._execution_model()
+            capacity = self.backend.model_axis_capacity or len(run)
+            outputs = []
+            for start in range(0, len(run), capacity):
+                group = run[start : start + capacity]
+                outputs.append(
+                    np.concatenate(
+                        [
+                            self.backend.stacked_forward(group, batch[s], base=base)
+                            for s in self._chunks(batch.shape[0])
+                        ],
+                        axis=1,
+                    )
+                )
+            return np.concatenate(outputs, axis=0)
+
+        return self._memoized_for("stacked_forward", digests, batch, (), compute)
 
     # -- gradient queries ----------------------------------------------------
     def output_gradients(
@@ -434,6 +534,7 @@ class Engine:
         batch: np.ndarray,
         criterion: Optional[object] = None,
         memory_budget_bytes: Optional[int] = None,
+        spill_dir: Optional[Union[str, Path]] = None,
     ):
         """Packed per-parameter activation masks as a
         :class:`~repro.coverage.bitmap.MaskMatrix` (1/8 the dense bytes).
@@ -445,6 +546,15 @@ class Engine:
         memory is one chunk's float64 gradients plus the packed matrix.
         ``memory_budget_bytes`` caps that transient chunk (the full
         ``(N, P)`` dense matrix is never materialized either way).
+
+        With ``spill_dir`` (per-call, or the engine-level default) the packed
+        words are written chunk by chunk straight into an on-disk
+        :class:`~repro.coverage.bitmap.MmapMaskMatrix` store instead of
+        concatenating in RAM, and the returned matrix streams greedy-
+        selection queries through windows bounded by the same memory budget.
+        The store is keyed by (model parameters, batch, criterion), so a
+        repeated query maps the existing file without recomputing; torn or
+        truncated files from interrupted runs are detected and rebuilt.
 
         Plain :class:`~repro.coverage.activation.ActivationCriterion`
         thresholds are pushed down to the backend, which may pack inside its
@@ -465,6 +575,34 @@ class Engine:
         epsilon = getattr(crit, "epsilon", None)
         nbits = self.model.num_parameters()
         max_chunk = self._budgeted_chunk_rows(memory_budget_bytes)
+        plain = type(crit) is ActivationCriterion
+
+        spill = Path(spill_dir) if spill_dir is not None else self.spill_dir
+        if spill is not None:
+
+            def spill_chunks():
+                model = self._execution_model()
+                for s in self._chunks(batch.shape[0], max_chunk):
+                    if plain:
+                        yield self.backend.packed_masks(
+                            model, batch[s], scal, crit.epsilon
+                        )
+                    else:
+                        yield pack_bool(
+                            crit.activated(
+                                self.backend.output_gradients(model, batch[s], scal)
+                            )
+                        )
+
+            return self._spilled_masks(
+                spill,
+                "packed_activation_masks",
+                batch,
+                (key_scal, epsilon),
+                nbits,
+                spill_chunks,
+                memory_budget_bytes,
+            )
 
         # a memoized dense gradient (or mask) matrix for this batch makes
         # packing a pure re-threshold — reuse it instead of recomputing.
@@ -490,8 +628,6 @@ class Engine:
             )
             if dense is not None:
                 return MaskMatrix(nbits, pack_bool(dense))
-
-        plain = type(crit) is ActivationCriterion
 
         def compute() -> np.ndarray:
             model = self._execution_model()
@@ -521,13 +657,15 @@ class Engine:
         batch: np.ndarray,
         threshold: float = 0.0,
         memory_budget_bytes: Optional[int] = None,
+        spill_dir: Optional[Union[str, Path]] = None,
     ):
         """Packed per-neuron activation masks as a
         :class:`~repro.coverage.bitmap.MaskMatrix`.
 
         Row ``i`` packs exactly ``neuron_activation_mask(model, batch[i],
         threshold)``; chunks are thresholded and packed streaming, like
-        :meth:`packed_activation_masks`.
+        :meth:`packed_activation_masks` — including its ``spill_dir``
+        disk-backed store option.
         """
         from repro.coverage.bitmap import MaskMatrix
         from repro.coverage.neuron_coverage import count_neurons
@@ -543,6 +681,26 @@ class Engine:
             memory_budget_bytes, per_row_bytes=self._activation_volume() * 8
         )
 
+        spill = Path(spill_dir) if spill_dir is not None else self.spill_dir
+        if spill is not None:
+
+            def spill_chunks():
+                model = self._execution_model()
+                for s in self._chunks(batch.shape[0], max_chunk):
+                    yield self.backend.packed_neuron_masks(
+                        model, batch[s], threshold, indices
+                    )
+
+            return self._spilled_masks(
+                spill,
+                "packed_neuron_masks",
+                batch,
+                (threshold,),
+                nbits,
+                spill_chunks,
+                memory_budget_bytes,
+            )
+
         def compute() -> np.ndarray:
             model = self._execution_model()
             return np.concatenate(
@@ -557,6 +715,51 @@ class Engine:
 
         words = self._memoized("packed_neuron_masks", batch, (threshold,), compute)
         return MaskMatrix(nbits, words)
+
+    def _spilled_masks(
+        self,
+        spill_dir: Path,
+        op: str,
+        batch: np.ndarray,
+        extra: tuple,
+        nbits: int,
+        chunks,
+        memory_budget_bytes: Optional[int],
+    ):
+        """Build (or remap) a disk-backed packed-mask store for a query.
+
+        The store file is content-addressed by (operation, parameter digest,
+        batch fingerprint, options, nbits): a repeated query memory-maps the
+        existing file instead of recomputing — the disk **is** the memo for
+        spilled queries, so the in-RAM memo cache is bypassed.  Torn or
+        truncated stores (interrupted runs, partial copies) fail
+        :meth:`MmapMaskMatrix.open`'s validation and are rebuilt in place.
+        """
+        from repro.coverage.bitmap import MmapMaskMatrix, MmapMaskWriter
+
+        budget = (
+            memory_budget_bytes
+            if memory_budget_bytes is not None
+            else self.memory_budget_bytes
+        )
+        key = repr(
+            (op, parameter_digest(self.model), array_fingerprint(batch), extra, nbits)
+        )
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:32]
+        path = spill_dir / f"{op}-{digest}.masks"
+        if path.exists():
+            try:
+                matrix = MmapMaskMatrix.open(path, memory_budget_bytes=budget)
+                if matrix.nbits == nbits and len(matrix) == batch.shape[0]:
+                    return matrix
+                logger.warning("spill store %s does not match the query; rebuilding", path)
+            except ValueError as exc:
+                logger.warning("discarding unreadable spill store %s: %s", path, exc)
+            path.unlink()
+        with MmapMaskWriter(path, nbits) as writer:
+            for words in chunks():
+                writer.append(words)
+            return writer.close(memory_budget_bytes=budget)
 
     def neuron_masks(self, batch: np.ndarray, threshold: float = 0.0) -> np.ndarray:
         """Boolean per-neuron activation masks, shape ``(N, num_neurons)``.

@@ -1,0 +1,140 @@
+"""Model-axis batched backend: one dispatch per layer for many models.
+
+The detection experiments evaluate hundreds of perturbed copies of one model
+on the same stacked fingerprint batch — the classic batched-multi-model
+inference shape.  :class:`ModelAxisBackend` serves the stacked primitives of
+:class:`~repro.engine.backend.ExecutionBackend` through
+:class:`~repro.nn.stacked.StackedSequential`: each layer's weights are
+stacked along a leading model axis and the whole set rides one batched
+matmul / grouped im2col per layer, instead of re-dispatching every layer
+once per copy.
+
+The big win is **trunk sharing**: when the unperturbed victim is known (the
+engine always passes it), each copy is grouped by the first layer at which
+its parameters diverge from the victim's.  Layers before that point produce
+bitwise the *same* activations the victim produces, so the victim's forward
+trunk is computed once and every copy only re-runs its divergent suffix —
+for the attacks' sparse perturbations that skips most of the network for
+copies perturbed late (the classifier head, the single-bias attack's most
+effective placement).
+
+Per-model results are **bit-identical** to the numpy backend (shared
+activations are equal by parameter equality, and the stacked GEMMs
+decompose into the same per-model GEMMs; see :mod:`repro.nn.stacked`), so
+detection tables and greedy selections are byte-for-byte unchanged — only
+faster.  Single-model queries delegate to the plain numpy path, making this
+backend a drop-in replacement anywhere a backend name is accepted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.engine.backend import (
+    NumpyBackend,
+    register_backend,
+    threshold_and_pack,
+)
+from repro.nn.model import Sequential
+from repro.nn.stacked import StackedSequential
+
+
+def first_divergence(base: Sequential, model: Sequential) -> int:
+    """Index of the first layer whose parameters differ from ``base``'s.
+
+    Returns ``len(base.layers)`` when every parameter is bitwise equal —
+    the model *is* the base, observably.
+    """
+    for idx, layer in enumerate(base.layers):
+        for ours, theirs in zip(layer.parameters(), model.layers[idx].parameters()):
+            if not np.array_equal(ours.value, theirs.value):
+                return idx
+    return len(base.layers)
+
+#: default number of models fused per stacked dispatch; bounds the resident
+#: weight stacks and per-layer activation tensors to ``max_models ×`` one
+#: model's footprint
+DEFAULT_MAX_MODELS = 16
+
+
+@register_backend
+class ModelAxisBackend(NumpyBackend):
+    """Batched model-axis backend: fuses same-architecture model sets."""
+
+    name = "model_axis"
+
+    def __init__(self, max_models: int = DEFAULT_MAX_MODELS) -> None:
+        if max_models <= 0:
+            raise ValueError("max_models must be positive")
+        self.max_models = int(max_models)
+
+    @property
+    def model_axis_capacity(self) -> int:
+        return self.max_models
+
+    # Restacking weights per call costs O(M · P) copies — noise next to the
+    # forward/backward work the stack then amortises across the batch.
+    def stacked_forward(
+        self,
+        models: List[Sequential],
+        x: np.ndarray,
+        base: Optional[Sequential] = None,
+    ) -> np.ndarray:
+        models = list(models)
+        if base is None:
+            return StackedSequential(models).forward(x)
+
+        # group the copies by the first layer where they diverge from the
+        # base; the base trunk up to each group's split is computed once and
+        # is bitwise what every copy of the group would have computed
+        groups: Dict[int, List[int]] = {}
+        for i, model in enumerate(models):
+            groups.setdefault(first_divergence(base, model), []).append(i)
+        deepest = max(groups)
+        trunk: Dict[int, np.ndarray] = {}
+        out = x
+        for idx in range(min(deepest, len(base.layers))):
+            if idx in groups:
+                trunk[idx] = out
+            out = base.layers[idx].forward(out)
+        trunk[deepest] = out  # input to the deepest split (logits if beyond)
+
+        result: Optional[np.ndarray] = None
+        for split, indices in sorted(groups.items()):
+            if split >= len(base.layers):
+                # bitwise the base itself: its logits serve every such copy
+                group_out = np.broadcast_to(out, (len(indices), *out.shape))
+            else:
+                group = StackedSequential(
+                    [models[i] for i in indices], start=split
+                )
+                group_out = group.forward(trunk[split])
+            if result is None:
+                result = np.empty(
+                    (len(models), *group_out.shape[1:]), dtype=group_out.dtype
+                )
+            result[indices] = group_out
+        return result
+
+    def stacked_forward_collect(
+        self, models: List[Sequential], x: np.ndarray
+    ) -> List[np.ndarray]:
+        return StackedSequential(models).forward_collect(x)
+
+    def stacked_packed_masks(
+        self,
+        models: List[Sequential],
+        x: np.ndarray,
+        scalarization: str,
+        epsilon: float,
+    ) -> np.ndarray:
+        grads = StackedSequential(models).output_gradients_batch(x, scalarization)
+        return threshold_and_pack(grads, epsilon)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ModelAxisBackend(max_models={self.max_models})"
+
+
+__all__ = ["DEFAULT_MAX_MODELS", "ModelAxisBackend", "first_divergence"]

@@ -80,6 +80,7 @@ from repro.nn.metrics import (
     top_k_accuracy,
 )
 from repro.nn.model import SCALARIZATIONS, Sequential
+from repro.nn.stacked import StackedSequential
 from repro.nn.optimizers import SGD, Adam, Momentum, Optimizer, StepDecay, get_optimizer
 from repro.nn.serialization import (
     load_metadata,
@@ -148,6 +149,7 @@ __all__ = [
     # model
     "SCALARIZATIONS",
     "Sequential",
+    "StackedSequential",
     # optimizers
     "SGD",
     "Adam",

@@ -352,6 +352,34 @@ class Sequential:
             f"got {x.shape}"
         )
 
+    def architecture_signature(self) -> Tuple:
+        """Hashable description of the built architecture (not the weights).
+
+        Two models share a signature exactly when their layer stacks are
+        interchangeable: same layer classes in the same order, same
+        activations, same parameter shapes and dtypes, same input shape.
+        This is the compatibility check behind the model-axis stacked
+        execution path (:mod:`repro.nn.stacked`), which fuses many perturbed
+        copies of one model into a single batched dispatch per layer — only
+        weight *values* may differ between stacked copies.
+        """
+        if not self._built:
+            raise RuntimeError("model has not been built")
+        entries = []
+        for layer in self.layers:
+            activation = getattr(layer, "activation", None)
+            entries.append(
+                (
+                    type(layer).__name__,
+                    activation.name if activation is not None else None,
+                    tuple(
+                        (tuple(p.value.shape), np.dtype(p.value.dtype).str)
+                        for p in layer.parameters()
+                    ),
+                )
+            )
+        return (self.input_shape, tuple(entries))
+
     def summary(self) -> str:
         """Human-readable architecture summary."""
         if not self._built or self.input_shape is None:

@@ -21,6 +21,7 @@ import numpy as np
 from repro.attacks.base import ParameterAttack
 from repro.data.datasets import Dataset
 from repro.engine import Engine
+from repro.engine.backend import BackendSpec, get_backend
 from repro.nn.model import Sequential
 from repro.utils.config import DetectionConfig
 from repro.utils.logging import get_logger
@@ -211,6 +212,11 @@ class DetectionExperiment:
     attack_factories: mapping from attack name to a factory building a fresh
         attack from a per-trial RNG; see :func:`default_attack_factories`.
     config: trial counts, budgets, attack list, tolerance and seed.
+    backend: engine backend the trial replays run on (name, instance or
+        class).  Backends advertising a positive ``model_axis_capacity``
+        (the ``model_axis`` backend) evaluate that many perturbed copies per
+        fused dispatch instead of one engine pass per trial; detection
+        counts are bit-identical either way.
     """
 
     def __init__(
@@ -219,9 +225,11 @@ class DetectionExperiment:
         packages: Dict[str, ValidationPackage],
         attack_factories: Dict[str, AttackFactory],
         config: Optional[DetectionConfig] = None,
+        backend: BackendSpec = "numpy",
     ) -> None:
         if not packages:
             raise ValueError("at least one validation package is required")
+        self.backend = get_backend(backend)
         self.model = model
         self.packages = dict(packages)
         self.attack_factories = dict(attack_factories)
@@ -248,7 +256,9 @@ class DetectionExperiment:
         Per trial, the tests of *all* packages are replayed with a single
         stacked batched forward pass over the perturbed copy (one engine
         dispatch instead of one ``predict`` per method); smaller budgets are
-        derived from the same outputs via prefix slicing.
+        derived from the same outputs via prefix slicing.  When the backend
+        advertises a model-axis capacity, that many perturbed copies share
+        one fused dispatch per group instead of one engine pass each.
         """
         cfg = self.config
         table = DetectionTable()
@@ -259,6 +269,16 @@ class DetectionExperiment:
         # stacked batch are recovered from the offsets below
         methods, stacked_tests, expected, offsets = stack_package_prefixes(
             self.packages, max_budget
+        )
+
+        capacity = self.backend.model_axis_capacity
+        group_size = capacity if capacity > 0 else 1
+        # perturbed copies are each used for exactly one batch, so engine
+        # memo caches are disabled throughout
+        stacked_engine = (
+            Engine(self.model, backend=self.backend, cache=False)
+            if capacity > 0
+            else None
         )
 
         for attack_name, attack_rng in zip(cfg.attacks, attack_rngs):
@@ -272,19 +292,27 @@ class DetectionExperiment:
             detections: Dict[str, Dict[int, int]] = {
                 method: {n: 0 for n in cfg.test_budgets} for method in self.packages
             }
-            for trial_rng in trial_rngs:
-                attack = factory(trial_rng)
-                outcome = attack.apply(self.model)
-                # every perturbed copy is used for exactly one batch, so the
-                # engine's memo cache is disabled
-                engine = Engine(outcome.model, cache=False)
-                observed = engine.forward(stacked_tests)
-                deviations = np.abs(observed - expected).max(axis=1)
-                for method in methods:
-                    lo = offsets[method]
-                    for n in cfg.test_budgets:
-                        if np.any(deviations[lo : lo + n] > cfg.output_atol):
-                            detections[method][n] += 1
+            for start in range(0, cfg.trials, group_size):
+                group = trial_rngs[start : start + group_size]
+                copies = [factory(rng).apply(self.model).model for rng in group]
+                if stacked_engine is not None:
+                    observed_group = stacked_engine.stacked_forward(
+                        copies, stacked_tests
+                    )
+                else:
+                    observed_group = [
+                        Engine(
+                            copy, backend=self.backend, cache=False
+                        ).forward(stacked_tests)
+                        for copy in copies
+                    ]
+                for observed in observed_group:
+                    deviations = np.abs(observed - expected).max(axis=1)
+                    for method in methods:
+                        lo = offsets[method]
+                        for n in cfg.test_budgets:
+                            if np.any(deviations[lo : lo + n] > cfg.output_atol):
+                                detections[method][n] += 1
 
             for method in self.packages:
                 for n in cfg.test_budgets:
@@ -305,11 +333,14 @@ def run_detection_experiment(
     packages: Dict[str, ValidationPackage],
     reference_inputs: np.ndarray,
     config: Optional[DetectionConfig] = None,
+    backend: BackendSpec = "numpy",
     **factory_kwargs: object,
 ) -> DetectionTable:
     """Convenience wrapper with the paper's default attack set."""
     factories = default_attack_factories(reference_inputs, **factory_kwargs)  # type: ignore[arg-type]
-    return DetectionExperiment(model, packages, factories, config).run()
+    return DetectionExperiment(
+        model, packages, factories, config, backend=backend
+    ).run()
 
 
 __all__ = [

@@ -22,6 +22,8 @@ from repro.coverage import (
     CoverageMap,
     CoverageTracker,
     MaskMatrix,
+    MmapMaskMatrix,
+    MmapMaskWriter,
     NeuronCoverage,
     NeuronMaskCache,
     ParameterCoverage,
@@ -29,6 +31,7 @@ from repro.coverage import (
     neuron_activation_masks,
     packed_activation_masks,
 )
+from repro.coverage.bitmap import MMAP_HEADER_BYTES, MMAP_MAGIC, num_words
 from repro.coverage.activation import default_criterion_for
 from repro.data.datasets import Dataset
 from repro.engine import Engine, ParallelBackend
@@ -228,6 +231,199 @@ class TestMemoryBudget:
         )
         assert len(cache) == len(mnist_pool)
         assert cache.nbytes < cache.packed.dense_nbytes / 7.9
+
+
+def windowed_greedy(masks, budget):
+    """Generic greedy loop over any MaskMatrix (dense or mmap)."""
+    covered = CoverageMap(masks.nbits)
+    available = np.ones(len(masks), dtype=bool)
+    order = []
+    for _ in range(min(budget, len(masks))):
+        best, _gain = masks.best_candidate(covered, available)
+        covered.union_(masks.row(best))
+        available[best] = False
+        order.append(best)
+    return order, covered
+
+
+class TestMmapMaskStore:
+    """Disk-spilled packed masks: byte-identical selection under a budget.
+
+    The acceptance bar of the mmap satellite: a 4× candidate pool spilled to
+    disk and streamed through windows bounded by **half** the packed bytes
+    must pick byte-identical greedy selections to the dense in-RAM matrix.
+    """
+
+    @pytest.fixture(scope="class")
+    def big_pool(self, mnist_model):
+        # 4× the standard 16-sample pool of these tests
+        rng = np.random.default_rng(7)
+        return rng.random((64, *mnist_model.input_shape))
+
+    @pytest.fixture(scope="class")
+    def dense_masks(self, mnist_model, big_pool):
+        return Engine(mnist_model, cache=False).packed_activation_masks(big_pool)
+
+    def test_spilled_selection_byte_identical_under_half_budget(
+        self, mnist_model, big_pool, dense_masks, tmp_path_factory
+    ):
+        spill = tmp_path_factory.mktemp("spill")
+        budget = max(1, int(dense_masks.nbytes) // 2)
+        # for this width-scaled model half the packed bytes is below even one
+        # float64 gradient row, so the build also warns about chunk overshoot
+        with pytest.warns(RuntimeWarning, match="smaller than one sample"):
+            spilled = Engine(mnist_model, cache=False).packed_activation_masks(
+                big_pool, spill_dir=spill, memory_budget_bytes=budget
+            )
+        assert isinstance(spilled, MmapMaskMatrix)
+        assert spilled.memory_budget_bytes == budget
+        # the window is a strict subset of the pool: streaming is exercised
+        assert spilled._window_rows() < len(spilled)
+        # the on-disk words are byte-identical to the in-RAM packing
+        assert np.array_equal(
+            np.asarray(spilled.words, dtype=np.uint64), dense_masks.words
+        )
+        dense_order, dense_covered = windowed_greedy(dense_masks, 16)
+        mmap_order, mmap_covered = windowed_greedy(spilled, 16)
+        assert mmap_order == dense_order
+        assert np.array_equal(mmap_covered.words, dense_covered.words)
+
+    def test_streamed_primitives_match_dense(self, dense_masks, tmp_path):
+        path = tmp_path / "store.masks"
+        with MmapMaskWriter(path, dense_masks.nbits) as writer:
+            writer.append(dense_masks.words)
+            # one row per window: maximum number of partial windows
+            store = writer.close(
+                memory_budget_bytes=num_words(dense_masks.nbits) * 8
+            )
+        assert store._window_rows() == 1
+        np.testing.assert_array_equal(store.counts(), dense_masks.counts())
+        assert np.array_equal(store.union().words, dense_masks.union().words)
+        covered = dense_masks.row(3)
+        np.testing.assert_array_equal(
+            store.marginal_counts(covered), dense_masks.marginal_counts(covered)
+        )
+
+    def test_window_not_dividing_rows(self, dense_masks, tmp_path):
+        # 64 rows streamed in windows of 3: the final window is partial
+        path = tmp_path / "ragged.masks"
+        with MmapMaskWriter(path, dense_masks.nbits) as writer:
+            writer.append(dense_masks.words)
+            store = writer.close(
+                memory_budget_bytes=3 * num_words(dense_masks.nbits) * 8
+            )
+        assert store._window_rows() == 3 and len(store) % 3 != 0
+        np.testing.assert_array_equal(store.counts(), dense_masks.counts())
+        assert np.array_equal(store.union().words, dense_masks.union().words)
+
+    def test_sub_row_budget_warns_and_still_matches(
+        self, mnist_model, mnist_pool, tmp_path
+    ):
+        # a budget below one gradient row cannot be honoured: the engine
+        # warns and chunks one sample at a time instead of failing
+        reference = Engine(mnist_model, cache=False).packed_activation_masks(
+            mnist_pool
+        )
+        with pytest.warns(RuntimeWarning, match="smaller than one sample"):
+            spilled = Engine(mnist_model, cache=False).packed_activation_masks(
+                mnist_pool, spill_dir=tmp_path, memory_budget_bytes=8
+            )
+        assert spilled._window_rows() == 1
+        assert np.array_equal(
+            np.asarray(spilled.words, dtype=np.uint64), reference.words
+        )
+
+    def test_spill_store_reused_across_queries(self, mnist_model, mnist_pool, tmp_path):
+        engine = Engine(mnist_model, cache=False)
+        first = engine.packed_activation_masks(mnist_pool, spill_dir=tmp_path)
+        stat = first.path.stat()
+        again = engine.packed_activation_masks(mnist_pool, spill_dir=tmp_path)
+        # the second query maps the existing file instead of rebuilding it
+        assert again.path == first.path
+        assert again.path.stat().st_mtime_ns == stat.st_mtime_ns
+        assert again == first
+
+    def test_mismatched_store_rebuilt(self, mnist_model, mnist_pool, tmp_path):
+        engine = Engine(mnist_model, cache=False)
+        first = engine.packed_activation_masks(mnist_pool, spill_dir=tmp_path)
+        # overwrite with a valid store of the wrong shape: must be rebuilt
+        with MmapMaskWriter(first.path, first.nbits) as writer:
+            writer.append(np.asarray(first.words[:2], dtype=np.uint64))
+            writer.close()
+        rebuilt = engine.packed_activation_masks(mnist_pool, spill_dir=tmp_path)
+        assert len(rebuilt) == len(mnist_pool)
+        assert rebuilt == first
+
+    def test_spilled_neuron_masks_match(self, mnist_model, mnist_pool, tmp_path):
+        reference = Engine(mnist_model, cache=False).packed_neuron_masks(mnist_pool)
+        spilled = Engine(mnist_model, cache=False).packed_neuron_masks(
+            mnist_pool, spill_dir=tmp_path
+        )
+        assert isinstance(spilled, MmapMaskMatrix)
+        assert np.array_equal(
+            np.asarray(spilled.words, dtype=np.uint64), reference.words
+        )
+
+    # -- corrupt stores --------------------------------------------------------
+    def test_open_rejects_bad_magic(self, tmp_path):
+        path = tmp_path / "bogus.masks"
+        path.write_bytes(b"NOTAMASK" + b"\x00" * 16)
+        with pytest.raises(ValueError, match="bad magic"):
+            MmapMaskMatrix.open(path)
+
+    def test_open_rejects_short_header(self, tmp_path):
+        path = tmp_path / "short.masks"
+        path.write_bytes(MMAP_MAGIC)
+        with pytest.raises(ValueError, match="torn"):
+            MmapMaskMatrix.open(path)
+
+    def test_open_rejects_truncated_rows(self, dense_masks, tmp_path):
+        path = tmp_path / "torn.masks"
+        with MmapMaskWriter(path, dense_masks.nbits) as writer:
+            writer.append(dense_masks.words)
+            writer.close()
+        full = path.read_bytes()
+        path.write_bytes(full[:-8])  # tear one word off the final row
+        with pytest.raises(ValueError, match="torn"):
+            MmapMaskMatrix.open(path)
+        # a row-count/payload mismatch in the other direction is also torn
+        path.write_bytes(full + b"\x00" * 8)
+        with pytest.raises(ValueError, match="torn"):
+            MmapMaskMatrix.open(path)
+
+    def test_interrupted_writer_leaves_no_store(self, dense_masks, tmp_path):
+        path = tmp_path / "crash.masks"
+        with pytest.raises(RuntimeError):
+            with MmapMaskWriter(path, dense_masks.nbits) as writer:
+                writer.append(dense_masks.words[:4])
+                raise RuntimeError("interrupted mid-build")
+        # the atomic-rename protocol: neither the store nor the temp survive
+        assert not path.exists()
+        assert not path.with_name(path.name + ".tmp").exists()
+
+    def test_writer_validates_chunks(self, tmp_path):
+        writer = MmapMaskWriter(tmp_path / "w.masks", nbits=70)
+        with pytest.raises(ValueError, match="shape"):
+            writer.append(np.zeros((2, 3), dtype=np.uint64))  # needs 2 words
+        writer.abort()
+        with pytest.raises(ValueError, match="closed"):
+            writer.append(np.zeros((1, 2), dtype=np.uint64))
+
+    def test_header_is_little_endian(self, tmp_path):
+        with MmapMaskWriter(tmp_path / "le.masks", nbits=70) as writer:
+            writer.append(np.ones((3, 2), dtype=np.uint64))
+            store = writer.close()
+        raw = store.path.read_bytes()
+        assert raw[: len(MMAP_MAGIC)] == MMAP_MAGIC
+        header = np.frombuffer(raw[:MMAP_HEADER_BYTES], dtype="<u8", offset=8)
+        assert header.tolist() == [70, 3]
+
+    def test_budget_must_be_positive(self, tmp_path):
+        with MmapMaskWriter(tmp_path / "b.masks", nbits=8) as writer:
+            writer.append(np.ones((1, 1), dtype=np.uint64))
+            store = writer.close()
+        with pytest.raises(ValueError, match="positive"):
+            MmapMaskMatrix.open(store.path, memory_budget_bytes=0)
 
 
 class TestAvailabilitySemantics:
