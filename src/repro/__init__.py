@@ -76,6 +76,7 @@ _LAZY_EXPORTS = {
     "sweep": "repro.api",
     "api_surface": "repro.api",
     "register": "repro.registry",
+    "FaultPolicy": "repro.faults",
 }
 
 __all__ = ["__version__", "get_registry", *sorted(_LAZY_EXPORTS)]
@@ -94,6 +95,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         sweep,
         validate,
     )
+    from repro.faults import FaultPolicy  # noqa: F401
     from repro.registry import register  # noqa: F401
 
 

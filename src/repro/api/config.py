@@ -129,6 +129,12 @@ class RunConfig(TableSerde):
     discover_plugins:
         Run :func:`repro.registry.discover_entry_points` when the session is
         created, loading third-party registrations from installed packages.
+    faults:
+        Optional fault-tolerance policy as a plain table of
+        :class:`repro.faults.FaultPolicy` fields (e.g. ``{"max_retries": 3,
+        "dispatch_timeout_s": 30.0}``); ``None`` disables retries entirely
+        (failures propagate on first occurrence).  Resolved via
+        :meth:`fault_policy`.
     """
 
     _TABLE = "run"
@@ -144,8 +150,21 @@ class RunConfig(TableSerde):
     prepared_cache_size: int = 4
     seed: int = 0
     discover_plugins: bool = False
+    faults: Optional[Dict[str, object]] = None
+
+    def fault_policy(self):
+        """The resolved :class:`repro.faults.FaultPolicy`, or ``None``."""
+        if self.faults is None:
+            return None
+        # imported lazily: repro.faults is dependency-free, but keeping the
+        # config module import-light preserves the façade's startup cost
+        from repro.faults import FaultPolicy
+
+        return FaultPolicy.from_dict(dict(self.faults))
 
     def validate(self) -> None:
+        if self.faults is not None:
+            self.fault_policy()  # raises on unknown fields / bad values
         if self.workers is not None and self.backend != "parallel":
             raise ValueError(
                 "workers is only meaningful with backend='parallel'"

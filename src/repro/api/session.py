@@ -82,6 +82,8 @@ class Session:
         self._backend: Optional[ExecutionBackend] = None
         self._engines: "OrderedDict[Tuple[str, object], Engine]" = OrderedDict()
         self._prepared: "OrderedDict[Tuple[object, ...], object]" = OrderedDict()
+        # resolved once: every engine/backend the session builds shares it
+        self._fault_policy = self.config.fault_policy()
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -92,8 +94,15 @@ class Session:
             raise RuntimeError("session is closed")
         if self._backend is None:
             cfg = self.config
-            if cfg.backend == "parallel" and cfg.workers is not None:
-                self._backend = ParallelBackend(workers=cfg.workers)
+            if cfg.backend == "parallel" and (
+                cfg.workers is not None or self._fault_policy is not None
+            ):
+                kwargs: Dict[str, object] = {}
+                if cfg.workers is not None:
+                    kwargs["workers"] = cfg.workers
+                if self._fault_policy is not None:
+                    kwargs["fault_policy"] = self._fault_policy
+                self._backend = ParallelBackend(**kwargs)
             elif cfg.backend == "model_axis" and cfg.model_axis_size is not None:
                 from repro.engine import ModelAxisBackend
 
@@ -152,6 +161,7 @@ class Session:
             batch_size=cfg.batch_size,
             memory_budget_bytes=cfg.memory_budget_bytes,
             spill_dir=cfg.spill_dir,
+            fault_policy=self._fault_policy,
         )
         self._engines[key] = engine
         self._engines.move_to_end(key)
@@ -366,7 +376,13 @@ class Session:
         else:
             backend = self.backend
         summary = run_campaign(
-            spec, store, backend=backend, workers=workers, progress=logger.info
+            spec,
+            store,
+            backend=backend,
+            workers=workers,
+            progress=logger.info,
+            fault_policy=self._fault_policy,
+            spill_dir=self.config.spill_dir,
         )
         if req.report is not None:
             from repro.analysis.campaign import write_campaign_report

@@ -39,6 +39,7 @@ from repro.campaign.spec import (
 )
 from repro.campaign.store import (
     STORE_SCHEMA_VERSION,
+    FailureRecord,
     ResultStore,
     ScenarioRecord,
     diff_against_expectations,
@@ -52,6 +53,7 @@ __all__ = [
     "CampaignRunner",
     "CampaignSpec",
     "CampaignSummary",
+    "FailureRecord",
     "ResultStore",
     "Scenario",
     "ScenarioRecord",

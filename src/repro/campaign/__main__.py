@@ -21,6 +21,11 @@ Subcommands::
 
 ``run``/``resume`` print the executed/skipped summary; ``diff`` exits
 non-zero when any scenario's detection outcome drifted.
+
+Exit codes for ``run``/``resume``: 0 on a clean run, 2 when the run
+completed but quarantined failures remain in the store, 3 when
+``--max-failures`` aborted the campaign, 130 on Ctrl-C (the store is
+flushed per append, so ``resume`` re-executes nothing already recorded).
 """
 
 from __future__ import annotations
@@ -38,6 +43,7 @@ from repro.campaign.store import (
     diff_against_expectations,
     expectations_from_records,
 )
+from repro.faults import CampaignAbortedError, FaultPolicy
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -64,6 +70,37 @@ def _parser() -> argparse.ArgumentParser:
         )
         cmd.add_argument(
             "--report", default=None, help="also write the markdown report here"
+        )
+        cmd.add_argument(
+            "--durable",
+            action="store_true",
+            help="fsync the store after every append (crash durability)",
+        )
+        cmd.add_argument(
+            "--max-failures",
+            type=int,
+            default=None,
+            help="abort once more than this many scenarios are quarantined "
+            "(default: quarantine everything, never abort)",
+        )
+        cmd.add_argument(
+            "--retries",
+            type=int,
+            default=None,
+            help="max transient-failure retries per engine dispatch "
+            "(enables the fault policy)",
+        )
+        cmd.add_argument(
+            "--dispatch-timeout",
+            type=float,
+            default=None,
+            help="per-dispatch timeout in seconds on the parallel backend "
+            "(enables the fault policy)",
+        )
+        cmd.add_argument(
+            "--spill-dir",
+            default=None,
+            help="packed-mask spill directory for the per-model engines",
         )
 
     report = sub.add_parser("report", help="render a store as markdown/CSV tables")
@@ -96,20 +133,51 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{len(spec.criteria)} criteria x {len(spec.strategies)} strategies x "
         f"{len(spec.budgets)} budgets)"
     )
-    store = ResultStore(args.store)
-    summary = run_campaign(
-        spec,
-        store,
-        backend=args.backend,
-        workers=args.workers,
-        progress=print,
-    )
+    store = ResultStore(args.store, durable=args.durable)
+    fault_policy = None
+    if args.retries is not None or args.dispatch_timeout is not None:
+        overrides = {}
+        if args.retries is not None:
+            overrides["max_retries"] = args.retries
+        if args.dispatch_timeout is not None:
+            overrides["dispatch_timeout_s"] = args.dispatch_timeout
+        fault_policy = FaultPolicy().with_overrides(**overrides)
+    try:
+        summary = run_campaign(
+            spec,
+            store,
+            backend=args.backend,
+            workers=args.workers,
+            progress=print,
+            fault_policy=fault_policy,
+            max_failures=args.max_failures,
+            spill_dir=args.spill_dir,
+        )
+    except KeyboardInterrupt:
+        # every completed scenario is already flushed to the store — resume
+        # picks up with zero re-execution
+        print(
+            f"\ninterrupted: store {args.store} is consistent; "
+            "resume with the same spec to continue",
+            file=sys.stderr,
+        )
+        return 130
+    except CampaignAbortedError as exc:
+        print(f"aborted: {exc}", file=sys.stderr)
+        return 3
     print(summary.describe())
     if args.report is not None:
         from repro.analysis.campaign import write_campaign_report
 
         path = write_campaign_report(store.records(), args.report, title=spec.name)
         print(f"wrote report to {path}")
+    if store.quarantined_digests():
+        print(
+            f"{len(store.quarantined_digests())} scenario(s) remain "
+            "quarantined — 'resume' retries them",
+            file=sys.stderr,
+        )
+        return 2
     return 0
 
 

@@ -29,12 +29,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.campaign.spec import CampaignSpec, Scenario, derive_scenario_seed
-from repro.campaign.store import ResultStore, ScenarioRecord
+from repro.campaign.store import FailureRecord, ResultStore, ScenarioRecord
+from repro.faults import CampaignAbortedError, FaultPolicy, inject
 from repro.coverage.activation import resolve_criterion
 from repro.coverage.bitmap import CoverageMap
 from repro.engine import Engine, ExecutionBackend, ParallelBackend, get_backend
@@ -65,12 +67,20 @@ class CampaignSummary:
     skipped: int
     wall_s: float
     records: List[ScenarioRecord] = field(default_factory=list)
+    failures: List[FailureRecord] = field(default_factory=list)
+
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
 
     def describe(self) -> str:
-        return (
+        base = (
             f"executed {self.executed} scenarios, skipped {self.skipped} "
             f"already-completed, {self.total} total ({self.wall_s:.1f}s)"
         )
+        if self.failures:
+            base += f"; {self.failed} quarantined"
+        return base
 
 
 def _generator_kwargs(spec: CampaignSpec, strategy: str) -> Dict[str, object]:
@@ -124,6 +134,13 @@ class CampaignRunner:
         closed by the runner.
     workers: worker count when ``backend="parallel"``.
     progress: optional callback receiving human-readable progress lines.
+    fault_policy: retry/backoff/breaker policy threaded into every engine
+        and an owned parallel backend (see :class:`repro.faults.FaultPolicy`).
+    max_failures: abort the campaign (``CampaignAbortedError``) once more
+        than this many scenarios have been quarantined in this run; ``None``
+        means never abort — every failure is quarantined and the run
+        completes.
+    spill_dir: packed-mask spill directory for the per-model engines.
     """
 
     def __init__(
@@ -133,6 +150,9 @@ class CampaignRunner:
         backend: Union[str, ExecutionBackend, type] = "numpy",
         workers: Optional[int] = None,
         progress: Optional[ProgressCallback] = None,
+        fault_policy: Union[FaultPolicy, Dict[str, object], None] = None,
+        max_failures: Optional[int] = None,
+        spill_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         spec.validate()
         if workers is not None and backend != "parallel":
@@ -140,11 +160,17 @@ class CampaignRunner:
                 "workers is only meaningful with backend='parallel'; "
                 "configure instances/classes directly instead"
             )
+        if max_failures is not None and max_failures < 0:
+            raise ValueError("max_failures must be non-negative")
         self.spec = spec
         self.store = store
         self._backend_spec = backend
         self._workers = workers
         self._progress = progress
+        self.fault_policy = FaultPolicy.coerce(fault_policy)
+        self.max_failures = max_failures
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._failures: List[FailureRecord] = []
 
     def _emit(self, message: str) -> None:
         logger.info("%s", message)
@@ -155,9 +181,50 @@ class CampaignRunner:
         """Resolve the shared backend; returns ``(backend, owned)``."""
         if isinstance(self._backend_spec, ExecutionBackend):
             return self._backend_spec, False
-        if self._backend_spec == "parallel" and self._workers is not None:
-            return ParallelBackend(workers=self._workers), True
+        if self._backend_spec == "parallel":
+            kwargs: Dict[str, object] = {}
+            if self._workers is not None:
+                kwargs["workers"] = self._workers
+            if self.fault_policy is not None:
+                kwargs["fault_policy"] = self.fault_policy
+            if kwargs:
+                return ParallelBackend(**kwargs), True
         return get_backend(self._backend_spec), True
+
+    def _quarantine(
+        self, scenarios: Sequence[Scenario], stage: str, exc: Exception
+    ) -> None:
+        """Record ``scenarios`` as failed instead of aborting the campaign.
+
+        Raises :class:`CampaignAbortedError` once this run's quarantine count
+        exceeds ``max_failures`` — the blast-radius bound.
+        """
+        # an error can land mid-group after some of its scenarios were
+        # already appended as successes — those stay successes
+        scenarios = [s for s in scenarios if s.digest not in self.store]
+        for scenario in scenarios:
+            prior = self.store.get_failure(scenario.digest)
+            attempts = (prior.attempts if prior is not None else 0) + 1
+            failure = FailureRecord.from_exception(
+                scenario.digest,
+                scenario.axes_dict(),
+                scenario.seed,
+                exc,
+                stage=stage,
+                attempts=attempts,
+                campaign=self.spec.name,
+            )
+            self.store.append_failure(failure)
+            self._failures.append(failure)
+        self._emit(
+            f"quarantined {len(scenarios)} scenario(s) at stage {stage!r}: "
+            f"{type(exc).__name__}: {exc}"
+        )
+        if self.max_failures is not None and len(self._failures) > self.max_failures:
+            raise CampaignAbortedError(
+                f"{len(self._failures)} scenarios quarantined, exceeding "
+                f"--max-failures={self.max_failures}"
+            ) from exc
 
     # -- shared-work preparation --------------------------------------------
     def _prepare_model(self, model_name: str):
@@ -234,10 +301,16 @@ class CampaignRunner:
         start = time.perf_counter()
         spec = self.spec
         scenarios = spec.expand()
+        # quarantined digests are absent from completed_digests, so resume
+        # naturally retries them
         pending = [s for s in scenarios if s.digest not in self.store]
         skipped = len(scenarios) - len(pending)
+        retrying = sum(1 for s in pending if self.store.get_failure(s.digest))
         if skipped:
             self._emit(f"resuming: {skipped}/{len(scenarios)} scenarios already stored")
+        if retrying:
+            self._emit(f"retrying {retrying} previously-quarantined scenario(s)")
+        self._failures = []
         if not pending:
             return CampaignSummary(
                 total=len(scenarios),
@@ -263,6 +336,7 @@ class CampaignRunner:
             skipped=skipped,
             wall_s=time.perf_counter() - start,
             records=records,
+            failures=list(self._failures),
         )
 
     def _run_model(
@@ -272,19 +346,40 @@ class CampaignRunner:
         backend: ExecutionBackend,
     ) -> List[ScenarioRecord]:
         spec = self.spec
-        prepared = self._prepare_model(model_name)
+        try:
+            prepared = self._prepare_model(model_name)
+        except Exception as exc:  # noqa: BLE001 — quarantine, don't abort
+            self._quarantine(model_pending, "prepare", exc)
+            return []
         # one memoizing engine per model: package generation for every
         # (criterion, strategy) shares its mask/gradient cache
-        engine = Engine(prepared.model, backend=backend)
+        engine = Engine(
+            prepared.model,
+            backend=backend,
+            fault_policy=self.fault_policy,
+            spill_dir=self.spill_dir,
+        )
 
         package_keys: List[PackageKey] = []
         for s in model_pending:
             key = (s.criterion, s.strategy)
             if key not in package_keys:
                 package_keys.append(key)
-        packages = {
-            key: self._build_package(prepared, key, engine) for key in package_keys
-        }
+        packages: Dict[PackageKey, ValidationPackage] = {}
+        for key in package_keys:
+            try:
+                packages[key] = self._build_package(prepared, key, engine)
+            except Exception as exc:  # noqa: BLE001 — quarantine, don't abort
+                affected = [
+                    s for s in model_pending if (s.criterion, s.strategy) == key
+                ]
+                self._quarantine(affected, "package", exc)
+        # drop scenarios whose package failed; the rest of the group runs
+        model_pending = [
+            s for s in model_pending if (s.criterion, s.strategy) in packages
+        ]
+        if not model_pending:
+            return []
         # prefix coverage is attack-independent: compute it once per
         # (package, budget) here rather than once per scenario below
         coverages = {
@@ -304,17 +399,22 @@ class CampaignRunner:
             group = [s for s in model_pending if s.attack == attack_name]
             if not group:
                 continue
-            records.extend(
-                self._run_attack_group(
-                    prepared,
-                    attack_name,
-                    group,
-                    packages,
-                    coverages,
-                    factories[attack_name],
-                    backend,
+            try:
+                records.extend(
+                    self._run_attack_group(
+                        prepared,
+                        attack_name,
+                        group,
+                        packages,
+                        coverages,
+                        factories[attack_name],
+                        backend,
+                    )
                 )
-            )
+            except Exception as exc:  # noqa: BLE001 — quarantine, don't abort
+                if isinstance(exc, CampaignAbortedError):
+                    raise
+                self._quarantine(group, "trials", exc)
         return records
 
     def _run_attack_group(
@@ -332,6 +432,8 @@ class CampaignRunner:
         of the group's criteria, strategies and budgets."""
         spec = self.spec
         model_name = prepared.dataset_name
+        if inject.active():
+            inject.check("campaign.scenario", model=model_name, attack=attack_name)
         needed_keys = []
         for s in group:
             key = (s.criterion, s.strategy)
@@ -363,7 +465,12 @@ class CampaignRunner:
         capacity = backend.model_axis_capacity
         group_size = capacity if capacity > 0 else 1
         stacked_engine = (
-            Engine(prepared.model, backend=backend, cache=False)
+            Engine(
+                prepared.model,
+                backend=backend,
+                cache=False,
+                fault_policy=self.fault_policy,
+            )
             if capacity > 0
             else None
         )
@@ -381,7 +488,12 @@ class CampaignRunner:
                 # one engine dispatch per perturbed copy; the memo cache is
                 # off because each copy serves exactly one batch
                 observed_group = [
-                    Engine(copy, backend=backend, cache=False).forward(stacked_tests)
+                    Engine(
+                        copy,
+                        backend=backend,
+                        cache=False,
+                        fault_policy=self.fault_policy,
+                    ).forward(stacked_tests)
                     for copy in copies
                 ]
             for observed in observed_group:
@@ -428,12 +540,27 @@ def run_campaign(
     backend: Union[str, ExecutionBackend, type] = "numpy",
     workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    fault_policy: Union[FaultPolicy, Dict[str, object], None] = None,
+    max_failures: Optional[int] = None,
+    spill_dir: Optional[Union[str, Path]] = None,
+    durable: bool = False,
 ) -> CampaignSummary:
-    """Convenience wrapper: run ``spec`` into ``store`` (path or instance)."""
+    """Convenience wrapper: run ``spec`` into ``store`` (path or instance).
+
+    ``durable`` only applies when ``store`` is a path (an instance keeps its
+    own setting).
+    """
     if not isinstance(store, ResultStore):
-        store = ResultStore(store)
+        store = ResultStore(store, durable=durable)
     return CampaignRunner(
-        spec, store, backend=backend, workers=workers, progress=progress
+        spec,
+        store,
+        backend=backend,
+        workers=workers,
+        progress=progress,
+        fault_policy=fault_policy,
+        max_failures=max_failures,
+        spill_dir=spill_dir,
     ).run()
 
 

@@ -11,6 +11,17 @@ resumed campaign's store is byte-identical to an uninterrupted one.
 A truncated final line (the classic kill-mid-write artefact) is tolerated on
 load: the partial line is ignored with a warning and the next append starts
 on a fresh line, so a crashed campaign resumes without manual repair.
+
+Failures are first-class: a scenario that raises is **quarantined** as a
+:class:`FailureRecord` line (``"kind": "failure"``) instead of aborting the
+campaign.  Quarantined digests do not count as completed, so ``resume``
+naturally retries them — and the success that eventually lands *replaces*
+the stale failure line (via the same atomic-repair mechanism as torn-line
+recovery), leaving a fully-successful store byte-identical to one from an
+uninterrupted run.
+
+``durable=True`` adds an ``fsync`` per append for crash-recovery guarantees
+(default off: the OS may buffer, which is fine for resumable campaigns).
 """
 
 from __future__ import annotations
@@ -91,13 +102,102 @@ class ScenarioRecord:
         )
 
 
-class ResultStore:
-    """Append-only JSONL store of :class:`ScenarioRecord` entries."""
+@dataclass
+class FailureRecord:
+    """One quarantined scenario: what failed, where, and how many times.
 
-    def __init__(self, path: PathLike) -> None:
+    Serialized into the same JSONL stream as successes, discriminated by a
+    ``"kind": "failure"`` field (success lines have no ``kind``).  A failure
+    never marks its digest completed — ``resume`` retries it — and the
+    eventual success *replaces* the failure line in the file.
+    """
+
+    digest: str
+    scenario: Dict[str, object]
+    seed: int
+    error: str
+    message: str
+    stage: str = "trials"
+    attempts: int = 1
+    campaign: str = "campaign"
+    schema: int = STORE_SCHEMA_VERSION
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "failure",
+            "schema": self.schema,
+            "digest": self.digest,
+            "campaign": self.campaign,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "error": self.error,
+            "message": self.message,
+            "stage": self.stage,
+            "attempts": self.attempts,
+            "extra": self.extra,
+        }
+
+    def to_json_line(self) -> str:
+        """Canonical one-line encoding (sorted keys, no whitespace)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FailureRecord":
+        if data.get("kind") != "failure":
+            raise ValueError("not a failure record")
+        return cls(
+            digest=str(data["digest"]),
+            scenario=dict(data["scenario"]),  # type: ignore[arg-type]
+            seed=int(data["seed"]),  # type: ignore[arg-type]
+            error=str(data["error"]),
+            message=str(data["message"]),
+            stage=str(data.get("stage", "trials")),
+            attempts=int(data.get("attempts", 1)),  # type: ignore[arg-type]
+            campaign=str(data.get("campaign", "campaign")),
+            schema=int(data.get("schema", STORE_SCHEMA_VERSION)),  # type: ignore[arg-type]
+            extra=dict(data.get("extra", {})),  # type: ignore[arg-type]
+        )
+
+    @classmethod
+    def from_exception(
+        cls,
+        digest: str,
+        scenario: Dict[str, object],
+        seed: int,
+        exc: BaseException,
+        stage: str = "trials",
+        attempts: int = 1,
+        campaign: str = "campaign",
+    ) -> "FailureRecord":
+        return cls(
+            digest=digest,
+            scenario=dict(scenario),
+            seed=seed,
+            error=type(exc).__name__,
+            message=str(exc),
+            stage=stage,
+            attempts=attempts,
+            campaign=campaign,
+        )
+
+
+class ResultStore:
+    """Append-only JSONL store of scenario results and quarantined failures.
+
+    ``durable=True`` fsyncs the file after every append (and every repair
+    rewrite) so records survive power loss, at a per-append latency cost.
+    """
+
+    def __init__(self, path: PathLike, durable: bool = False) -> None:
         self.path = Path(path)
+        self.durable = bool(durable)
         self._records: List[ScenarioRecord] = []
         self._digests: Set[str] = set()
+        self._failures: Dict[str, FailureRecord] = {}
+        #: every file line in order, verbatim — record is None for opaque
+        #: lines (blanks, duplicate digests) that repairs must preserve
+        self._entries: List[tuple] = []
         #: full repaired file text, written (atomically) on the next append —
         #: loading never writes, so read-only stores (CI artifacts, foreign
         #: files) can always be reported/diffed
@@ -109,9 +209,11 @@ class ResultStore:
         text = self.path.read_text(encoding="utf-8")
         lines = text.splitlines()
         torn = False
+        drops = False
         for lineno, line in enumerate(lines, start=1):
             stripped = line.strip()
             if not stripped:
+                self._entries.append((None, line))
                 continue
             try:
                 data = json.loads(stripped)
@@ -131,6 +233,38 @@ class ResultStore:
                 raise ValueError(
                     f"corrupt record at {self.path}:{lineno}"
                 ) from None
+            if isinstance(data, dict) and data.get("kind") == "failure":
+                try:
+                    failure = FailureRecord.from_dict(data)
+                except (KeyError, TypeError, ValueError):
+                    raise ValueError(
+                        f"corrupt record at {self.path}:{lineno}"
+                    ) from None
+                if failure.digest in self._digests:
+                    # stale: the scenario later succeeded — drop on repair
+                    logger.warning(
+                        "dropping stale failure for completed digest %s at %s:%d",
+                        failure.digest[:12],
+                        self.path,
+                        lineno,
+                    )
+                    drops = True
+                    continue
+                if failure.digest in self._failures:
+                    # later failure supersedes the earlier one (attempt count
+                    # advanced); drop the old line on repair
+                    self._entries = [
+                        e
+                        for e in self._entries
+                        if not (
+                            isinstance(e[0], FailureRecord)
+                            and e[0].digest == failure.digest
+                        )
+                    ]
+                    drops = True
+                self._failures[failure.digest] = failure
+                self._entries.append((failure, line))
+                continue
             try:
                 record = ScenarioRecord.from_dict(data)
             except (KeyError, TypeError, ValueError):
@@ -144,17 +278,34 @@ class ResultStore:
                     self.path,
                     lineno,
                 )
+                self._entries.append((None, line))
                 continue
+            if record.digest in self._failures:
+                # the retry succeeded: drop the quarantine line on repair
+                del self._failures[record.digest]
+                self._entries = [
+                    e
+                    for e in self._entries
+                    if not (
+                        isinstance(e[0], FailureRecord)
+                        and e[0].digest == record.digest
+                    )
+                ]
+                drops = True
             self._records.append(record)
             self._digests.add(record.digest)
-        if torn:
-            # drop the torn tail (original record lines kept verbatim) so
-            # appends start from complete records only
-            self._pending_repair = "".join(line + "\n" for line in lines[:-1])
+            self._entries.append((record, line))
+        if torn or drops:
+            # rebuild from surviving entries: drops the torn tail and any
+            # superseded failure lines, keeps everything else verbatim
+            self._pending_repair = self._rebuild_text()
         elif text and not text.endswith("\n"):
             # complete final record without its newline: finish the line so
             # the next append starts cleanly
             self._pending_repair = text + "\n"
+
+    def _rebuild_text(self) -> str:
+        return "".join(line + "\n" for _, line in self._entries)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -163,10 +314,11 @@ class ResultStore:
         return digest in self._digests
 
     def records(self) -> List[ScenarioRecord]:
-        """All records, in append order."""
+        """All success records, in append order."""
         return list(self._records)
 
     def completed_digests(self) -> Set[str]:
+        """Digests of *successful* scenarios only — failures don't count."""
         return set(self._digests)
 
     def get(self, digest: str) -> Optional[ScenarioRecord]:
@@ -175,27 +327,93 @@ class ResultStore:
                 return record
         return None
 
+    def failures(self) -> List[FailureRecord]:
+        """Quarantined failures without a later success, in file order."""
+        return [e[0] for e in self._entries if isinstance(e[0], FailureRecord)]
+
+    def get_failure(self, digest: str) -> Optional[FailureRecord]:
+        return self._failures.get(digest)
+
+    def quarantined_digests(self) -> Set[str]:
+        return set(self._failures)
+
+    def _write_repair(self) -> None:
+        # torn-tail / missing-newline / stale-failure repair deferred until
+        # the first write: a temp file + atomic replace, so a crash
+        # mid-repair cannot lose completed records
+        tmp = self.path.with_name(self.path.name + ".repair")
+        tmp.write_text(self._pending_repair, encoding="utf-8")
+        if self.durable:
+            with tmp.open("rb") as fh:
+                os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._pending_repair = None
+
+    def _append_line(self, line: str) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self._pending_repair is not None:
+            self._write_repair()
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            if self.durable:
+                os.fsync(fh.fileno())
+
     def append(self, record: ScenarioRecord) -> None:
-        """Durably append one record (no-op key collision is an error)."""
+        """Durably append one success (key collision is an error).
+
+        If the digest was previously quarantined, the stale failure line is
+        dropped (atomic rewrite) before the success is appended — so a store
+        whose every scenario eventually succeeded is byte-identical to one
+        from a run that never failed.
+        """
         if record.digest in self._digests:
             raise ValueError(
                 f"digest {record.digest[:12]} is already in the store; "
                 "completed scenarios must be skipped, not re-appended"
             )
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        if self._pending_repair is not None:
-            # torn-tail / missing-newline repair deferred from load: a temp
-            # file + atomic replace, so a crash mid-repair cannot lose
-            # completed records
-            tmp = self.path.with_name(self.path.name + ".repair")
-            tmp.write_text(self._pending_repair, encoding="utf-8")
-            os.replace(tmp, self.path)
-            self._pending_repair = None
-        with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(record.to_json_line() + "\n")
-            fh.flush()
+        if record.digest in self._failures:
+            del self._failures[record.digest]
+            self._entries = [
+                e
+                for e in self._entries
+                if not (
+                    isinstance(e[0], FailureRecord)
+                    and e[0].digest == record.digest
+                )
+            ]
+            self._pending_repair = self._rebuild_text()
+        line = record.to_json_line()
+        self._append_line(line)
         self._records.append(record)
         self._digests.add(record.digest)
+        self._entries.append((record, line))
+
+    def append_failure(self, failure: FailureRecord) -> None:
+        """Quarantine one failed scenario (replaces any earlier failure).
+
+        Appending a failure for an already-*successful* digest is an error:
+        the runner must never re-execute completed scenarios.
+        """
+        if failure.digest in self._digests:
+            raise ValueError(
+                f"digest {failure.digest[:12]} already succeeded; "
+                "a completed scenario cannot be quarantined"
+            )
+        if failure.digest in self._failures:
+            self._entries = [
+                e
+                for e in self._entries
+                if not (
+                    isinstance(e[0], FailureRecord)
+                    and e[0].digest == failure.digest
+                )
+            ]
+            self._pending_repair = self._rebuild_text()
+        line = failure.to_json_line()
+        self._append_line(line)
+        self._failures[failure.digest] = failure
+        self._entries.append((failure, line))
 
 
 # ---------------------------------------------------------------------------
@@ -271,6 +489,7 @@ def _scenario_label(scenario: Dict[str, object]) -> str:
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
+    "FailureRecord",
     "ResultStore",
     "ScenarioRecord",
     "diff_against_expectations",

@@ -31,18 +31,23 @@ packing is lossless, popcounts equal dense ``sum`` counts bit for bit, and
 (first index wins), so packed greedy selection picks byte-identical test
 sequences.
 
-The module is pure NumPy with no dependency on the rest of the library, so
-the engine and its backends can use the packing primitives without layering
-cycles.
+The module is pure NumPy with no dependency on the rest of the library
+(except the dependency-free :mod:`repro.faults` chaos hooks), so the engine
+and its backends can use the packing primitives without layering cycles.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.faults import inject as _inject
+
+logger = logging.getLogger("repro.coverage.bitmap")
 
 #: bits per storage word
 WORD_BITS = 64
@@ -446,6 +451,30 @@ class MaskMatrix:
         )
 
 
+#: transient window-read retries (with a fresh mapping each time) before an
+#: mmap I/O error propagates out of a streamed coverage query
+DEFAULT_READ_RETRIES = 2
+
+
+def quarantine_store(path: Union[str, Path]) -> Path:
+    """Move a corrupt store file into a ``quarantine/`` sidecar directory.
+
+    The file is preserved for post-mortem inspection (never destroyed) under
+    a unique name, and the original path becomes free for a rebuild — the
+    self-healing half of the spill store's failure story.
+    """
+    path = Path(path)
+    dest_dir = path.parent / "quarantine"
+    dest_dir.mkdir(parents=True, exist_ok=True)
+    dest = dest_dir / path.name
+    counter = 1
+    while dest.exists():
+        dest = dest_dir / f"{path.name}.{counter}"
+        counter += 1
+    os.replace(path, dest)
+    return dest
+
+
 #: magic prefix of the on-disk packed-mask store (versioned: bump the digit
 #: when the layout changes)
 MMAP_MAGIC = b"RPRMASK1"
@@ -542,7 +571,7 @@ class MmapMaskMatrix(MaskMatrix):
     :class:`MmapMaskWriter` (streaming build).
     """
 
-    __slots__ = ("path", "memory_budget_bytes")
+    __slots__ = ("path", "memory_budget_bytes", "read_retries")
 
     def __init__(
         self,
@@ -550,18 +579,23 @@ class MmapMaskMatrix(MaskMatrix):
         words: np.ndarray,
         path: Optional[Path] = None,
         memory_budget_bytes: Optional[int] = None,
+        read_retries: int = DEFAULT_READ_RETRIES,
     ) -> None:
         if memory_budget_bytes is not None and memory_budget_bytes <= 0:
             raise ValueError("memory_budget_bytes must be positive")
+        if read_retries < 0:
+            raise ValueError("read_retries must be >= 0")
         super().__init__(nbits, words)
         self.path = path
         self.memory_budget_bytes = memory_budget_bytes
+        self.read_retries = int(read_retries)
 
     @classmethod
     def open(
         cls,
         path: Union[str, Path],
         memory_budget_bytes: Optional[int] = None,
+        read_retries: int = DEFAULT_READ_RETRIES,
     ) -> "MmapMaskMatrix":
         """Map an existing store, validating its header and size.
 
@@ -597,7 +631,11 @@ class MmapMaskMatrix(MaskMatrix):
             shape=(rows, num_words(nbits)),
         )
         return cls(
-            nbits, words, path=path, memory_budget_bytes=memory_budget_bytes
+            nbits,
+            words,
+            path=path,
+            memory_budget_bytes=memory_budget_bytes,
+            read_retries=read_retries,
         )
 
     # -- windowed iteration ---------------------------------------------------
@@ -613,19 +651,56 @@ class MmapMaskMatrix(MaskMatrix):
         for start in range(0, len(self), step):
             yield slice(start, min(start + step, len(self)))
 
+    def _remap(self) -> None:
+        """Re-open the backing memmap (retry path after a failed page-in)."""
+        rows = self.words.shape[0]
+        self.words = np.memmap(
+            self.path,
+            dtype="<u8",
+            mode="r",
+            offset=MMAP_HEADER_BYTES,
+            shape=(rows, num_words(self.nbits)),
+        )
+
+    def _read_window(self, s: slice, ordinal: int) -> np.ndarray:
+        """Copy one row window out of the mapping, retrying transient I/O.
+
+        A failed page-in (stale NFS handle, transient device error — or an
+        injected ``mmap.window`` fault from the chaos plan) surfaces as
+        :class:`OSError`; the mapping is re-opened and the window re-read up
+        to :attr:`read_retries` times before the error propagates.
+        """
+        attempts = 0
+        while True:
+            try:
+                if _inject.active():
+                    _inject.check("mmap.window", window=ordinal, path=str(self.path))
+                return np.asarray(self.words[s], dtype=np.uint64)
+            except OSError as exc:
+                if self.path is None or attempts >= self.read_retries:
+                    raise
+                attempts += 1
+                logger.warning(
+                    "retrying mmap window %d of %s after read failure (%s)",
+                    ordinal,
+                    self.path,
+                    exc,
+                )
+                self._remap()
+
     # -- streamed coverage primitives ----------------------------------------
     def counts(self) -> np.ndarray:
         out = np.empty(len(self), dtype=np.int64)
-        for s in self._windows():
-            out[s] = popcount_rows(np.asarray(self.words[s], dtype=np.uint64))
+        for i, s in enumerate(self._windows()):
+            out[s] = popcount_rows(self._read_window(s, i))
         return out
 
     def union(self) -> CoverageMap:
         if len(self) == 0:
             return CoverageMap(self.nbits)
         acc = np.zeros(num_words(self.nbits), dtype=np.uint64)
-        for s in self._windows():
-            window = np.asarray(self.words[s], dtype=np.uint64)
+        for i, s in enumerate(self._windows()):
+            window = self._read_window(s, i)
             np.bitwise_or(acc, np.bitwise_or.reduce(window, axis=0), out=acc)
         return CoverageMap(self.nbits, acc)
 
@@ -638,9 +713,8 @@ class MmapMaskMatrix(MaskMatrix):
             )
         inverted = ~covered.words
         out = np.empty(len(self), dtype=np.int64)
-        for s in self._windows():
-            window = np.asarray(self.words[s], dtype=np.uint64)
-            out[s] = popcount_rows(window & inverted[None, :])
+        for i, s in enumerate(self._windows()):
+            out[s] = popcount_rows(self._read_window(s, i) & inverted[None, :])
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -748,6 +822,7 @@ class CoverageCriterion:
 
 
 __all__ = [
+    "DEFAULT_READ_RETRIES",
     "MMAP_HEADER_BYTES",
     "MMAP_MAGIC",
     "WORD_BITS",
@@ -764,5 +839,6 @@ __all__ = [
     "packed_nbytes",
     "popcount",
     "popcount_rows",
+    "quarantine_store",
     "unpack_words",
 ]

@@ -103,6 +103,14 @@ class ExecutionBackend:
     def close(self) -> None:
         """Release any worker pools / shared resources (idempotent)."""
 
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        # context-managed use guarantees worker processes and shared-memory
+        # segments are reaped even when a dispatch raised mid-flight
+        self.close()
+
     def forward(self, model: Sequential, x: np.ndarray) -> np.ndarray:
         """Inference-mode logits for a batch."""
         raise NotImplementedError

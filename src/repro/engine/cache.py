@@ -63,6 +63,12 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: fault-tolerance counters (see :mod:`repro.faults`): dispatches retried
+    #: after a transient failure, worker pools respawned, and circuit-breaker
+    #: backend downgrades — zero everywhere outside failure scenarios
+    retries: int = 0
+    restarts: int = 0
+    downgrades: int = 0
 
     @property
     def requests(self) -> int:
@@ -74,11 +80,21 @@ class CacheStats:
 
     def merge(self, *others: "CacheStats") -> "CacheStats":
         """A new counter summing this one with ``others`` (inputs untouched)."""
-        merged = CacheStats(self.hits, self.misses, self.evictions)
+        merged = CacheStats(
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.retries,
+            self.restarts,
+            self.downgrades,
+        )
         for other in others:
             merged.hits += other.hits
             merged.misses += other.misses
             merged.evictions += other.evictions
+            merged.retries += other.retries
+            merged.restarts += other.restarts
+            merged.downgrades += other.downgrades
         return merged
 
     def __add__(self, other: "CacheStats") -> "CacheStats":

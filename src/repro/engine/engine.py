@@ -44,7 +44,7 @@ from __future__ import annotations
 import hashlib
 import warnings
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -56,6 +56,8 @@ from repro.engine.cache import (
     CacheStats,
     array_fingerprint,
 )
+from repro.faults import inject
+from repro.faults.policy import FaultPolicy, RetryController
 from repro.nn.dtypes import DtypePolicy, DtypeSpec
 from repro.nn.layers import ActivationLayer, Conv2D, Dense
 from repro.nn.losses import Loss
@@ -157,6 +159,15 @@ class Engine:
         (:class:`~repro.coverage.bitmap.MmapMaskMatrix`); per-call
         ``spill_dir`` arguments override it.  ``None`` (default) keeps
         packed masks in RAM.
+    fault_policy:
+        :class:`~repro.faults.FaultPolicy` (or its dict form) making every
+        backend dispatch fault-tolerant: transient failures (I/O errors,
+        worker crashes, dispatch timeouts) are retried with deterministic
+        backoff, and ``breaker_threshold`` consecutive failures trip a
+        circuit breaker that swaps the backend for the policy's serial
+        ``downgrade_backend`` — recorded in :attr:`stats` (``downgrades``)
+        and :attr:`fault_events`.  ``None`` (default) dispatches directly
+        with zero added overhead.
     """
 
     def __init__(
@@ -171,6 +182,7 @@ class Engine:
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         memory_budget_bytes: Optional[int] = None,
         spill_dir: Optional[Union[str, Path]] = None,
+        fault_policy: Union[FaultPolicy, Dict[str, object], None] = None,
     ) -> None:
         if not model.built:
             raise ValueError("Engine requires a built model")
@@ -198,6 +210,10 @@ class Engine:
         # parameters change (tracked by digest); None under the default policy
         self._shadow_model: Optional[Sequential] = None
         self._shadow_digest: Optional[str] = None
+        self.fault_policy = FaultPolicy.coerce(fault_policy)
+        self._faults: Optional[RetryController] = (
+            RetryController(self.fault_policy) if self.fault_policy else None
+        )
 
     # -- cache plumbing ------------------------------------------------------
     @property
@@ -216,9 +232,87 @@ class Engine:
         """
         memo = self._cache.stats if self._cache is not None else CacheStats()
         backend_stats = self.backend.cache_stats
-        if backend_stats is None:
-            return memo
-        return memo.merge(backend_stats)
+        merged = memo if backend_stats is None else memo.merge(backend_stats)
+        if self._faults is not None:
+            fault_stats = self._faults.stats
+            merged = merged.merge(
+                CacheStats(
+                    retries=fault_stats.retries, downgrades=fault_stats.downgrades
+                )
+            )
+        return merged
+
+    @property
+    def fault_events(self) -> List[Dict[str, object]]:
+        """Structured fault-tolerance log: transient failures, breaker trips,
+        and backend downgrades (empty without a fault policy)."""
+        return list(self._faults.events) if self._faults is not None else []
+
+    # -- fault-tolerant dispatch --------------------------------------------
+    def _backend_call(self, op: str, *args, **kwargs):
+        """Invoke a backend primitive under the engine's fault policy.
+
+        Without a policy this is a plain attribute call plus one injection
+        guard — the fault-free hot path stays unmeasurable (gated in
+        ``benchmarks/bench_faults.py``).  With a policy, transient failures
+        are retried with deterministic backoff and the circuit breaker can
+        downgrade to the policy's serial fallback backend mid-query.
+        """
+        faults = self._faults
+        if faults is None:
+            if inject.active():
+                inject.check("engine.dispatch", op=op, backend=self.backend.name)
+            return getattr(self.backend, op)(*args, **kwargs)
+        if inject.active():
+            # an injection plan is live: take the full controller path so
+            # injected engine.dispatch faults are retried like real ones
+            return self._retry_call(op, args, kwargs, None)
+        # inlined happy path — the controller frame is only paid when a
+        # dispatch actually raises
+        try:
+            result = getattr(self.backend, op)(*args, **kwargs)
+        except Exception as exc:
+            return self._retry_call(op, args, kwargs, exc)
+        faults.consecutive_failures = 0
+        return result
+
+    def _retry_call(self, op: str, args, kwargs, pending):
+        def attempt():
+            if inject.active():
+                inject.check("engine.dispatch", op=op, backend=self.backend.name)
+            return getattr(self.backend, op)(*args, **kwargs)
+
+        downgrade = None
+        target = self.fault_policy.downgrade_backend
+        if target is not None and self.backend.name != target:
+            downgrade = self._downgrade_backend
+        return self._faults.run(attempt, key=op, downgrade=downgrade, pending=pending)
+
+    def _downgrade_backend(self, exc: BaseException) -> None:
+        """Breaker action: swap in the policy's serial fallback backend.
+
+        The failing backend is *not* closed — one backend instance may serve
+        several engines, and a shared pool must not be torn down because one
+        engine's breaker tripped.  Owners release it as usual via
+        ``close()``/GC.
+        """
+        target = self.fault_policy.downgrade_backend
+        previous = self.backend.name
+        self.backend = get_backend(target)
+        self._faults.events.append(
+            {
+                "event": "downgrade",
+                "from": previous,
+                "to": target,
+                "reason": f"{type(exc).__name__}: {exc}",
+            }
+        )
+        logger.warning(
+            "circuit breaker tripped: downgrading backend %s -> %s (%s)",
+            previous,
+            target,
+            exc,
+        )
 
     def invalidate(self) -> None:
         """Drop all memoized results.
@@ -353,7 +447,10 @@ class Engine:
         def compute() -> np.ndarray:
             model = self._execution_model()
             return np.concatenate(
-                [self.backend.forward(model, batch[s]) for s in self._chunks(batch.shape[0])],
+                [
+                    self._backend_call("forward", model, batch[s])
+                    for s in self._chunks(batch.shape[0])
+                ],
                 axis=0,
             )
 
@@ -408,7 +505,9 @@ class Engine:
                 outputs.append(
                     np.concatenate(
                         [
-                            self.backend.stacked_forward(group, batch[s], base=base)
+                            self._backend_call(
+                                "stacked_forward", group, batch[s], base=base
+                            )
                             for s in self._chunks(batch.shape[0])
                         ],
                         axis=1,
@@ -438,7 +537,7 @@ class Engine:
             model = self._execution_model()
             return np.concatenate(
                 [
-                    self.backend.output_gradients(model, batch[s], scal)
+                    self._backend_call("output_gradients", model, batch[s], scal)
                     for s in self._chunks(batch.shape[0])
                 ],
                 axis=0,
@@ -463,7 +562,9 @@ class Engine:
         pure overhead.
         """
         batch = self._as_batch(batch)
-        return self.backend.input_gradients(self._execution_model(), batch, targets, loss)
+        return self._backend_call(
+            "input_gradients", self._execution_model(), batch, targets, loss
+        )
 
     def loss_parameter_gradients(
         self,
@@ -477,8 +578,8 @@ class Engine:
         attack, which perturbs the model between calls — hence no memoization.
         """
         batch = self._as_batch(batch)
-        return self.backend.loss_parameter_gradients(
-            self._execution_model(), batch, targets, loss
+        return self._backend_call(
+            "loss_parameter_gradients", self._execution_model(), batch, targets, loss
         )
 
     # -- mask queries --------------------------------------------------------
@@ -519,7 +620,7 @@ class Engine:
             return np.concatenate(
                 [
                     crit.activated(
-                        self.backend.output_gradients(model, batch[s], scal)
+                        self._backend_call("output_gradients", model, batch[s], scal)
                     )
                     for s in self._chunks(batch.shape[0])
                 ],
@@ -584,13 +685,13 @@ class Engine:
                 model = self._execution_model()
                 for s in self._chunks(batch.shape[0], max_chunk):
                     if plain:
-                        yield self.backend.packed_masks(
-                            model, batch[s], scal, crit.epsilon
+                        yield self._backend_call(
+                            "packed_masks", model, batch[s], scal, crit.epsilon
                         )
                     else:
                         yield pack_bool(
                             crit.activated(
-                                self.backend.output_gradients(model, batch[s], scal)
+                                self._backend_call("output_gradients", model, batch[s], scal)
                             )
                         )
 
@@ -635,13 +736,15 @@ class Engine:
             for s in self._chunks(batch.shape[0], max_chunk):
                 if plain:
                     rows.append(
-                        self.backend.packed_masks(model, batch[s], scal, crit.epsilon)
+                        self._backend_call(
+                            "packed_masks", model, batch[s], scal, crit.epsilon
+                        )
                     )
                 else:
                     rows.append(
                         pack_bool(
                             crit.activated(
-                                self.backend.output_gradients(model, batch[s], scal)
+                                self._backend_call("output_gradients", model, batch[s], scal)
                             )
                         )
                     )
@@ -687,8 +790,8 @@ class Engine:
             def spill_chunks():
                 model = self._execution_model()
                 for s in self._chunks(batch.shape[0], max_chunk):
-                    yield self.backend.packed_neuron_masks(
-                        model, batch[s], threshold, indices
+                    yield self._backend_call(
+                        "packed_neuron_masks", model, batch[s], threshold, indices
                     )
 
             return self._spilled_masks(
@@ -705,8 +808,8 @@ class Engine:
             model = self._execution_model()
             return np.concatenate(
                 [
-                    self.backend.packed_neuron_masks(
-                        model, batch[s], threshold, indices
+                    self._backend_call(
+                        "packed_neuron_masks", model, batch[s], threshold, indices
                     )
                     for s in self._chunks(batch.shape[0], max_chunk)
                 ],
@@ -731,11 +834,13 @@ class Engine:
         The store file is content-addressed by (operation, parameter digest,
         batch fingerprint, options, nbits): a repeated query memory-maps the
         existing file instead of recomputing — the disk **is** the memo for
-        spilled queries, so the in-RAM memo cache is bypassed.  Torn or
-        truncated stores (interrupted runs, partial copies) fail
-        :meth:`MmapMaskMatrix.open`'s validation and are rebuilt in place.
+        spilled queries, so the in-RAM memo cache is bypassed.  Torn,
+        truncated, or unreadable stores (interrupted runs, partial copies,
+        I/O faults) are **quarantined** to a ``quarantine/`` sidecar
+        directory for post-mortem inspection and rebuilt from scratch — a
+        corrupt store is self-healing, never fatal.
         """
-        from repro.coverage.bitmap import MmapMaskMatrix, MmapMaskWriter
+        from repro.coverage.bitmap import MmapMaskMatrix, MmapMaskWriter, quarantine_store
 
         budget = (
             memory_budget_bytes
@@ -750,12 +855,22 @@ class Engine:
         if path.exists():
             try:
                 matrix = MmapMaskMatrix.open(path, memory_budget_bytes=budget)
+            except (ValueError, OSError) as exc:
+                sidecar = quarantine_store(path)
+                logger.warning(
+                    "quarantined corrupt spill store %s -> %s (%s); rebuilding",
+                    path,
+                    sidecar,
+                    exc,
+                )
+            else:
                 if matrix.nbits == nbits and len(matrix) == batch.shape[0]:
                     return matrix
+                # a readable store that answers a different query is not
+                # corruption — a content-address collision after a code
+                # change — so rebuild in place without quarantining
                 logger.warning("spill store %s does not match the query; rebuilding", path)
-            except ValueError as exc:
-                logger.warning("discarding unreadable spill store %s: %s", path, exc)
-            path.unlink()
+                path.unlink()
         with MmapMaskWriter(path, nbits) as writer:
             for words in chunks():
                 writer.append(words)
@@ -777,7 +892,7 @@ class Engine:
             rows = []
             for s in self._chunks(batch.shape[0]):
                 chunk = batch[s]
-                outputs = self.backend.forward_collect(model, chunk)
+                outputs = self._backend_call("forward_collect", model, chunk)
                 parts = [
                     (outputs[i] > threshold).reshape(chunk.shape[0], -1)
                     for i in indices

@@ -37,6 +37,7 @@ from repro.engine.backend import (
     register_backend,
     threshold_and_pack,
 )
+from repro.faults import inject
 from repro.nn.model import Sequential
 from repro.nn.stacked import StackedSequential
 
@@ -83,6 +84,8 @@ class ModelAxisBackend(NumpyBackend):
         base: Optional[Sequential] = None,
     ) -> np.ndarray:
         models = list(models)
+        if inject.active():
+            inject.check("model_axis.stacked_forward", models=len(models))
         if base is None:
             return StackedSequential(models).forward(x)
 

@@ -41,14 +41,19 @@ from __future__ import annotations
 
 import os
 import pickle
+import signal
+import time
 from collections import OrderedDict
 from multiprocessing import get_context, shared_memory
-from typing import Any, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.engine.backend import ExecutionBackend, register_backend
 from repro.engine.cache import CacheStats
+from repro.faults import inject
+from repro.faults.errors import DispatchTimeoutError, WorkerCrashError, is_transient
+from repro.faults.policy import FaultPolicy
 from repro.nn.losses import Loss, get_loss
 from repro.nn.model import Sequential
 from repro.nn.serialization import parameter_digest
@@ -59,6 +64,11 @@ logger = get_logger("engine.parallel")
 #: how many distinct parameter digests stay published (and resident in each
 #: worker) at once; attack loops alternate between a handful of models
 DEFAULT_MAX_PUBLISHED = 4
+
+#: supervision poll interval while a dispatch is in flight; bounds how long
+#: a dead worker goes undetected without adding measurable latency to
+#: healthy dispatches (the wait returns as soon as results are ready)
+SUPERVISION_POLL_S = 0.05
 
 
 def default_worker_count() -> int:
@@ -185,12 +195,72 @@ def _worker_run(task: tuple) -> Any:
 # ---------------------------------------------------------------------------
 
 
+def _signal_pool_workers(pool, *sigs: int) -> list:
+    """Send ``sigs`` to every current pool worker; returns the processes."""
+    procs = list(getattr(pool, "_pool", []) or [])
+    for proc in procs:
+        pid = proc.pid
+        if pid is None:
+            continue
+        for sig in sigs:
+            try:
+                os.kill(pid, sig)
+            except (ProcessLookupError, PermissionError):  # pragma: no cover
+                break
+    return procs
+
+
+def _terminate_pool(pool) -> None:
+    """Terminate/join a pool whose workers may be dead, stopped, or hung.
+
+    ``Pool.terminate`` alone relies on a handshake: sentinels are fed to
+    the blocked workers so they release the task-queue reader lock, after
+    which its ``_help_stuff_finish`` can acquire it.  A worker that died
+    (or was SIGKILLed, or sits SIGSTOPped) while blocked on the queue never
+    completes that handshake and teardown deadlocks.  Workers are stateless
+    shard evaluators, so the unconditional path is both safe and immune:
+    stop the worker handler from respawning, hard-kill and reap every
+    worker, then release the queue locks the dead workers took with them —
+    with no live worker left, releasing on their behalf cannot race another
+    reader — and only then run the ordinary terminate/join.
+    """
+    try:
+        from multiprocessing.pool import TERMINATE
+
+        pool._worker_handler._state = TERMINATE
+    except Exception:  # pragma: no cover - interpreter internals moved
+        pass
+    procs = _signal_pool_workers(pool, signal.SIGCONT, signal.SIGKILL)
+    for proc in procs:
+        proc.join()
+    for lock in (
+        getattr(pool._inqueue, "_rlock", None),
+        getattr(pool._outqueue, "_wlock", None),
+    ):
+        if lock is None:  # pragma: no cover - win32 write pipes
+            continue
+        try:
+            lock.release()
+        except Exception:
+            pass  # nobody held it
+
+    pool.terminate()
+    pool.join()
+
+
 def _release_resources(resources: dict) -> None:
-    """Terminate the pool and unlink all owned segments (idempotent)."""
+    """Terminate the pool and unlink all owned segments (idempotent).
+
+    Each step is individually guarded: a pool that died mid-flight must not
+    prevent the published shared-memory segments from being unlinked (that
+    is exactly how ``/dev/shm`` blocks used to leak after a failed run).
+    """
     pool = resources.pop("pool", None)
     if pool is not None:
-        pool.terminate()
-        pool.join()
+        try:
+            _terminate_pool(pool)
+        except Exception:  # pragma: no cover - teardown must not raise
+            logger.exception("worker pool teardown failed; continuing cleanup")
     for shm, _size in resources.pop("published", {}).values():
         try:
             shm.close()
@@ -217,6 +287,19 @@ class ParallelBackend(ExecutionBackend):
     max_published:
         How many model publications (distinct parameter digests) to keep
         alive at once.
+    fault_policy:
+        :class:`~repro.faults.FaultPolicy` (or its dict form) governing
+        worker supervision: a dispatch whose workers die — or that exceeds
+        ``dispatch_timeout_s`` — kills and respawns the pool and requeues
+        every in-flight shard, up to ``max_retries`` times.  Supervision is
+        always on; passing ``None`` uses the default policy.
+
+    Every dispatch is supervised: instead of blocking in ``pool.map`` (which
+    hangs forever when a worker holding a task is SIGKILLed), results are
+    awaited with a poll loop that also checks worker liveness against a
+    snapshot of the processes taken at dispatch time.  Shard tasks are pure
+    functions of (model digest, batch window), so requeueing after a respawn
+    is always safe.
     """
 
     name = "parallel"
@@ -226,11 +309,13 @@ class ParallelBackend(ExecutionBackend):
         workers: Optional[int] = None,
         start_method: Optional[str] = None,
         max_published: int = DEFAULT_MAX_PUBLISHED,
+        fault_policy: Union[FaultPolicy, Dict[str, object], None] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be at least 1")
         if max_published < 1:
             raise ValueError("max_published must be at least 1")
+        self.fault_policy = FaultPolicy.coerce(fault_policy) or FaultPolicy()
         self.workers = int(workers) if workers is not None else default_worker_count()
         if start_method is None:
             import multiprocessing
@@ -309,6 +394,65 @@ class ParallelBackend(ExecutionBackend):
         edges = np.linspace(0, n, shards + 1).round().astype(int)
         return [(int(a), int(b)) for a, b in zip(edges[:-1], edges[1:]) if b > a]
 
+    def _respawn(self, reason: str) -> None:
+        """Tear down the worker pool (hard-killing hung workers) for relaunch.
+
+        The next :meth:`_pool` call starts fresh workers; published model
+        segments stay alive, so respawned workers rebuild their model caches
+        lazily from shared memory with no re-publication cost.
+        """
+        pool = self._resources["pool"]
+        if pool is not None:
+            _terminate_pool(pool)
+            self._resources["pool"] = None
+        self._stats.restarts += 1
+        logger.warning("respawning worker pool: %s", reason)
+
+    def _apply_injected_fault(self, fault) -> None:
+        """Execute a ``kill_worker``/``stall_worker`` fault from the chaos plan.
+
+        ``fault.worker`` indexes the current worker processes; a negative
+        index targets *every* worker — the deterministic way to force the
+        crash-detection + respawn path (killing one worker often heals
+        transparently via the pool's own repopulation and work stealing).
+        """
+        procs = list(self._pool()._pool)
+        targets = procs if fault.worker < 0 else [procs[fault.worker % len(procs)]]
+        sig = signal.SIGKILL if fault.action == "kill_worker" else signal.SIGSTOP
+        for target in targets:
+            logger.warning(
+                "injected fault: sending %s to worker pid %s",
+                signal.Signals(sig).name,
+                target.pid,
+            )
+            os.kill(target.pid, sig)
+
+    def _await_results(self, async_result, procs, timeout_s: Optional[float]) -> list:
+        """Await a dispatch with liveness supervision.
+
+        Raises :class:`WorkerCrashError` the moment any worker from the
+        dispatch-time snapshot dies with results still pending (``Pool``
+        transparently replaces dead workers, but the dead worker's task is
+        lost and a bare ``map`` would block forever), and
+        :class:`DispatchTimeoutError` when ``timeout_s`` elapses — the hung
+        case, e.g. a stopped or livelocked worker.
+        """
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        while True:
+            async_result.wait(SUPERVISION_POLL_S)
+            if async_result.ready():
+                return async_result.get()
+            dead = [p for p in procs if not p.is_alive()]
+            if dead:
+                raise WorkerCrashError(
+                    f"{len(dead)} worker(s) died mid-dispatch "
+                    f"(pids {[p.pid for p in dead]})"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                raise DispatchTimeoutError(
+                    f"dispatch exceeded the {timeout_s:g}s timeout"
+                )
+
     def _dispatch(
         self,
         op: str,
@@ -341,11 +485,40 @@ class ParallelBackend(ExecutionBackend):
                 )
                 for i, (start, stop) in enumerate(bounds)
             ]
-            results = self._pool().map(_worker_run, tasks)
+            results = self._supervised_run(op, tasks)
         finally:
             batch_shm.close()
             batch_shm.unlink()
         return results, bounds
+
+    def _supervised_run(self, op: str, tasks: List[tuple]) -> list:
+        """Execute ``tasks`` on the pool, respawning + requeueing on failure."""
+        policy = self.fault_policy
+        attempts = 0
+        while True:
+            if inject.active():
+                fault = inject.check("parallel.dispatch", op=op)
+                if fault is not None:
+                    self._apply_injected_fault(fault)
+            pool = self._pool()
+            procs = list(pool._pool)
+            async_result = pool.map_async(_worker_run, tasks)
+            try:
+                return self._await_results(
+                    async_result, procs, policy.dispatch_timeout_s
+                )
+            except Exception as exc:
+                # crashes/timeouts invalidate the pool; a transient error
+                # raised *inside* a worker leaves it healthy, but respawning
+                # is cheap and gives the retry a clean slate either way
+                if not is_transient(exc):
+                    raise
+                if attempts >= policy.max_retries:
+                    self._respawn(f"giving up after {attempts + 1} attempts: {exc}")
+                    raise
+                attempts += 1
+                self._respawn(f"requeueing {len(tasks)} shard(s): {exc}")
+                time.sleep(policy.backoff_delay(attempts, key=f"parallel.{op}"))
 
     # -- batched primitives --------------------------------------------------
     def forward(self, model: Sequential, x: np.ndarray) -> np.ndarray:

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.faults import inject as _inject
 from repro.nn.layers import Layer
 from repro.nn.losses import Loss, SoftmaxCrossEntropy, get_loss
 from repro.nn.tensor import Parameter, ParameterView
@@ -125,6 +126,16 @@ class Sequential:
         """Run the network on a batch and return the output logits."""
         self._check_input(x)
         out = x
+        if _inject.active():
+            # chaos-plan hook: latency/exception faults addressed to a named
+            # layer's forward ("layer.forward" site); off the plan-inactive
+            # hot path entirely
+            for index, layer in enumerate(self.layers):
+                _inject.check(
+                    "layer.forward", layer=layer.name, index=index, model=self.name
+                )
+                out = layer.forward(out, training=training)
+            return out
         for layer in self.layers:
             out = layer.forward(out, training=training)
         return out
@@ -134,7 +145,11 @@ class Sequential:
         self._check_input(x)
         outputs: List[np.ndarray] = []
         out = x
-        for layer in self.layers:
+        for index, layer in enumerate(self.layers):
+            if _inject.active():
+                _inject.check(
+                    "layer.forward", layer=layer.name, index=index, model=self.name
+                )
             out = layer.forward(out, training=False)
             outputs.append(out)
         return outputs
