@@ -100,6 +100,10 @@ class RunConfig(TableSerde):
         :mod:`repro.registry` resolves).
     workers:
         Worker count when ``backend="parallel"`` (``None`` = auto).
+    shards:
+        Default worker-process shard count for campaign sweeps (``None`` =
+        follow the spec; above 1 routes :meth:`Session.sweep` through the
+        distributed runner, one ``<store>.shard<k>.jsonl`` per shard).
     model_axis_size:
         Perturbed copies fused per dispatch when ``backend="model_axis"``
         (``None`` = the backend's default capacity).
@@ -141,6 +145,7 @@ class RunConfig(TableSerde):
 
     backend: str = "numpy"
     workers: Optional[int] = None
+    shards: Optional[int] = None
     model_axis_size: Optional[int] = None
     dtype: Optional[str] = None
     batch_size: int = 64
@@ -171,6 +176,8 @@ class RunConfig(TableSerde):
             )
         if self.workers is not None and self.workers <= 0:
             raise ValueError("workers must be positive when given")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("shards must be at least 1 when given")
         if self.model_axis_size is not None and self.backend != "model_axis":
             raise ValueError(
                 "model_axis_size is only meaningful with backend='model_axis'"

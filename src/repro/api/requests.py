@@ -255,6 +255,10 @@ class SweepRequest(TableSerde):
     #: ``None`` runs on the session's configured backend instance
     backend: Optional[str] = None
     workers: Optional[int] = None
+    #: worker-process shards of the distributed campaign runner (``None``
+    #: follows the session config, then the spec; above 1 each shard
+    #: appends to its own ``<store>.shard<k>.jsonl``)
+    shards: Optional[int] = None
     #: also render the markdown report here after the run
     report: Optional[str] = None
 
@@ -265,6 +269,8 @@ class SweepRequest(TableSerde):
             raise ValueError("store is required")
         if self.workers is not None and self.backend != "parallel":
             raise ValueError("workers is only meaningful with backend='parallel'")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("shards must be at least 1 when given")
 
     def resolve_spec(self):
         from repro.campaign.spec import CampaignSpec

@@ -367,9 +367,43 @@ class Session:
         from repro.campaign.store import ResultStore
 
         spec = req.resolve_spec()
-        store = ResultStore(req.store)
+        shards = (
+            req.shards
+            if req.shards is not None
+            else (
+                self.config.shards
+                if self.config.shards is not None
+                else spec.shards
+            )
+        )
         backend: Union[str, ExecutionBackend]
         workers = None
+        if shards > 1:
+            # shard workers build their own backends, so ship the *name*
+            # (the request's override, else the session's configured one)
+            backend = req.backend if req.backend is not None else self.config.backend
+            summary = run_campaign(
+                spec,
+                req.store,
+                backend=backend,
+                progress=logger.info,
+                fault_policy=self._fault_policy,
+                spill_dir=self.config.spill_dir,
+                shards=shards,
+            )
+            if req.report is not None:
+                from repro.analysis.campaign import write_campaign_report
+                from repro.campaign.distributed import find_shard_stores
+
+                merged: Dict[str, object] = {}
+                for path in find_shard_stores(req.store):
+                    for record in ResultStore(path).records():
+                        merged.setdefault(record.digest, record)
+                write_campaign_report(
+                    list(merged.values()), req.report, title=spec.name
+                )
+            return summary
+        store = ResultStore(req.store)
         if req.backend is not None:
             backend = req.backend
             workers = req.workers
@@ -383,6 +417,7 @@ class Session:
             progress=logger.info,
             fault_policy=self._fault_policy,
             spill_dir=self.config.spill_dir,
+            shards=1,
         )
         if req.report is not None:
             from repro.analysis.campaign import write_campaign_report

@@ -34,12 +34,14 @@ from repro.bench.harness import (
     write_report,
 )
 from repro.bench.workloads import (
+    CAMPAIGN_SHARDS,
     DEFAULT_POOL_SIZE,
     MODEL_AXIS_COPIES,
     QUICK_POOL_SIZE,
     WORKLOAD_NAMES,
     build_model,
     build_pool,
+    campaign_shards_speedup,
     default_backends,
     model_axis_speedup,
     parallel_speedup,
@@ -65,12 +67,14 @@ __all__ = [
     "report_results",
     "write_report",
     # workloads
+    "CAMPAIGN_SHARDS",
     "DEFAULT_POOL_SIZE",
     "MODEL_AXIS_COPIES",
     "QUICK_POOL_SIZE",
     "WORKLOAD_NAMES",
     "build_model",
     "build_pool",
+    "campaign_shards_speedup",
     "default_backends",
     "model_axis_speedup",
     "parallel_speedup",

@@ -35,6 +35,7 @@ from repro.bench.workloads import (
     DEFAULT_POOL_SIZE,
     QUICK_POOL_SIZE,
     WORKLOAD_NAMES,
+    campaign_shards_speedup,
     default_backends,
     model_axis_speedup,
     parallel_speedup,
@@ -118,6 +119,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     fused = model_axis_speedup(results)
     if fused is not None:
         print(f"model-axis fused speedup vs per-copy loop (float64): {fused:.2f}x")
+    sharded = campaign_shards_speedup(results)
+    if sharded is not None:
+        print(f"campaign shards speedup vs serial (float64): {sharded:.2f}x")
 
     report = write_report(
         results, args.output, meta={"quick": bool(args.quick), "pool_size": pool_size}

@@ -27,6 +27,12 @@ The workloads cover the library's hot paths end to end:
 ``campaign``       a micro campaign (train, package, paired trials, store)
                    end to end through ``repro.campaign`` — float64 only,
                    each repeat runs into a fresh store so nothing is skipped
+``campaign_shards`` the same campaign shape widened to four attack units and
+                   executed by the distributed runner at
+                   :data:`CAMPAIGN_SHARDS` worker shards (numpy × float64
+                   cell only: the shard workers are the parallelism);
+                   a one-shot serial reference wall rides along in
+                   ``extra["serial_wall_s"]`` for the speedup gate
 =================  ========================================================
 
 Each runs on every requested backend (``numpy``, and ``parallel`` when more
@@ -37,6 +43,7 @@ consumes.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -81,7 +88,13 @@ WORKLOAD_NAMES = (
     "model_axis",
     "revisit",
     "campaign",
+    "campaign_shards",
 )
+
+#: worker shards of the ``campaign_shards`` workload (the acceptance
+#: speedup is gated at this shard count on a host with at least as many
+#: cores)
+CAMPAIGN_SHARDS = 4
 
 #: the micro campaign spec timed by the ``campaign`` workload: one model,
 #: one attack, one strategy, sized so a full train→package→trials→store
@@ -101,6 +114,17 @@ CAMPAIGN_WORKLOAD_SPEC = dict(
     candidate_pool=12,
     gradient_updates=3,
     reference_inputs=6,
+)
+
+#: the ``campaign_shards`` spec: the micro campaign widened along the attack
+#: axis so the distributed runner has one work unit per shard, with trials
+#: heavy enough that the paired-replay stage (the parallelisable part)
+#: dominates the duplicated per-worker training
+CAMPAIGN_SHARDS_SPEC = dict(
+    CAMPAIGN_WORKLOAD_SPEC,
+    name="bench-campaign-shards",
+    attacks=("sba", "gda", "random", "bitflip"),
+    trials=16,
 )
 
 
@@ -402,6 +426,57 @@ def run_workloads(
                         scenarios=num_scenarios,
                     )
                 )
+
+        if (
+            "campaign_shards" in selected
+            and dtype == "float64"
+            and backend_name == "numpy"
+        ):
+            # numpy × float64 cell only: the shard *workers* are the
+            # parallelism being measured — nesting them inside the parallel
+            # backend's matrix cell would time pool-on-pool contention
+            import itertools
+            import tempfile
+            from pathlib import Path
+
+            from repro.campaign import CampaignSpec, run_campaign
+
+            spec = CampaignSpec(**CAMPAIGN_SHARDS_SPEC)  # type: ignore[arg-type]
+            num_scenarios = len(spec.expand())
+            with tempfile.TemporaryDirectory() as tmp:
+                counter = itertools.count()
+                # one serial reference run: the speedup denominator the
+                # bench gate divides by (not repeated — the gate tolerates
+                # reference noise, the regression gate tracks the shards leg)
+                serial_start = time.perf_counter()
+                run_campaign(spec, str(Path(tmp) / "serial.jsonl"), backend="numpy")
+                serial_wall_s = time.perf_counter() - serial_start
+
+                def campaign_shards() -> float:
+                    # fresh store per repeat — resuming would skip the work
+                    store_path = Path(tmp) / f"shards-{next(counter)}.jsonl"
+                    summary = run_campaign(
+                        spec,
+                        str(store_path),
+                        backend="numpy",
+                        shards=CAMPAIGN_SHARDS,
+                    )
+                    return summary.executed / num_scenarios
+
+                results.append(
+                    measure(
+                        "campaign_shards",
+                        campaign_shards,
+                        samples=num_scenarios,
+                        backend=backend_name,
+                        dtype=dtype,
+                        repeats=repeats,
+                        value_of=lambda r: r,
+                        scenarios=num_scenarios,
+                        shards=CAMPAIGN_SHARDS,
+                        serial_wall_s=serial_wall_s,
+                    )
+                )
     finally:
         backend.close()
     return results
@@ -452,6 +527,23 @@ def parallel_speedup(results: Sequence[BenchmarkResult]) -> Dict[str, float]:
     return speedups
 
 
+def campaign_shards_speedup(results: Sequence[BenchmarkResult]) -> Optional[float]:
+    """Serial-vs-sharded wall ratio of the ``campaign_shards`` workload.
+
+    The serial reference wall is recorded in the result's
+    ``extra["serial_wall_s"]`` (same spec, same process, shards=1);
+    ``None`` when the workload is absent from ``results``.
+    """
+    by_key = {r.key: r for r in results}
+    sharded = by_key.get(("campaign_shards", "numpy", "float64"))
+    if sharded is None or sharded.wall_s <= 0:
+        return None
+    serial_wall = sharded.extra.get("serial_wall_s")
+    if serial_wall is None:
+        return None
+    return float(serial_wall) / sharded.wall_s
+
+
 def model_axis_speedup(results: Sequence[BenchmarkResult]) -> Optional[float]:
     """Fused-vs-loop ratio of the ``model_axis`` workload (float64 only).
 
@@ -469,6 +561,7 @@ def model_axis_speedup(results: Sequence[BenchmarkResult]) -> Optional[float]:
 
 
 __all__ = [
+    "CAMPAIGN_SHARDS",
     "DEFAULT_POOL_SIZE",
     "QUICK_POOL_SIZE",
     "DETECTION_TRIALS",
@@ -478,6 +571,7 @@ __all__ = [
     "WORKLOAD_NAMES",
     "build_model",
     "build_pool",
+    "campaign_shards_speedup",
     "default_backends",
     "model_axis_speedup",
     "parallel_speedup",

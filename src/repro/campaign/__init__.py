@@ -15,9 +15,13 @@ artefact:
 * :class:`~repro.campaign.store.ResultStore` — an append-only JSONL store
   keyed by scenario digest, so interrupted or re-triggered campaigns skip
   completed work;
-* ``python -m repro.campaign`` — ``run`` / ``resume`` / ``report`` /
-  ``diff`` / ``expectations`` CLI; the aggregation behind ``report`` lives
-  in :mod:`repro.analysis.campaign`.
+* :mod:`repro.campaign.distributed` — work-stealing shard workers over
+  per-shard stores (``--shards N``), with byte-stable ``merge``/``compact``
+  canonicalisation and crash-safe supervision;
+* ``python -m repro.campaign`` — ``run`` / ``resume`` / ``merge`` /
+  ``compact`` / ``gc-spill`` / ``report`` / ``diff`` / ``expectations``
+  CLI; the aggregation behind ``report`` lives in
+  :mod:`repro.analysis.campaign`.
 
 Quickstart::
 
@@ -29,6 +33,17 @@ Quickstart::
     summary = run_campaign(spec, "results.jsonl")   # resumes: executes 0
 """
 
+from repro.campaign.distributed import (
+    ModelExchange,
+    WorkUnit,
+    compact_store,
+    find_shard_stores,
+    merge_stores,
+    plan_shards,
+    run_distributed_campaign,
+    shard_store_path,
+)
+from repro.campaign.gc import GCReport, gc_spill
 from repro.campaign.runner import CampaignRunner, CampaignSummary, run_campaign
 from repro.campaign.spec import (
     MODEL_NAMES,
@@ -54,11 +69,21 @@ __all__ = [
     "CampaignSpec",
     "CampaignSummary",
     "FailureRecord",
+    "GCReport",
+    "ModelExchange",
     "ResultStore",
     "Scenario",
     "ScenarioRecord",
+    "WorkUnit",
+    "compact_store",
     "derive_scenario_seed",
     "diff_against_expectations",
     "expectations_from_records",
+    "find_shard_stores",
+    "gc_spill",
+    "merge_stores",
+    "plan_shards",
     "run_campaign",
+    "run_distributed_campaign",
+    "shard_store_path",
 ]

@@ -1,0 +1,128 @@
+"""Spill-store garbage collection for campaign working directories.
+
+The engine spills packed-mask stores into ``spill_dir`` as
+content-addressed ``<op>-<digest>.masks`` files and quarantines corrupt
+ones into a ``quarantine/`` sidecar directory (see
+:meth:`repro.engine.Engine._spilled_masks`).  The content address binds the
+model parameters and query batch, so after a spec change or a retrain the
+old files are unreachable — nothing ever deletes them, and long-lived
+working directories accumulate dead mask stores.
+
+Reachability is tracked by **modification time**: the engine touches a
+spill store's mtime every time a query re-maps it, so any store used by a
+campaign run is at least as new as that run.  :func:`gc_spill` therefore
+reclaims mask stores (and quarantine sidecars) strictly older than a
+cutoff derived from the artifacts the caller still cares about — the
+*oldest* mtime among the given store/spec files (anything the campaign
+that produced them still maps was touched after it started, i.e. after
+those files last changed began), or an absolute ``--older-than`` age.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.utils.logging import get_logger
+
+logger = get_logger("campaign.gc")
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class GCReport:
+    """What one :func:`gc_spill` sweep found (and, unless dry-run, removed)."""
+
+    spill_dir: Path
+    cutoff: float
+    dry_run: bool
+    removed: List[Path] = field(default_factory=list)
+    reclaimed_bytes: int = 0
+    kept: int = 0
+
+    def describe(self) -> str:
+        verb = "would reclaim" if self.dry_run else "reclaimed"
+        return (
+            f"{verb} {self.reclaimed_bytes} bytes across "
+            f"{len(self.removed)} file(s) in {self.spill_dir} "
+            f"({self.kept} kept)"
+        )
+
+
+def _tree_size(path: Path) -> int:
+    if path.is_file():
+        return path.stat().st_size
+    return sum(p.stat().st_size for p in path.rglob("*") if p.is_file())
+
+
+def _remove(path: Path) -> None:
+    if path.is_dir():
+        for child in sorted(path.rglob("*"), reverse=True):
+            if child.is_dir():
+                child.rmdir()
+            else:
+                child.unlink()
+        path.rmdir()
+    else:
+        path.unlink()
+
+
+def gc_spill(
+    spill_dir: PathLike,
+    stores: Sequence[PathLike] = (),
+    specs: Sequence[PathLike] = (),
+    older_than_s: Optional[float] = None,
+    dry_run: bool = False,
+) -> GCReport:
+    """Reclaim unreferenced mask stores and quarantine sidecars.
+
+    A ``.masks`` file (or a ``quarantine/`` entry) is reclaimable when its
+    mtime is older than the cutoff: the oldest mtime among ``stores`` and
+    ``specs`` — every mask store a surviving campaign still maps was
+    touched more recently than that — and/or ``now - older_than_s``.  At
+    least one cutoff source is required; with both, the stricter (older)
+    cutoff wins, so nothing a given store could still reference is removed.
+
+    ``dry_run`` lists what would go (sizes included in the report) without
+    deleting anything.
+    """
+    spill_dir = Path(spill_dir)
+    if not spill_dir.exists():
+        raise FileNotFoundError(f"spill directory {spill_dir} does not exist")
+    reference_mtimes: List[float] = []
+    for ref in list(stores) + list(specs):
+        ref_path = Path(ref)
+        if not ref_path.exists():
+            raise FileNotFoundError(f"reference file {ref_path} does not exist")
+        reference_mtimes.append(ref_path.stat().st_mtime)
+    if not reference_mtimes and older_than_s is None:
+        raise ValueError("gc_spill needs a cutoff: pass live store/spec files or older_than_s")
+    cutoff = min(reference_mtimes) if reference_mtimes else float("inf")
+    if older_than_s is not None:
+        cutoff = min(cutoff, time.time() - float(older_than_s))
+
+    candidates: List[Path] = sorted(spill_dir.glob("*.masks"))
+    quarantine = spill_dir / "quarantine"
+    if quarantine.exists():
+        candidates.extend(sorted(quarantine.iterdir()))
+
+    report = GCReport(spill_dir=spill_dir, cutoff=cutoff, dry_run=dry_run)
+    for candidate in candidates:
+        if candidate.stat().st_mtime >= cutoff:
+            report.kept += 1
+            continue
+        size = _tree_size(candidate)
+        report.removed.append(candidate)
+        report.reclaimed_bytes += size
+        if not dry_run:
+            _remove(candidate)
+            logger.info("reclaimed %s (%d bytes)", candidate, size)
+    if not dry_run and quarantine.exists() and not any(quarantine.iterdir()):
+        quarantine.rmdir()
+    return report
+
+
+__all__ = ["GCReport", "gc_spill"]

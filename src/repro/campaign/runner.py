@@ -28,6 +28,7 @@ results for the scenarios it still has to run.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -56,6 +57,12 @@ logger = get_logger("campaign.runner")
 PackageKey = Tuple[str, str]
 
 ProgressCallback = Callable[[str], None]
+
+#: distinct models whose trained victim, memoizing engine and generated
+#: packages stay resident in a runner at once — shard workers mostly touch
+#: their statically-assigned models, so a small LRU keeps stolen-unit
+#: evictions from growing memory with the campaign's model axis
+MODEL_CACHE_SLOTS = 4
 
 
 @dataclass
@@ -97,9 +104,7 @@ def _generator_kwargs(spec: CampaignSpec, strategy: str) -> Dict[str, object]:
     return kwargs
 
 
-def _prefix_coverages(
-    package: ValidationPackage, budgets: Sequence[int]
-) -> Dict[int, float]:
+def _prefix_coverages(package: ValidationPackage, budgets: Sequence[int]) -> Dict[int, float]:
     """Validation coverage of the package's test prefixes, one per budget.
 
     Budgets are processed in increasing order so the running union extends
@@ -141,6 +146,19 @@ class CampaignRunner:
         means never abort — every failure is quarantined and the run
         completes.
     spill_dir: packed-mask spill directory for the per-model engines.
+    model_exchange: optional cross-process prepared-model cache (any object
+        with ``get(key) -> PreparedExperiment | None`` and ``put(key,
+        prepared)``, keyed by :meth:`CampaignSpec.training_digest`) — the
+        distributed runner's shard workers share one
+        :class:`~repro.campaign.distributed.ModelExchange` so a stolen work
+        unit attaches the already-trained victim instead of retraining it.
+
+    A runner may execute several :meth:`run` calls (the distributed shard
+    workers call it once per work unit): trained models, their memoizing
+    engines and generated packages are cached across calls in a small LRU
+    (:data:`MODEL_CACHE_SLOTS` models), and an owned backend is built once
+    and kept until :meth:`close` — use the runner as a context manager when
+    running on the parallel backend.
     """
 
     def __init__(
@@ -153,6 +171,7 @@ class CampaignRunner:
         fault_policy: Union[FaultPolicy, Dict[str, object], None] = None,
         max_failures: Optional[int] = None,
         spill_dir: Optional[Union[str, Path]] = None,
+        model_exchange: Optional[object] = None,
     ) -> None:
         spec.validate()
         if workers is not None and backend != "parallel":
@@ -170,7 +189,13 @@ class CampaignRunner:
         self.fault_policy = FaultPolicy.coerce(fault_policy)
         self.max_failures = max_failures
         self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self.model_exchange = model_exchange
         self._failures: List[FailureRecord] = []
+        self._backend: Optional[ExecutionBackend] = None
+        self._owns_backend = False
+        #: per-model shared work, retained across run() calls:
+        #: model name -> (prepared, engine, {package key: package})
+        self._model_cache: "OrderedDict[str, tuple]" = OrderedDict()
 
     def _emit(self, message: str) -> None:
         logger.info("%s", message)
@@ -191,9 +216,27 @@ class CampaignRunner:
                 return ParallelBackend(**kwargs), True
         return get_backend(self._backend_spec), True
 
-    def _quarantine(
-        self, scenarios: Sequence[Scenario], stage: str, exc: Exception
-    ) -> None:
+    def _backend_instance(self) -> ExecutionBackend:
+        """The runner's shared backend, built once and kept until close()."""
+        if self._backend is None:
+            self._backend, self._owns_backend = self._build_backend()
+        return self._backend
+
+    def close(self) -> None:
+        """Release the owned backend and every cached per-model engine."""
+        if self._backend is not None and self._owns_backend:
+            self._backend.close()
+        self._backend = None
+        self._owns_backend = False
+        self._model_cache.clear()
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _quarantine(self, scenarios: Sequence[Scenario], stage: str, exc: Exception) -> None:
         """Record ``scenarios`` as failed instead of aborting the campaign.
 
         Raises :class:`CampaignAbortedError` once this run's quarantine count
@@ -228,10 +271,27 @@ class CampaignRunner:
 
     # -- shared-work preparation --------------------------------------------
     def _prepare_model(self, model_name: str):
-        """Train the named victim once (seeded by spec seed + model only)."""
+        """Train the named victim once (seeded by spec seed + model only).
+
+        With a :attr:`model_exchange` attached, an already-published
+        prepared model is fetched by its training digest instead of being
+        retrained — and a fresh training is published for the other shard
+        workers (digest-keyed publication, exactly one training per digest
+        campaign-wide in the common case).
+        """
         from repro.analysis.sweep import dataset_recipe, prepare_experiment
 
         spec = self.spec
+        exchange_key = None
+        if self.model_exchange is not None:
+            exchange_key = spec.training_digest(model_name)
+            prepared = self.model_exchange.get(exchange_key)
+            if prepared is not None:
+                self._emit(
+                    f"[{model_name}] attached published model "
+                    f"(digest {exchange_key[:12]})"
+                )
+                return prepared
         seed = derive_scenario_seed(spec.seed, "train", model_name)
         # learning rate comes from the dataset's registry recipe (explicit
         # ``learning_rate`` entry, else the zoo model's default)
@@ -260,11 +320,11 @@ class CampaignRunner:
             f"[{model_name}] trained: accuracy {prepared.test_accuracy:.3f}, "
             f"{prepared.model.num_parameters()} parameters"
         )
+        if self.model_exchange is not None and exchange_key is not None:
+            self.model_exchange.put(exchange_key, prepared)
         return prepared
 
-    def _build_package(
-        self, prepared, key: PackageKey, engine: Engine
-    ) -> ValidationPackage:
+    def _build_package(self, prepared, key: PackageKey, engine: Engine) -> ValidationPackage:
         """One package per (criterion, strategy), always at the max budget."""
         criterion_name, strategy = key
         spec = self.spec
@@ -285,9 +345,7 @@ class CampaignRunner:
         result = generator.generate(spec.max_budget)
         # the shared per-model engine serves the mask pass too, so package
         # coverage metadata reuses the gradients generation just memoized
-        package = vendor.build_package(
-            result, output_atol=spec.output_atol, engine=engine
-        )
+        package = vendor.build_package(result, output_atol=spec.output_atol, engine=engine)
         self._emit(
             f"[{prepared.dataset_name}] package {strategy}/{criterion_name}: "
             f"{package.num_tests} tests, coverage "
@@ -296,11 +354,18 @@ class CampaignRunner:
         return package
 
     # -- execution ----------------------------------------------------------
-    def run(self) -> CampaignSummary:
-        """Execute every pending scenario; already-stored ones are skipped."""
+    def run(self, scenarios: Optional[Sequence[Scenario]] = None) -> CampaignSummary:
+        """Execute every pending scenario; already-stored ones are skipped.
+
+        ``scenarios`` restricts the call to a subset of the spec's
+        cross-product (the distributed runner executes one work unit per
+        call); ``None`` runs the full expansion.  An owned backend persists
+        across calls — :meth:`close` (or the context manager) releases it.
+        """
         start = time.perf_counter()
         spec = self.spec
-        scenarios = spec.expand()
+        if scenarios is None:
+            scenarios = spec.expand()
         # quarantined digests are absent from completed_digests, so resume
         # naturally retries them
         pending = [s for s in scenarios if s.digest not in self.store]
@@ -319,17 +384,13 @@ class CampaignRunner:
                 wall_s=time.perf_counter() - start,
             )
 
-        backend, owned = self._build_backend()
+        backend = self._backend_instance()
         records: List[ScenarioRecord] = []
-        try:
-            for model_name in spec.models:
-                model_pending = [s for s in pending if s.model == model_name]
-                if not model_pending:
-                    continue
-                records.extend(self._run_model(model_name, model_pending, backend))
-        finally:
-            if owned:
-                backend.close()
+        for model_name in spec.models:
+            model_pending = [s for s in pending if s.model == model_name]
+            if not model_pending:
+                continue
+            records.extend(self._run_model(model_name, model_pending, backend))
         return CampaignSummary(
             total=len(scenarios),
             executed=len(records),
@@ -339,18 +400,20 @@ class CampaignRunner:
             failures=list(self._failures),
         )
 
-    def _run_model(
-        self,
-        model_name: str,
-        model_pending: Sequence[Scenario],
-        backend: ExecutionBackend,
-    ) -> List[ScenarioRecord]:
-        spec = self.spec
-        try:
-            prepared = self._prepare_model(model_name)
-        except Exception as exc:  # noqa: BLE001 — quarantine, don't abort
-            self._quarantine(model_pending, "prepare", exc)
-            return []
+    def _model_context(
+        self, model_name: str, backend: ExecutionBackend
+    ) -> Tuple[object, Engine, Dict[PackageKey, ValidationPackage]]:
+        """The model's cached (prepared, engine, packages) triple, LRU-kept.
+
+        Raises whatever :meth:`_prepare_model` raises on a cache miss — the
+        caller quarantines.  Packages are filled in lazily by
+        :meth:`_run_model` as scenarios need them.
+        """
+        cached = self._model_cache.get(model_name)
+        if cached is not None:
+            self._model_cache.move_to_end(model_name)
+            return cached
+        prepared = self._prepare_model(model_name)
         # one memoizing engine per model: package generation for every
         # (criterion, strategy) shares its mask/gradient cache
         engine = Engine(
@@ -359,32 +422,45 @@ class CampaignRunner:
             fault_policy=self.fault_policy,
             spill_dir=self.spill_dir,
         )
+        context = (prepared, engine, {})
+        self._model_cache[model_name] = context
+        while len(self._model_cache) > MODEL_CACHE_SLOTS:
+            self._model_cache.popitem(last=False)
+        return context
+
+    def _run_model(
+        self,
+        model_name: str,
+        model_pending: Sequence[Scenario],
+        backend: ExecutionBackend,
+    ) -> List[ScenarioRecord]:
+        spec = self.spec
+        try:
+            prepared, engine, packages = self._model_context(model_name, backend)
+        except Exception as exc:  # noqa: BLE001 — quarantine, don't abort
+            self._quarantine(model_pending, "prepare", exc)
+            return []
 
         package_keys: List[PackageKey] = []
         for s in model_pending:
             key = (s.criterion, s.strategy)
             if key not in package_keys:
                 package_keys.append(key)
-        packages: Dict[PackageKey, ValidationPackage] = {}
         for key in package_keys:
+            if key in packages:
+                continue
             try:
                 packages[key] = self._build_package(prepared, key, engine)
             except Exception as exc:  # noqa: BLE001 — quarantine, don't abort
-                affected = [
-                    s for s in model_pending if (s.criterion, s.strategy) == key
-                ]
+                affected = [s for s in model_pending if (s.criterion, s.strategy) == key]
                 self._quarantine(affected, "package", exc)
         # drop scenarios whose package failed; the rest of the group runs
-        model_pending = [
-            s for s in model_pending if (s.criterion, s.strategy) in packages
-        ]
+        model_pending = [s for s in model_pending if (s.criterion, s.strategy) in packages]
         if not model_pending:
             return []
         # prefix coverage is attack-independent: compute it once per
         # (package, budget) here rather than once per scenario below
-        coverages = {
-            key: _prefix_coverages(pkg, spec.budgets) for key, pkg in packages.items()
-        }
+        coverages = {key: _prefix_coverages(pkg, spec.budgets) for key, pkg in packages.items()}
 
         factories = default_attack_factories(
             prepared.test.images[: spec.reference_inputs],
@@ -440,9 +516,7 @@ class CampaignRunner:
             if key not in needed_keys:
                 needed_keys.append(key)
         stacked = {f"{c}|{g}": packages[(c, g)] for c, g in needed_keys}
-        methods, stacked_tests, expected, offsets = stack_package_prefixes(
-            stacked, spec.max_budget
-        )
+        methods, stacked_tests, expected, offsets = stack_package_prefixes(stacked, spec.max_budget)
 
         # the trial sequence depends only on (spec seed, model, attack), so
         # resumed campaigns replay the exact same perturbations
@@ -517,9 +591,7 @@ class CampaignRunner:
                 seed=scenario.seed,
                 trials=spec.trials,
                 detections=detections[(method, scenario.budget)],
-                coverage=coverages[(scenario.criterion, scenario.strategy)][
-                    scenario.budget
-                ],
+                coverage=coverages[(scenario.criterion, scenario.strategy)][scenario.budget],
                 campaign=spec.name,
                 extra={
                     "package_coverage": float(
@@ -544,15 +616,38 @@ def run_campaign(
     max_failures: Optional[int] = None,
     spill_dir: Optional[Union[str, Path]] = None,
     durable: bool = False,
+    shards: Optional[int] = None,
 ) -> CampaignSummary:
     """Convenience wrapper: run ``spec`` into ``store`` (path or instance).
 
     ``durable`` only applies when ``store`` is a path (an instance keeps its
-    own setting).
+    own setting).  ``shards`` (default: ``spec.shards``) above 1 delegates
+    to :func:`repro.campaign.distributed.run_distributed_campaign`: the
+    pending cross-product executes on that many supervised worker
+    processes, each appending to its own ``<store>.shard<k>.jsonl`` — run
+    ``python -m repro.campaign merge`` afterwards for the combined store.
     """
+    effective_shards = int(shards) if shards is not None else spec.shards
+    if effective_shards < 1:
+        raise ValueError("shards must be at least 1")
+    if effective_shards > 1:
+        from repro.campaign.distributed import run_distributed_campaign
+
+        store_path = store.path if isinstance(store, ResultStore) else store
+        return run_distributed_campaign(
+            spec,
+            store_path,
+            shards=effective_shards,
+            backend=backend,
+            progress=progress,
+            fault_policy=fault_policy,
+            max_failures=max_failures,
+            spill_dir=spill_dir,
+            durable=(store.durable if isinstance(store, ResultStore) else durable),
+        )
     if not isinstance(store, ResultStore):
         store = ResultStore(store, durable=durable)
-    return CampaignRunner(
+    with CampaignRunner(
         spec,
         store,
         backend=backend,
@@ -561,7 +656,8 @@ def run_campaign(
         fault_policy=fault_policy,
         max_failures=max_failures,
         spill_dir=spill_dir,
-    ).run()
+    ) as runner:
+        return runner.run()
 
 
 __all__ = ["CampaignRunner", "CampaignSummary", "run_campaign"]

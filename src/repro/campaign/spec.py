@@ -53,9 +53,7 @@ def _criterion_probe():
     if _CRITERION_PROBE is None:
         from repro.models.zoo import small_mlp
 
-        _CRITERION_PROBE = small_mlp(
-            input_features=4, hidden_units=4, num_classes=2, depth=1
-        )
+        _CRITERION_PROBE = small_mlp(input_features=4, hidden_units=4, num_classes=2, depth=1)
     return _CRITERION_PROBE
 
 
@@ -143,6 +141,10 @@ class CampaignSpec:
     random_relative_std: float = 2.0
     #: output comparison tolerance of the user-side replay
     output_atol: float = 1e-6
+    #: worker-process shards of the distributed runner (execution layout,
+    #: like ``name`` — never a digest ingredient: re-sharding a campaign
+    #: must not re-run a single scenario)
+    shards: int = 1
 
     def __post_init__(self) -> None:
         # tolerate lists from TOML/JSON by normalising to tuples
@@ -211,6 +213,8 @@ class CampaignSpec:
             )
         if self.output_atol < 0:
             raise ValueError("output_atol must be non-negative")
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
 
     # -- expansion ----------------------------------------------------------
     @property
@@ -218,11 +222,47 @@ class CampaignSpec:
         return max(self.budgets)
 
     def shared_knobs(self) -> Dict[str, object]:
-        """The outcome-relevant non-axis fields (digest ingredients)."""
+        """The outcome-relevant non-axis fields (digest ingredients).
+
+        ``name`` and ``shards`` are excluded: a label and an execution
+        layout respectively — changing either must not invalidate a single
+        completed scenario.
+        """
         data = asdict(self)
-        for axis in ("attacks", "models", "criteria", "strategies", "budgets", "name"):
+        for axis in (
+            "attacks",
+            "models",
+            "criteria",
+            "strategies",
+            "budgets",
+            "name",
+            "shards",
+        ):
             data.pop(axis)
         return data
+
+    def training_digest(self, model: str) -> str:
+        """Content key for the trained victim of ``model``.
+
+        Binds exactly the inputs of :meth:`CampaignRunner._prepare_model` —
+        spec seed, data sizes, epochs, width and the code version — so the
+        distributed runner's model exchange can ship one prepared model
+        between shard workers by digest (the
+        :class:`~repro.engine.ParallelBackend` publication idiom at process
+        granularity).
+        """
+        from repro import __version__
+
+        payload = {
+            "repro": __version__,
+            "model": str(model),
+            "seed": int(self.seed),
+            "train_size": int(self.train_size),
+            "test_size": int(self.test_size),
+            "epochs": int(self.epochs),
+            "width_multiplier": float(self.width_multiplier),
+        }
+        return _stable_digest(payload)
 
     def scenario_digest(self, axes: Dict[str, object], seed: int) -> str:
         """Store key for one scenario: axes + seed + knobs + versions."""

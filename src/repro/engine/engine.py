@@ -42,6 +42,7 @@ queries where the engine's hashing overhead is not worth paying.
 from __future__ import annotations
 
 import hashlib
+import os
 import warnings
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
@@ -865,6 +866,9 @@ class Engine:
                 )
             else:
                 if matrix.nbits == nbits and len(matrix) == batch.shape[0]:
+                    # refresh the mtime: ``gc-spill`` treats it as the
+                    # last-use marker when sweeping unreferenced stores
+                    os.utime(path, None)
                     return matrix
                 # a readable store that answers a different query is not
                 # corruption — a content-address collision after a code

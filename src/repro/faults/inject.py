@@ -18,6 +18,7 @@ site               where                                   context keys
 ``mmap.window``       each ``MmapMaskMatrix`` window read  ``path, window``
 ``layer.forward``     per-layer in ``Sequential.forward``  ``layer, index, model``
 ``campaign.scenario`` per attack group in the runner       ``model, attack``
+``campaign.shard``    per pulled unit in a shard worker    ``shard, model, attack``
 ``model_axis.stacked_forward`` each fused stacked dispatch ``models``
 ================== ====================================== =================
 
