@@ -56,6 +56,9 @@ Subsystem map:
   reporting.
 * :mod:`repro.campaign` — declarative, resumable attack × model × criterion
   × strategy × budget sweeps.
+* :mod:`repro.serve` — validation as a service: the async multi-tenant
+  HTTP endpoint with the cross-request batching coalescer
+  (``python -m repro serve``).
 """
 
 from typing import TYPE_CHECKING
@@ -77,6 +80,8 @@ _LAZY_EXPORTS = {
     "api_surface": "repro.api",
     "register": "repro.registry",
     "FaultPolicy": "repro.faults",
+    "ServeConfig": "repro.serve",
+    "ValidationService": "repro.serve",
 }
 
 __all__ = ["__version__", "get_registry", *sorted(_LAZY_EXPORTS)]
@@ -97,6 +102,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     )
     from repro.faults import FaultPolicy  # noqa: F401
     from repro.registry import register  # noqa: F401
+    from repro.serve import ServeConfig, ValidationService  # noqa: F401
 
 
 def get_registry():

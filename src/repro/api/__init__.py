@@ -30,6 +30,7 @@ from repro.api.requests import (
 )
 from repro.api.session import BlackBox, Session, release, sweep, validate
 from repro.api.surface import api_surface
+from repro.api.wire import WIRE_SCHEMA_VERSION, WireSerde, open_envelope
 
 __all__ = [
     "BlackBox",
@@ -40,7 +41,10 @@ __all__ = [
     "SweepRequest",
     "ValidateRequest",
     "ValidationOutcome",
+    "WIRE_SCHEMA_VERSION",
+    "WireSerde",
     "api_surface",
+    "open_envelope",
     "release",
     "sweep",
     "validate",

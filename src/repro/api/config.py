@@ -71,12 +71,25 @@ class TableSerde:
 
     @classmethod
     def coerce(cls, value, **overrides: object):
-        """Resolve from an instance, a dict, or keyword arguments — validated."""
+        """Resolve from an instance, a dict, a wire envelope, or keyword
+        arguments — validated.
+
+        A dict carrying ``schema_version`` is treated as a wire envelope
+        (see :mod:`repro.api.wire`) when the class mixes in
+        :class:`~repro.api.wire.WireSerde`; the HTTP layer and the
+        in-process path therefore share one deserialization contract.
+        """
         if value is None:
             instance = cls(**overrides)  # type: ignore[arg-type]
         elif isinstance(value, cls):
             instance = value.with_overrides(**overrides) if overrides else value
         elif isinstance(value, dict):
+            if "schema_version" in value and hasattr(cls, "from_wire"):
+                instance = cls.from_wire(value)  # type: ignore[attr-defined]
+                if overrides:
+                    instance = instance.with_overrides(**overrides)
+                instance.validate()  # type: ignore[attr-defined]
+                return instance
             merged = dict(value)
             merged.update(overrides)
             instance = cls.from_dict(merged)

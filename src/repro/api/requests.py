@@ -13,6 +13,12 @@ one request dataclass in and one result object out:
 Every request is resolvable from a plain dict or a TOML/JSON file (the same
 convention as :class:`~repro.campaign.CampaignSpec`), so CLI drivers and
 service layers construct them without touching constructor signatures.
+Every request also carries a **versioned wire schema**
+(:meth:`~repro.api.wire.WireSerde.to_wire` /
+:meth:`~repro.api.wire.WireSerde.from_wire`, explicit ``schema_version``):
+the :mod:`repro.serve` HTTP endpoint and the in-process
+:meth:`~repro.api.Session.validate` path deserialize the exact same
+envelope.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.api.config import TableSerde
+from repro.api.wire import WireSerde, envelope, open_envelope
 from repro.nn.model import Sequential
 from repro.testgen.base import GenerationResult
 from repro.validation.package import DEFAULT_OUTPUT_ATOL, ValidationPackage
@@ -36,7 +43,7 @@ PathLike = Union[str, Path]
 
 
 @dataclass(frozen=True)
-class ReleaseRequest(TableSerde):
+class ReleaseRequest(WireSerde, TableSerde):
     """Vendor-side request: train a model and release a validation package.
 
     The preparation fields (``dataset`` … ``width_multiplier``) resolve
@@ -141,7 +148,7 @@ class ReleasePackage:
 
 
 @dataclass(frozen=True)
-class ValidateRequest(TableSerde):
+class ValidateRequest(WireSerde, TableSerde):
     """User-side request: replay a validation package against a black-box IP.
 
     ``package`` may be an in-memory :class:`ValidationPackage` or a path to
@@ -233,6 +240,16 @@ class ValidationOutcome:
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)
 
+    def to_wire(self) -> Dict[str, object]:
+        """This outcome as a versioned wire envelope (the HTTP response body)."""
+        return envelope("outcome", self.to_dict())
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, object]) -> "ValidationOutcome":
+        """Rebuild an outcome from its wire envelope (the client side)."""
+        _version, _kind, body = open_envelope(data, expected_kind="outcome")
+        return cls(**body)  # type: ignore[arg-type]
+
 
 # ---------------------------------------------------------------------------
 # sweep
@@ -240,7 +257,7 @@ class ValidationOutcome:
 
 
 @dataclass(frozen=True)
-class SweepRequest(TableSerde):
+class SweepRequest(WireSerde, TableSerde):
     """Campaign-sweep request: delegate a spec to the resumable runner.
 
     ``spec`` may be a :class:`~repro.campaign.CampaignSpec`, a plain dict of

@@ -26,6 +26,8 @@ re-run in a fresh session reproduces its artefacts exactly.
 
 from __future__ import annotations
 
+import threading
+import warnings
 from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple, Union
@@ -66,6 +68,17 @@ class Session:
     so repeated requests against the same trained model reuse cached
     gradient/mask matrices.  Sessions are context managers — leaving the
     ``with`` block releases the backend's worker pools.
+
+    **Concurrency contract.**  A session's *bookkeeping* is thread-safe: the
+    lazy backend build, the engine pool, the prepared-experiment cache and
+    :meth:`close` all run under one re-entrant lock, so concurrent callers
+    (the :mod:`repro.serve` worker tier) can share a session without
+    corrupting its LRUs.  The *compute* they hand back is not serialised
+    here — engines memoize through the thread-safe
+    :class:`~repro.engine.cache.BatchResultCache`, but the numerical kernels
+    reuse per-engine workspace buffers, so callers that need bit-stable
+    results under concurrency must serialise dispatches *per engine* (the
+    serving layer does exactly that around its coalesced dispatches).
     """
 
     def __init__(
@@ -85,44 +98,52 @@ class Session:
         # resolved once: every engine/backend the session builds shares it
         self._fault_policy = self.config.fault_policy()
         self._closed = False
+        # guards the lazy backend build and both LRUs (see the class
+        # docstring's concurrency contract); re-entrant because release()
+        # calls prepare() and engine_for() while conceptually one operation
+        self._lock = threading.RLock()
 
     # -- lifecycle -----------------------------------------------------------
     @property
     def backend(self) -> ExecutionBackend:
         """The session's shared backend, built lazily on first use."""
-        if self._closed:
-            raise RuntimeError("session is closed")
-        if self._backend is None:
-            cfg = self.config
-            if cfg.backend == "parallel" and (
-                cfg.workers is not None or self._fault_policy is not None
-            ):
-                kwargs: Dict[str, object] = {}
-                if cfg.workers is not None:
-                    kwargs["workers"] = cfg.workers
-                if self._fault_policy is not None:
-                    kwargs["fault_policy"] = self._fault_policy
-                self._backend = ParallelBackend(**kwargs)
-            elif cfg.backend == "model_axis" and cfg.model_axis_size is not None:
-                from repro.engine import ModelAxisBackend
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("session is closed")
+            if self._backend is None:
+                cfg = self.config
+                if cfg.backend == "parallel" and (
+                    cfg.workers is not None or self._fault_policy is not None
+                ):
+                    kwargs: Dict[str, object] = {}
+                    if cfg.workers is not None:
+                        kwargs["workers"] = cfg.workers
+                    if self._fault_policy is not None:
+                        kwargs["fault_policy"] = self._fault_policy
+                    self._backend = ParallelBackend(**kwargs)
+                elif cfg.backend == "model_axis" and cfg.model_axis_size is not None:
+                    from repro.engine import ModelAxisBackend
 
-                self._backend = ModelAxisBackend(max_models=cfg.model_axis_size)
-            else:
-                self._backend = get_backend(cfg.backend)
-        return self._backend
+                    self._backend = ModelAxisBackend(max_models=cfg.model_axis_size)
+                else:
+                    self._backend = get_backend(cfg.backend)
+            return self._backend
 
     def close(self) -> None:
         """Release the backend's worker pools and drop cached engines.
 
         The session always owns its backend (it is built from the config in
         :attr:`backend`), so closing it here cannot strand another owner.
+        Closing is idempotent and safe to call concurrently with other
+        session methods: late callers observe the closed flag and raise.
         """
-        if self._backend is not None:
-            self._backend.close()
-        self._backend = None
-        self._engines.clear()
-        self._prepared.clear()
-        self._closed = True
+        with self._lock:
+            if self._backend is not None:
+                self._backend.close()
+            self._backend = None
+            self._engines.clear()
+            self._prepared.clear()
+            self._closed = True
 
     def __enter__(self) -> "Session":
         return self
@@ -142,32 +163,54 @@ class Session:
         while perturbed copies (different digest) get their own.  At most
         ``config.engine_cache_size`` engines are retained.
         """
-        if self._closed:
-            raise RuntimeError("session is closed")
         criterion_key = (
             (type(criterion).__name__, repr(criterion)) if criterion is not None else None
         )
         key = (parameter_digest(model), criterion_key)
-        engine = self._engines.get(key)
-        if engine is not None and engine.model is model:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("session is closed")
+            engine = self._engines.get(key)
+            if engine is not None and engine.model is model:
+                self._engines.move_to_end(key)
+                return engine
+            cfg = self.config
+            engine = Engine(
+                model,
+                criterion=criterion,
+                backend=self.backend,
+                dtype=cfg.dtype,
+                batch_size=cfg.batch_size,
+                memory_budget_bytes=cfg.memory_budget_bytes,
+                spill_dir=cfg.spill_dir,
+                fault_policy=self._fault_policy,
+            )
+            self._engines[key] = engine
             self._engines.move_to_end(key)
+            while len(self._engines) > cfg.engine_cache_size:
+                self._engines.popitem(last=False)
             return engine
-        cfg = self.config
-        engine = Engine(
-            model,
-            criterion=criterion,
-            backend=self.backend,
-            dtype=cfg.dtype,
-            batch_size=cfg.batch_size,
-            memory_budget_bytes=cfg.memory_budget_bytes,
-            spill_dir=cfg.spill_dir,
-            fault_policy=self._fault_policy,
-        )
-        self._engines[key] = engine
-        self._engines.move_to_end(key)
-        while len(self._engines) > cfg.engine_cache_size:
-            self._engines.popitem(last=False)
-        return engine
+
+    def engine_stats(self):
+        """Merged :class:`~repro.engine.cache.CacheStats` across the pooled
+        engines — the serving layer's ``/stats`` fault/cache counters."""
+        from repro.engine.cache import CacheStats
+
+        with self._lock:
+            engines = list(self._engines.values())
+        merged = CacheStats()
+        for engine in engines:
+            merged = merged.merge(engine.stats)
+        return merged
+
+    def fault_events(self):
+        """Fault-tolerance events recorded by every pooled engine, merged."""
+        with self._lock:
+            engines = list(self._engines.values())
+        events = []
+        for engine in engines:
+            events.extend(engine.fault_events)
+        return events
 
     # -- preparation ---------------------------------------------------------
     def prepare(
@@ -188,34 +231,38 @@ class Session:
         train once.  Returns a
         :class:`~repro.analysis.sweep.PreparedExperiment`.
         """
-        if self._closed:
-            raise RuntimeError("session is closed")
         from repro.analysis.sweep import prepare_experiment
         from repro.campaign.spec import derive_scenario_seed
 
         key = (dataset, train_size, test_size, epochs, width_multiplier, seed)
-        prepared = self._prepared.get(key)
-        if prepared is not None:
-            self._prepared.move_to_end(key)
-            return prepared
+        # training runs under the lock: concurrent requests for the same
+        # preparation must train once and share the result, and training is
+        # rare enough (LRU-cached) that the serialisation is the point
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("session is closed")
+            prepared = self._prepared.get(key)
+            if prepared is not None:
+                self._prepared.move_to_end(key)
+                return prepared
 
-        rng = derive_scenario_seed(self.config.seed, "prepare", dataset, seed)
-        logger.info(
-            "preparing %s (train=%d, test=%d)", dataset, train_size, test_size
-        )
-        prepared = prepare_experiment(
-            dataset,
-            train_size=train_size,
-            test_size=test_size,
-            width_multiplier=width_multiplier,
-            epochs=epochs,
-            rng=rng,
-        )
-        self._prepared[key] = prepared
-        self._prepared.move_to_end(key)
-        while len(self._prepared) > self.config.prepared_cache_size:
-            self._prepared.popitem(last=False)
-        return prepared
+            rng = derive_scenario_seed(self.config.seed, "prepare", dataset, seed)
+            logger.info(
+                "preparing %s (train=%d, test=%d)", dataset, train_size, test_size
+            )
+            prepared = prepare_experiment(
+                dataset,
+                train_size=train_size,
+                test_size=test_size,
+                width_multiplier=width_multiplier,
+                epochs=epochs,
+                rng=rng,
+            )
+            self._prepared[key] = prepared
+            self._prepared.move_to_end(key)
+            while len(self._prepared) > self.config.prepared_cache_size:
+                self._prepared.popitem(last=False)
+            return prepared
 
     # -- the three paper operations ------------------------------------------
     def release(
@@ -310,6 +357,20 @@ class Session:
         outcome = ValidationOutcome.from_report(report, package)
         logger.info("%s", outcome.summary())
         return outcome
+
+    def load_ip(
+        self,
+        request: Union[ValidateRequest, Dict[str, object], None] = None,
+        **overrides: object,
+    ) -> Sequential:
+        """Load the black-box IP a validate request points at, without
+        validating it — the serving layer resolves models once, replays the
+        package through a managed engine, then scores with the shared
+        comparison rule (:func:`repro.validation.report_from_outputs`)."""
+        req = ValidateRequest.coerce(request, **overrides)
+        if req.model_path is None:
+            raise ValueError("load_ip requires model_path on the request")
+        return self._load_black_box(req)
 
     def _load_black_box(self, req: ValidateRequest) -> Sequential:
         """Rebuild the received model file as a queryable black box.
@@ -431,12 +492,28 @@ class Session:
 # ---------------------------------------------------------------------------
 
 
+def _warn_adhoc_kwargs(func: str, overrides: Dict[str, object]) -> None:
+    """Deprecation shim: the one-shot helpers used to accept request fields
+    as ad-hoc keyword arguments; typed request objects (or plain dicts /
+    wire envelopes) are the supported spelling now that the same payloads
+    travel over the serving wire."""
+    warnings.warn(
+        f"passing request fields as keyword arguments to repro.api.{func}() "
+        f"({', '.join(sorted(overrides))}) is deprecated; build a "
+        f"{func.capitalize()}Request (or pass a dict / wire envelope) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def release(
     request: Union[ReleaseRequest, Dict[str, object], None] = None,
     config: Union[RunConfig, Dict[str, object], None] = None,
     **overrides: object,
 ) -> ReleasePackage:
     """One-shot :meth:`Session.release` in a throwaway session."""
+    if overrides:
+        _warn_adhoc_kwargs("release", overrides)
     with Session(config) as session:
         return session.release(request, **overrides)
 
@@ -448,6 +525,8 @@ def validate(
     **overrides: object,
 ) -> ValidationOutcome:
     """One-shot :meth:`Session.validate` in a throwaway session."""
+    if overrides:
+        _warn_adhoc_kwargs("validate", overrides)
     with Session(config) as session:
         return session.validate(request, ip=ip, **overrides)
 
@@ -458,6 +537,8 @@ def sweep(
     **overrides: object,
 ):
     """One-shot :meth:`Session.sweep` in a throwaway session."""
+    if overrides:
+        _warn_adhoc_kwargs("sweep", overrides)
     with Session(config) as session:
         return session.sweep(request, **overrides)
 

@@ -47,6 +47,7 @@ from repro.bench.workloads import (
     parallel_speedup,
     run_benchmark_matrix,
     run_workloads,
+    serve_coalesce_speedup,
 )
 
 __all__ = [
@@ -80,4 +81,5 @@ __all__ = [
     "parallel_speedup",
     "run_benchmark_matrix",
     "run_workloads",
+    "serve_coalesce_speedup",
 ]

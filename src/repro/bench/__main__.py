@@ -40,6 +40,7 @@ from repro.bench.workloads import (
     model_axis_speedup,
     parallel_speedup,
     run_benchmark_matrix,
+    serve_coalesce_speedup,
 )
 
 
@@ -122,6 +123,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     sharded = campaign_shards_speedup(results)
     if sharded is not None:
         print(f"campaign shards speedup vs serial (float64): {sharded:.2f}x")
+    served = serve_coalesce_speedup(results)
+    if served is not None:
+        print(f"serve coalescer speedup vs uncoalesced (float64): {served:.2f}x")
 
     report = write_report(
         results, args.output, meta={"quick": bool(args.quick), "pool_size": pool_size}

@@ -33,6 +33,12 @@ The workloads cover the library's hot paths end to end:
                    cell only: the shard workers are the parallelism);
                    a one-shot serial reference wall rides along in
                    ``extra["serial_wall_s"]`` for the speedup gate
+``serve_coalesce`` :data:`SERVE_CONCURRENT` concurrent same-digest validates
+                   through :class:`repro.serve.ValidationService`'s batching
+                   coalescer (numpy × float64 cell only: the coalescer's
+                   stacked dedup is the parallelism); a one-shot uncoalesced
+                   reference wall rides along in
+                   ``extra["uncoalesced_wall_s"]`` for the speedup gate
 =================  ========================================================
 
 Each runs on every requested backend (``numpy``, and ``parallel`` when more
@@ -89,6 +95,7 @@ WORKLOAD_NAMES = (
     "revisit",
     "campaign",
     "campaign_shards",
+    "serve_coalesce",
 )
 
 #: worker shards of the ``campaign_shards`` workload (the acceptance
@@ -114,6 +121,26 @@ CAMPAIGN_WORKLOAD_SPEC = dict(
     candidate_pool=12,
     gradient_updates=3,
     reference_inputs=6,
+)
+
+#: concurrent same-digest validates of the ``serve_coalesce`` workload (the
+#: acceptance speedup is gated at this fan-in by ``bench_serve.py``)
+SERVE_CONCURRENT = 8
+
+#: the micro release replayed by the ``serve_coalesce`` workload: the
+#: ``random`` strategy keeps the (untimed) vendor setup cheap — only the
+#: validate path is measured
+SERVE_WORKLOAD_SPEC = dict(
+    dataset="mnist",
+    num_tests=32,
+    strategy="random",
+    criterion="default",
+    train_size=24,
+    test_size=12,
+    epochs=1,
+    width_multiplier=0.25,
+    candidate_pool=32,
+    seed=0,
 )
 
 #: the ``campaign_shards`` spec: the micro campaign widened along the attack
@@ -477,6 +504,78 @@ def run_workloads(
                         serial_wall_s=serial_wall_s,
                     )
                 )
+        if (
+            "serve_coalesce" in selected
+            and dtype == "float64"
+            and backend_name == "numpy"
+        ):
+            # numpy × float64 cell only: the coalescer's stacked dedup — not
+            # the matrix backend — is the parallelism being measured, and
+            # float64 is the package-replay dtype
+            import asyncio
+
+            from repro.api import ReleaseRequest, RunConfig, Session, ValidateRequest
+            from repro.serve import SERVE_BATCH_SIZE, ServeConfig, ValidationService
+
+            with Session(RunConfig(batch_size=SERVE_BATCH_SIZE)) as vendor:
+                released = vendor.release(ReleaseRequest(**SERVE_WORKLOAD_SPEC))
+
+            def serve_service(coalesce: bool) -> ValidationService:
+                return ValidationService(
+                    ServeConfig(
+                        coalesce=coalesce,
+                        coalesce_window_s=0.002,
+                        max_stacked_models=SERVE_CONCURRENT,
+                        request_timeout_s=None,
+                    )
+                )
+
+            async def drive(service: ValidationService) -> float:
+                outcomes = await asyncio.gather(
+                    *(
+                        service.validate(
+                            ValidateRequest(package=released.package),
+                            ip=released.model,
+                        )
+                        for _ in range(SERVE_CONCURRENT)
+                    )
+                )
+                return sum(o.passed for o in outcomes) / len(outcomes)
+
+            # one uncoalesced reference (best of two — the second run has the
+            # engine warm, mirroring the measured leg's warm-up): the speedup
+            # denominator the bench gate divides by
+            uncoalesced = serve_service(False)
+            try:
+                walls = []
+                for _ in range(2):
+                    start = time.perf_counter()
+                    asyncio.run(drive(uncoalesced))
+                    walls.append(time.perf_counter() - start)
+                uncoalesced_wall_s = min(walls)
+            finally:
+                uncoalesced.close()
+
+            coalesced = serve_service(True)
+            try:
+                result = measure(
+                    "serve_coalesce",
+                    lambda: asyncio.run(drive(coalesced)),
+                    samples=SERVE_CONCURRENT * len(released.package.tests),
+                    backend=backend_name,
+                    dtype=dtype,
+                    repeats=repeats,
+                    value_of=lambda r: r,
+                    concurrent=SERVE_CONCURRENT,
+                    uncoalesced_wall_s=uncoalesced_wall_s,
+                )
+                stats = coalesced.coalescer.stats
+                result.extra["dispatches"] = stats.dispatches
+                result.extra["deduped"] = stats.deduped
+                result.extra["coalesce_hit_rate"] = round(stats.hit_rate, 4)
+                results.append(result)
+            finally:
+                coalesced.close()
     finally:
         backend.close()
     return results
@@ -544,6 +643,23 @@ def campaign_shards_speedup(results: Sequence[BenchmarkResult]) -> Optional[floa
     return float(serial_wall) / sharded.wall_s
 
 
+def serve_coalesce_speedup(results: Sequence[BenchmarkResult]) -> Optional[float]:
+    """Uncoalesced-vs-coalesced wall ratio of the ``serve_coalesce`` workload.
+
+    The uncoalesced reference wall is recorded in the result's
+    ``extra["uncoalesced_wall_s"]`` (same release, same fan-in, coalescing
+    off); ``None`` when the workload is absent from ``results``.
+    """
+    by_key = {r.key: r for r in results}
+    coalesced = by_key.get(("serve_coalesce", "numpy", "float64"))
+    if coalesced is None or coalesced.wall_s <= 0:
+        return None
+    uncoalesced_wall = coalesced.extra.get("uncoalesced_wall_s")
+    if uncoalesced_wall is None:
+        return None
+    return float(uncoalesced_wall) / coalesced.wall_s
+
+
 def model_axis_speedup(results: Sequence[BenchmarkResult]) -> Optional[float]:
     """Fused-vs-loop ratio of the ``model_axis`` workload (float64 only).
 
@@ -568,6 +684,7 @@ __all__ = [
     "MODEL_AXIS_COPIES",
     "SELECTION_BUDGET",
     "SELECTION_POOL_MULTIPLIER",
+    "SERVE_CONCURRENT",
     "WORKLOAD_NAMES",
     "build_model",
     "build_pool",
@@ -577,4 +694,5 @@ __all__ = [
     "parallel_speedup",
     "run_benchmark_matrix",
     "run_workloads",
+    "serve_coalesce_speedup",
 ]

@@ -6,13 +6,14 @@ One front door over every operational surface of the library::
     python -m repro validate --package release/package.npz \\
         --model release/model.npz --arch mnist
     python -m repro campaign run --spec spec.toml --store results.jsonl
+    python -m repro serve --port 8420
     python -m repro bench --quick
     python -m repro registry --namespace strategies
     python -m repro version
 
-``campaign`` and ``bench`` delegate to the existing subsystem CLIs
-(``python -m repro.campaign`` / ``python -m repro.bench``), which keep
-working standalone; ``release`` and ``validate`` drive the
+``campaign``, ``serve`` and ``bench`` delegate to the existing subsystem
+CLIs (``python -m repro.campaign`` / ``python -m repro.serve`` /
+``python -m repro.bench``), which keep working standalone; ``release`` and ``validate`` drive the
 :class:`repro.api.Session` façade; ``registry`` lists the cross-subsystem
 plugin registry.
 """
@@ -98,6 +99,7 @@ def _parser() -> argparse.ArgumentParser:
 
     for name, doc in (
         ("campaign", "declarative evaluation sweeps (python -m repro.campaign)"),
+        ("serve", "validation-as-a-service HTTP endpoint (python -m repro.serve)"),
         ("bench", "engine benchmark matrix (python -m repro.bench)"),
     ):
         delegate = sub.add_parser(name, help=doc, add_help=False)
@@ -213,6 +215,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.campaign.__main__ import main as campaign_main
 
         return campaign_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.__main__ import main as serve_main
+
+        return serve_main(argv[1:])
     if argv and argv[0] == "bench":
         from repro.bench.__main__ import main as bench_main
 

@@ -19,6 +19,7 @@ old parameters simply stop matching and age out of the LRU).
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Optional, Tuple
@@ -123,6 +124,14 @@ class BatchResultCache:
     Values are stored as-is (no copies); callers must treat returned arrays
     as read-only.  The engine enforces this by setting ``writeable=False`` on
     arrays it caches.
+
+    The cache is **thread-safe**: lookups, insertions and evictions run
+    under an internal lock, so engines shared across the serving layer's
+    worker threads (:mod:`repro.serve`) can never corrupt the LRU order or
+    the byte accounting.  The lock bounds bookkeeping only — the expensive
+    compute happens outside the cache, so two threads missing the same key
+    may both compute it (last write wins; results are deterministic, so the
+    duplicates are identical).
     """
 
     def __init__(
@@ -138,6 +147,7 @@ class BatchResultCache:
         self.max_bytes = int(max_bytes)
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._nbytes = 0
+        self._lock = threading.Lock()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -150,14 +160,15 @@ class BatchResultCache:
 
     def get(self, key: Hashable) -> Optional[Any]:
         """Look up a key, refreshing its LRU position; ``None`` on miss."""
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert (or refresh) an entry, evicting least-recently-used entries
@@ -168,19 +179,21 @@ class BatchResultCache:
         size = _value_nbytes(value)
         if size > self.max_bytes:
             return
-        if key in self._entries:
-            self._nbytes -= _value_nbytes(self._entries[key])
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        self._nbytes += size
-        while len(self._entries) > self.max_entries or self._nbytes > self.max_bytes:
-            _, evicted = self._entries.popitem(last=False)
-            self._nbytes -= _value_nbytes(evicted)
-            self.stats.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._nbytes -= _value_nbytes(self._entries[key])
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            self._nbytes += size
+            while len(self._entries) > self.max_entries or self._nbytes > self.max_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._nbytes -= _value_nbytes(evicted)
+                self.stats.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._nbytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._nbytes = 0
 
 
 __all__ = [

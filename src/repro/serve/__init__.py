@@ -1,0 +1,45 @@
+"""``repro.serve`` — validation as a service.
+
+A long-running asyncio service over :mod:`repro.api` that handles
+concurrent release / validate / sweep traffic for many tenants:
+
+* :class:`ServeConfig` — every serving knob as one TableSerde dataclass;
+* :class:`ValidationService` — admission (quotas + backpressure), the
+  cross-request batching coalescer, and the worker tier that keeps
+  CPU-bound Session calls off the event loop;
+* :class:`BatchingCoalescer` — merges concurrent validates on one package
+  into single stacked engine dispatches, bit-identical per model;
+* :class:`HttpServer` / :func:`run_server` — the stdlib-only HTTP front
+  end (``python -m repro serve``) with ``/healthz`` and ``/stats``;
+* :class:`AsyncClient` / :class:`HttpClient` — in-process and HTTP
+  clients speaking the same versioned wire envelopes.
+"""
+
+from repro.serve.client import AsyncClient, HttpClient
+from repro.serve.coalescer import BatchingCoalescer, CoalescerStats
+from repro.serve.config import ServeConfig
+from repro.serve.http import HttpServer, run_server
+from repro.serve.quota import AdmissionController, QuotaExceeded, TokenBucket
+from repro.serve.service import (
+    RequestTimeout,
+    SERVE_BATCH_SIZE,
+    ServiceDraining,
+    ValidationService,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AsyncClient",
+    "BatchingCoalescer",
+    "CoalescerStats",
+    "HttpClient",
+    "HttpServer",
+    "QuotaExceeded",
+    "RequestTimeout",
+    "SERVE_BATCH_SIZE",
+    "ServeConfig",
+    "ServiceDraining",
+    "TokenBucket",
+    "ValidationService",
+    "run_server",
+]

@@ -1,0 +1,151 @@
+"""Clients for the validation service: in-process and over HTTP.
+
+:class:`AsyncClient` drives a :class:`~repro.serve.service.ValidationService`
+directly — no socket — while still speaking the versioned wire envelopes,
+so a test or embedded caller exercises exactly the serialization contract
+the HTTP path uses.  Being in-process it can also hand over live model
+objects (``ip=...``), which no wire format can carry.
+
+:class:`HttpClient` is the matching stdlib-only HTTP client (raw
+``asyncio.open_connection``; one request per connection, matching the
+server's ``Connection: close``), used by the example script and the CI
+smoke job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple, Union
+
+from repro.api.requests import (
+    ReleaseRequest,
+    SweepRequest,
+    ValidateRequest,
+    ValidationOutcome,
+)
+from repro.api.session import BlackBox
+from repro.serve.service import ValidationService
+
+
+class AsyncClient:
+    """In-process client: wire envelopes in, wire envelopes out, no socket."""
+
+    def __init__(self, service: ValidationService, tenant: str = "default") -> None:
+        self.service = service
+        self.tenant = tenant
+
+    async def validate(
+        self,
+        request: Union[ValidateRequest, Dict[str, object], None] = None,
+        ip: Optional[BlackBox] = None,
+        **overrides: object,
+    ) -> ValidationOutcome:
+        """Validate through the service's admission + coalescing path.
+
+        In-memory requests (holding a live package object) pass through
+        unchanged; serialisable ones round-trip via ``to_wire`` so the
+        envelope contract is exercised on every call.
+        """
+        if isinstance(request, ValidateRequest) and isinstance(request.package, str):
+            request = request.to_wire()
+        outcome = await self.service.validate(
+            request, ip=ip, tenant=self.tenant, **overrides
+        )
+        return ValidationOutcome.from_wire(outcome.to_wire())
+
+    async def release(
+        self,
+        request: Union[ReleaseRequest, Dict[str, object], None] = None,
+        **overrides: object,
+    ):
+        if isinstance(request, ReleaseRequest):
+            request = request.to_wire()
+        return await self.service.release(request, tenant=self.tenant, **overrides)
+
+    async def sweep(
+        self,
+        request: Union[SweepRequest, Dict[str, object], None] = None,
+        **overrides: object,
+    ):
+        return await self.service.sweep(request, tenant=self.tenant, **overrides)
+
+    def stats(self) -> Dict[str, object]:
+        return self.service.stats()
+
+    def healthz(self) -> Dict[str, object]:
+        return self.service.healthz()
+
+
+class HttpClient:
+    """Minimal async HTTP/1.1 client for the serve endpoint (stdlib only)."""
+
+    def __init__(self, host: str, port: int, tenant: str = "default") -> None:
+        self.host = host
+        self.port = int(port)
+        self.tenant = tenant
+
+    async def _request(
+        self, method: str, path: str, body: Optional[Dict[str, object]] = None
+    ) -> Tuple[int, Dict[str, object]]:
+        payload = json.dumps(body).encode("utf-8") if body is not None else b""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            lines = [
+                f"{method} {path} HTTP/1.1",
+                f"Host: {self.host}:{self.port}",
+                f"X-Tenant: {self.tenant}",
+                "Connection: close",
+                f"Content-Length: {len(payload)}",
+                "Content-Type: application/json",
+            ]
+            writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + payload)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("ascii", "replace").split()
+            status = int(parts[1]) if len(parts) > 1 else 500
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("ascii", "replace").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or "0")
+            raw = await reader.readexactly(length) if length else await reader.read()
+            data = json.loads(raw.decode("utf-8")) if raw else {}
+            if headers.get("retry-after"):
+                data.setdefault("retry_after", headers["retry-after"])
+            return status, data
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def get(self, path: str) -> Tuple[int, Dict[str, object]]:
+        return await self._request("GET", path)
+
+    async def post(
+        self, path: str, body: Dict[str, object]
+    ) -> Tuple[int, Dict[str, object]]:
+        return await self._request("POST", path, body)
+
+    async def healthz(self) -> Dict[str, object]:
+        _, data = await self.get("/healthz")
+        return data
+
+    async def stats(self) -> Dict[str, object]:
+        _, data = await self.get("/stats")
+        return data
+
+    async def validate(
+        self, request: Union[ValidateRequest, Dict[str, object]]
+    ) -> Tuple[int, Dict[str, object]]:
+        """POST one validate envelope; 200 bodies parse as outcome envelopes."""
+        wire = request.to_wire() if isinstance(request, ValidateRequest) else request
+        return await self.post("/v1/validate", wire)
+
+
+__all__ = ["AsyncClient", "HttpClient"]

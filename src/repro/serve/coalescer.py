@@ -1,0 +1,242 @@
+"""The cross-request batching coalescer.
+
+Concurrent validate requests usually replay the *same* validation package
+against IPs that differ only in parameter values (the paper's attack sweep
+shape: one victim, many perturbed copies).  Dispatching them one by one
+wastes exactly the structure :meth:`repro.engine.Engine.stacked_forward`
+exploits, so the service funnels every model-backed validate through this
+coalescer instead:
+
+* requests are grouped by **package fingerprint**
+  (:meth:`~repro.validation.package.ValidationPackage.digest` — same tests,
+  same references);
+* within a group, requests are keyed by the IP's **parameter digest**: two
+  requests for the same digest share one future (in-flight dedup — the
+  second is answered by the first's dispatch, including requests that
+  arrive while the dispatch is already running);
+* distinct digests on the same package are fused into **one stacked
+  dispatch** — ``stacked_forward(models, tests)`` — whose slice ``m`` is
+  bit-identical to running model ``m`` alone, so coalescing is invisible in
+  the response bytes.
+
+The first request of a group opens a **coalescing window**
+(``window_s``); co-travellers arriving inside it join the batch, and the
+group flushes early when it reaches ``max_models``.  Everything here runs
+on the event loop; the dispatch callable is the only thing that touches
+worker threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.logging import get_logger
+from repro.validation.package import ValidationPackage
+
+logger = get_logger("serve.coalescer")
+
+#: async dispatch callable: (package, models) → stacked logits of shape
+#: ``(len(models), num_tests, num_classes)``
+StackedDispatch = Callable[
+    [ValidationPackage, Sequence[object]], Awaitable[np.ndarray]
+]
+
+
+@dataclass
+class CoalescerStats:
+    """Observability counters surfaced by ``/stats``.
+
+    ``requests`` counts every submit; ``dispatches`` counts engine calls
+    actually made.  The difference is work the coalescer absorbed — either
+    by stacking distinct models into one dispatch or by deduplicating
+    identical in-flight requests.
+    """
+
+    requests: int = 0
+    dispatches: int = 0
+    #: requests answered by a future they did not create (same package, same
+    #: parameter digest — pure dedup, no extra compute at all)
+    deduped: int = 0
+    #: models shipped across all stacked dispatches (Σ batch sizes)
+    stacked_models: int = 0
+    #: largest single dispatch (distinct models fused at once)
+    max_stacked: int = 0
+
+    @property
+    def coalesced(self) -> int:
+        """Requests that did not pay for their own dispatch."""
+        return self.requests - self.dispatches
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests absorbed into a shared dispatch."""
+        return self.coalesced / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "dispatches": self.dispatches,
+            "deduped": self.deduped,
+            "coalesced": self.coalesced,
+            "stacked_models": self.stacked_models,
+            "max_stacked": self.max_stacked,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class _Group:
+    """Requests waiting on one package fingerprint's next dispatch."""
+
+    package: ValidationPackage
+    #: parameter digest → (model, shared result future)
+    entries: "Dict[str, Tuple[object, asyncio.Future]]" = field(
+        default_factory=dict
+    )
+    flush_task: "asyncio.Task | None" = None
+
+
+class BatchingCoalescer:
+    """Merge concurrent validates into stacked engine dispatches.
+
+    Parameters
+    ----------
+    dispatch:
+        Async callable running one stacked forward; the service routes it
+        through the worker tier and serialises engine access.
+    window_s:
+        Coalescing window opened by a group's first request.  Zero still
+        yields to the event loop once, so a burst of already-queued
+        requests coalesces even with no deliberate delay.
+    max_models:
+        Flush early once a group holds this many distinct models.
+    enabled:
+        Off, every submit dispatches alone (the benchmark baseline); stats
+        keep counting so the two modes stay comparable.
+    """
+
+    def __init__(
+        self,
+        dispatch: StackedDispatch,
+        window_s: float = 0.01,
+        max_models: int = 8,
+        enabled: bool = True,
+    ) -> None:
+        if window_s < 0:
+            raise ValueError("window_s must be non-negative")
+        if max_models <= 0:
+            raise ValueError("max_models must be positive")
+        self._dispatch = dispatch
+        self.window_s = float(window_s)
+        self.max_models = int(max_models)
+        self.enabled = bool(enabled)
+        self.stats = CoalescerStats()
+        self._groups: Dict[str, _Group] = {}
+        #: (package fingerprint, parameter digest) → in-flight result future;
+        #: entries live until their dispatch resolves, so late duplicates of
+        #: a running dispatch still dedup instead of re-dispatching
+        self._futures: Dict[Tuple[str, str], asyncio.Future] = {}
+        self._tasks: "set[asyncio.Task]" = set()
+
+    async def submit(
+        self,
+        package_fp: str,
+        package: ValidationPackage,
+        digest: str,
+        model: object,
+    ) -> np.ndarray:
+        """Observed logits for ``model`` on ``package``'s tests.
+
+        Identical concurrent submits (same fingerprint, same digest) share
+        one dispatch; distinct digests on the same package fuse into one
+        stacked dispatch after the coalescing window.
+        """
+        self.stats.requests += 1
+        if not self.enabled:
+            self.stats.dispatches += 1
+            self.stats.stacked_models += 1
+            self.stats.max_stacked = max(self.stats.max_stacked, 1)
+            stacked = await self._dispatch(package, [model])
+            return stacked[0]
+
+        key = (package_fp, digest)
+        existing = self._futures.get(key)
+        if existing is not None:
+            self.stats.deduped += 1
+            return await asyncio.shield(existing)
+
+        loop = asyncio.get_running_loop()
+        group = self._groups.get(package_fp)
+        if group is None:
+            group = _Group(package=package)
+            self._groups[package_fp] = group
+            group.flush_task = loop.create_task(self._flush_after_window(package_fp))
+        future: asyncio.Future = loop.create_future()
+        group.entries[digest] = (model, future)
+        self._futures[key] = future
+        if len(group.entries) >= self.max_models:
+            self._flush(package_fp)
+        # shielded: one timed-out waiter must not cancel the shared result
+        return await asyncio.shield(future)
+
+    async def _flush_after_window(self, package_fp: str) -> None:
+        try:
+            await asyncio.sleep(self.window_s)
+        except asyncio.CancelledError:
+            return
+        self._flush(package_fp, from_window=True)
+
+    def _flush(self, package_fp: str, from_window: bool = False) -> None:
+        group = self._groups.pop(package_fp, None)
+        if group is None:
+            return
+        if not from_window and group.flush_task is not None:
+            group.flush_task.cancel()
+        task = asyncio.get_running_loop().create_task(
+            self._run_dispatch(package_fp, group)
+        )
+        # keep a strong reference until done (asyncio only holds weak ones)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run_dispatch(self, package_fp: str, group: _Group) -> None:
+        digests = list(group.entries)
+        models = [group.entries[d][0] for d in digests]
+        self.stats.dispatches += 1
+        self.stats.stacked_models += len(models)
+        self.stats.max_stacked = max(self.stats.max_stacked, len(models))
+        if len(models) > 1:
+            logger.info(
+                "coalesced dispatch: %d models on package %s",
+                len(models),
+                package_fp[:12],
+            )
+        try:
+            stacked = await self._dispatch(group.package, models)
+        except Exception as exc:
+            for digest in digests:
+                _, future = group.entries[digest]
+                if not future.done():
+                    future.set_exception(exc)
+        else:
+            for index, digest in enumerate(digests):
+                _, future = group.entries[digest]
+                if not future.done():
+                    future.set_result(stacked[index])
+        finally:
+            for digest in digests:
+                self._futures.pop((package_fp, digest), None)
+
+    async def drain(self) -> None:
+        """Flush every open window and wait for in-flight dispatches."""
+        for package_fp in list(self._groups):
+            self._flush(package_fp)
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+
+__all__ = ["BatchingCoalescer", "CoalescerStats", "StackedDispatch"]

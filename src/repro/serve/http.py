@@ -1,0 +1,309 @@
+"""Stdlib-only HTTP/1.1 front end over :class:`ValidationService`.
+
+A deliberately small server on :func:`asyncio.start_server` — no web
+framework, no new dependencies — speaking JSON wire envelopes
+(:mod:`repro.api.wire`):
+
+=======  ==============  ===============================================
+method   path            body / response
+=======  ==============  ===============================================
+GET      ``/healthz``    liveness: ``{"status": "ok" | "draining"}``
+GET      ``/stats``      coalescer, admission, engine and fault counters
+POST     ``/v1/validate``  ``validate`` envelope → ``outcome`` envelope
+POST     ``/v1/release``   ``release`` envelope (+ optional top-level
+                           ``save_dir``) → ``release_summary`` envelope
+POST     ``/v1/sweep``     ``sweep`` envelope → ``sweep_summary`` envelope
+=======  ==============  ===============================================
+
+The tenant is the ``X-Tenant`` request header (``default`` otherwise).
+Admission refusals map to ``429`` with a ``Retry-After`` header; draining
+to ``503``; request timeouts to ``504``; malformed envelopes to ``400``
+with the :func:`~repro.api.wire.open_envelope` message verbatim.
+
+Shutdown is graceful: SIGTERM/SIGINT close the listener, in-flight
+requests finish inside the service's ``drain_timeout_s``, then the worker
+tier and session are released.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from typing import Dict, Optional, Tuple
+
+from repro.api.wire import envelope
+from repro.serve.config import ServeConfig
+from repro.serve.quota import QuotaExceeded
+from repro.serve.service import (
+    RequestTimeout,
+    ServiceDraining,
+    ValidationService,
+)
+from repro.utils.logging import get_logger
+
+logger = get_logger("serve.http")
+
+#: request bodies above this many bytes are refused with 413
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def _response_bytes(
+    status: int, body: Dict[str, object], headers: Optional[Dict[str, str]] = None
+) -> bytes:
+    payload = json.dumps(body).encode("utf-8")
+    lines = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(payload)}",
+        "Connection: close",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + payload
+
+
+class _HttpError(Exception):
+    """Internal: carries a ready-to-send error response."""
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.headers = headers or {}
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Tuple[str, str, Dict[str, str], bytes]:
+    """Parse one HTTP/1.1 request: ``(method, path, headers, body)``."""
+    request_line = await reader.readline()
+    if not request_line:
+        raise ConnectionError("empty request")
+    parts = request_line.decode("ascii", "replace").split()
+    if len(parts) < 2:
+        raise _HttpError(400, "malformed request line")
+    method, path = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("ascii", "replace").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise _HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+class HttpServer:
+    """One listening socket in front of one :class:`ValidationService`."""
+
+    def __init__(
+        self, service: ValidationService, config: Optional[ServeConfig] = None
+    ) -> None:
+        self.service = service
+        self.config = config or service.config
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop = asyncio.Event()
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the kernel's pick)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._handle, host=self.config.host, port=self.config.port
+        )
+        host, port = self._server.sockets[0].getsockname()[:2]
+        logger.info("serving on http://%s:%d", host, port)
+        return host, port
+
+    def request_stop(self) -> None:
+        """Signal-safe shutdown trigger (the SIGTERM/SIGINT handler)."""
+        self._stop.set()
+
+    async def serve_until_stopped(
+        self,
+        install_signal_handlers: bool = True,
+        on_ready: Optional[object] = None,
+    ) -> None:
+        """Accept requests until stopped, then drain gracefully.
+
+        Signal handlers are installed *before* the socket binds (and before
+        ``on_ready(host, port)`` fires), so a driver that sends SIGTERM the
+        moment it sees the ready line can never race the handler.
+        """
+        loop = asyncio.get_running_loop()
+        if install_signal_handlers:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self.request_stop)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass  # non-unix event loops
+        if self._server is None:
+            host, port = await self.start()
+        else:
+            host, port = self._server.sockets[0].getsockname()[:2]
+        if callable(on_ready):
+            on_ready(host, port)
+        await self._stop.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Close the listener, then drain the service."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        logger.info("listener closed; draining in-flight requests")
+        await self.service.drain()
+
+    # -- request handling ----------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, headers, body = await _read_request(reader)
+            except (ConnectionError, asyncio.IncompleteReadError):
+                return
+            except _HttpError as exc:
+                writer.write(
+                    _response_bytes(exc.status, {"error": str(exc)}, exc.headers)
+                )
+                await writer.drain()
+                return
+            try:
+                status, payload, extra = await self._route(
+                    method, path, headers, body
+                )
+            except _HttpError as exc:
+                status, payload, extra = (
+                    exc.status,
+                    {"error": str(exc)},
+                    exc.headers,
+                )
+            except QuotaExceeded as exc:
+                status, payload, extra = (
+                    429,
+                    {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                    {"Retry-After": f"{max(1, round(exc.retry_after_s))}"},
+                )
+            except ServiceDraining as exc:
+                status, payload, extra = 503, {"error": str(exc)}, {}
+            except RequestTimeout as exc:
+                status, payload, extra = 504, {"error": str(exc)}, {}
+            except (ValueError, TypeError) as exc:
+                status, payload, extra = 400, {"error": str(exc)}, {}
+            except Exception as exc:  # pragma: no cover - defensive
+                logger.error("unhandled request error: %s", exc)
+                status, payload, extra = 500, {"error": str(exc)}, {}
+            writer.write(_response_bytes(status, payload, extra))
+            await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _route(
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        tenant = headers.get("x-tenant", "default")
+        if path == "/healthz":
+            if method != "GET":
+                raise _HttpError(405, "use GET /healthz")
+            return 200, self.service.healthz(), {}
+        if path == "/stats":
+            if method != "GET":
+                raise _HttpError(405, "use GET /stats")
+            return 200, self.service.stats(), {}
+        if path in ("/v1/validate", "/v1/release", "/v1/sweep"):
+            if method != "POST":
+                raise _HttpError(405, f"use POST {path}")
+            try:
+                data = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise _HttpError(400, f"request body is not valid JSON: {exc}")
+            if not isinstance(data, dict):
+                raise _HttpError(400, "request body must be a JSON object")
+            if path == "/v1/validate":
+                outcome = await self.service.validate(data, tenant=tenant)
+                return 200, outcome.to_wire(), {}
+            if path == "/v1/release":
+                save_dir = data.pop("save_dir", None)
+                released = await self.service.release(data, tenant=tenant)
+                summary: Dict[str, object] = {
+                    "num_tests": released.num_tests,
+                    "coverage": released.coverage,
+                    "test_accuracy": released.test_accuracy,
+                    "description": released.describe(),
+                }
+                if save_dir is not None:
+                    paths = await self.service._in_executor(
+                        released.save, str(save_dir)
+                    )
+                    summary["saved"] = {k: str(v) for k, v in paths.items()}
+                return 200, envelope("release_summary", summary), {}
+            sweep_summary = await self.service.sweep(data, tenant=tenant)
+            return 200, envelope(
+                "sweep_summary",
+                {
+                    "total": sweep_summary.total,
+                    "executed": sweep_summary.executed,
+                    "skipped": sweep_summary.skipped,
+                    "failed": sweep_summary.failed,
+                    "wall_s": sweep_summary.wall_s,
+                    "description": sweep_summary.describe(),
+                },
+            ), {}
+        raise _HttpError(404, f"unknown path {path!r}")
+
+
+async def run_server(
+    config: Optional[ServeConfig] = None,
+    run_config: Optional[object] = None,
+    ready_message: bool = True,
+) -> None:
+    """Build a service + server and run until SIGTERM/SIGINT.
+
+    The ``python -m repro serve`` entry point.  Prints one
+    ``serving on http://host:port`` line to stdout when the socket is bound
+    (drivers and tests wait for it).
+    """
+    config = config or ServeConfig()
+    service = ValidationService(config, run_config=run_config)
+    server = HttpServer(service, config)
+
+    def ready(host: str, port: int) -> None:
+        if ready_message:
+            print(f"serving on http://{host}:{port}", flush=True)
+
+    await server.serve_until_stopped(on_ready=ready)
+
+
+__all__ = ["HttpServer", "MAX_BODY_BYTES", "run_server"]

@@ -1,0 +1,191 @@
+"""Request admission: per-tenant token buckets and bounded in-flight queues.
+
+The service is multi-tenant (the ``X-Tenant`` request header names the
+tenant); admission decides, *before any compute is queued*, whether a
+request may enter.  Three independent limits apply, checked in order:
+
+1. a global cap on requests admitted but not yet finished
+   (``max_pending`` — protects the event loop and worker tier);
+2. a per-tenant cap on in-flight requests (``tenant_queue_limit`` — one
+   noisy tenant cannot occupy the whole pending budget);
+3. a per-tenant token bucket (``tenant_rate``/``tenant_burst`` — sustained
+   request rate).
+
+A rejected request raises :class:`QuotaExceeded`, which the HTTP layer maps
+to ``429 Too Many Requests`` with a ``Retry-After`` hint.  Everything here
+is synchronous and lock-free because admission runs on the event loop
+thread only; the clock is injectable so tests control time exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+
+class QuotaExceeded(Exception):
+    """A request was refused admission; retry after ``retry_after_s``."""
+
+    def __init__(self, message: str, retry_after_s: float) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, capacity ``burst``.
+
+    ``rate=0`` disables the bucket (every ``take`` succeeds).  The bucket
+    starts full, so a quiet tenant can burst up to ``burst`` requests
+    instantly.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        if burst <= 0:
+            raise ValueError("burst must be positive")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._updated) * self.rate
+        )
+        self._updated = now
+
+    def take(self) -> bool:
+        """Consume one token if available; ``False`` when the bucket is dry."""
+        if self.rate == 0:
+            return True
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def seconds_until_token(self) -> float:
+        """How long until one token will be available (0 when it already is)."""
+        if self.rate == 0:
+            return 0.0
+        self._refill()
+        if self._tokens >= 1.0:
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+@dataclass
+class TenantCounters:
+    """Per-tenant admission statistics surfaced by ``/stats``."""
+
+    admitted: int = 0
+    rejected: int = 0
+    in_flight: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "in_flight": self.in_flight,
+        }
+
+
+@dataclass
+class AdmissionController:
+    """Gatekeeper combining the global cap, tenant caps and token buckets.
+
+    Usage is a strict ``admit`` / ``release`` pair per request::
+
+        controller.admit("tenant-a")     # raises QuotaExceeded on refusal
+        try:
+            ... run the request ...
+        finally:
+            controller.release("tenant-a")
+    """
+
+    max_pending: int = 64
+    tenant_queue_limit: int = 16
+    tenant_rate: float = 0.0
+    tenant_burst: int = 16
+    retry_after_s: float = 1.0
+    clock: Callable[[], float] = time.monotonic
+    _pending: int = 0
+    _buckets: Dict[str, TokenBucket] = field(default_factory=dict)
+    _counters: Dict[str, TenantCounters] = field(default_factory=dict)
+
+    def _tenant(self, tenant: str) -> TenantCounters:
+        return self._counters.setdefault(tenant, TenantCounters())
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self.tenant_rate, self.tenant_burst, self.clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    @property
+    def pending(self) -> int:
+        """Requests admitted and not yet released (queue depth)."""
+        return self._pending
+
+    def admit(self, tenant: str) -> None:
+        """Admit one request for ``tenant`` or raise :class:`QuotaExceeded`."""
+        counters = self._tenant(tenant)
+        if self._pending >= self.max_pending:
+            counters.rejected += 1
+            raise QuotaExceeded(
+                f"server is at capacity ({self.max_pending} pending requests)",
+                self.retry_after_s,
+            )
+        if counters.in_flight >= self.tenant_queue_limit:
+            counters.rejected += 1
+            raise QuotaExceeded(
+                f"tenant {tenant!r} already has {counters.in_flight} requests "
+                f"in flight (limit {self.tenant_queue_limit})",
+                self.retry_after_s,
+            )
+        bucket = self._bucket(tenant)
+        if not bucket.take():
+            counters.rejected += 1
+            raise QuotaExceeded(
+                f"tenant {tenant!r} exceeded its request rate "
+                f"({self.tenant_rate:g}/s, burst {self.tenant_burst})",
+                max(self.retry_after_s, bucket.seconds_until_token()),
+            )
+        counters.admitted += 1
+        counters.in_flight += 1
+        self._pending += 1
+
+    def release(self, tenant: str) -> None:
+        """Mark one admitted request for ``tenant`` as finished."""
+        counters = self._tenant(tenant)
+        counters.in_flight = max(0, counters.in_flight - 1)
+        self._pending = max(0, self._pending - 1)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Admission state for ``/stats``."""
+        return {
+            "pending": self._pending,
+            "max_pending": self.max_pending,
+            "tenants": {
+                tenant: counters.to_dict()
+                for tenant, counters in sorted(self._counters.items())
+            },
+        }
+
+
+__all__ = [
+    "AdmissionController",
+    "QuotaExceeded",
+    "TenantCounters",
+    "TokenBucket",
+]

@@ -1,0 +1,354 @@
+"""The validation service: admission → coalescing → worker-tier execution.
+
+:class:`ValidationService` is the transport-independent core shared by the
+HTTP front end (:mod:`repro.serve.http`) and the in-process
+:class:`~repro.serve.client.AsyncClient`.  It owns exactly one
+:class:`~repro.api.Session` and runs the three paper operations
+concurrently for many tenants:
+
+* **admission** — every request passes the
+  :class:`~repro.serve.quota.AdmissionController` first (global backlog
+  cap, per-tenant in-flight cap, per-tenant token bucket); refusals carry a
+  ``Retry-After`` hint and cost no compute;
+* **coalescing** — model-backed validates route through the
+  :class:`~repro.serve.coalescer.BatchingCoalescer`, which merges
+  concurrent requests on one package into single stacked dispatches
+  (bit-identical per-model slices, see the coalescer docs);
+* **worker tier** — CPU-bound Session work runs on a
+  :class:`~concurrent.futures.ThreadPoolExecutor` via
+  ``loop.run_in_executor``, keeping the event loop responsive; engine
+  dispatches are additionally serialised by one lock because the numerical
+  kernels reuse per-engine workspace buffers (the Session docstring's
+  concurrency contract);
+* **draining** — :meth:`drain` stops admitting, lets in-flight work finish
+  inside ``drain_timeout_s``, flushes the coalescer and closes the session
+  (the HTTP layer calls it from its SIGTERM handler).
+
+Determinism: the serve session defaults to ``batch_size=256`` — the same
+chunk size :meth:`repro.nn.model.Sequential.predict` uses — so a validate
+answered through a coalesced stacked dispatch is byte-identical to the
+in-process :func:`repro.validation.validate_ip` path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.api.config import RunConfig
+from repro.api.requests import (
+    ReleasePackage,
+    ReleaseRequest,
+    SweepRequest,
+    ValidateRequest,
+    ValidationOutcome,
+)
+from repro.api.session import BlackBox, Session
+from repro.nn.model import Sequential
+from repro.nn.serialization import parameter_digest
+from repro.serve.coalescer import BatchingCoalescer
+from repro.serve.config import ServeConfig
+from repro.serve.quota import AdmissionController, QuotaExceeded
+from repro.utils.logging import get_logger
+from repro.validation.package import ValidationPackage
+from repro.validation.user import report_from_outputs, validate_ip
+
+logger = get_logger("serve.service")
+
+#: serve-side engine chunk size; matches ``Sequential.predict``'s default so
+#: coalesced dispatches replay tests through the identical op sequence
+SERVE_BATCH_SIZE = 256
+
+#: distinct package objects whose fingerprints stay memoized at once
+_FINGERPRINT_CACHE_SIZE = 32
+
+
+class ServiceDraining(Exception):
+    """The service is shutting down and no longer admits requests (HTTP 503)."""
+
+
+class RequestTimeout(Exception):
+    """A request exceeded ``request_timeout_s`` (HTTP 504)."""
+
+
+class ValidationService:
+    """Async multi-tenant façade over one :class:`~repro.api.Session`.
+
+    Parameters
+    ----------
+    config:
+        A :class:`ServeConfig`, a dict of its fields, or ``None``; keyword
+        overrides apply either way.
+    run_config:
+        The session's :class:`RunConfig`; ``None`` uses defaults with
+        ``batch_size`` pinned to :data:`SERVE_BATCH_SIZE` (byte-stable
+        coalescing — see the module docstring).
+    """
+
+    def __init__(
+        self,
+        config: Union[ServeConfig, Dict[str, object], None] = None,
+        run_config: Union[RunConfig, Dict[str, object], None] = None,
+        **overrides: object,
+    ) -> None:
+        self.config = ServeConfig.coerce(config, **overrides)
+        if run_config is None:
+            run_config = RunConfig(batch_size=SERVE_BATCH_SIZE)
+        self.session = Session(run_config)
+        self.admission = AdmissionController(
+            max_pending=self.config.max_pending,
+            tenant_queue_limit=self.config.tenant_queue_limit,
+            tenant_rate=self.config.tenant_rate,
+            tenant_burst=self.config.tenant_burst,
+            retry_after_s=self.config.retry_after_s,
+        )
+        self.coalescer = BatchingCoalescer(
+            self._dispatch_stacked,
+            window_s=self.config.coalesce_window_s,
+            max_models=self.config.max_stacked_models,
+            enabled=self.config.coalesce,
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.executor_workers,
+            thread_name_prefix="repro-serve",
+        )
+        # engine kernels reuse per-engine workspace buffers; one dispatch at
+        # a time keeps results bit-stable (coalescing, not thread fan-out,
+        # is this service's parallelism)
+        self._dispatch_lock = threading.Lock()
+        # package fingerprints are content hashes over the full test payload;
+        # the same (immutable, integrity-digested) package object is replayed
+        # across many requests, so memoize by object identity — the cached
+        # strong reference keeps each id stable while its entry lives
+        self._fingerprints: "OrderedDict[int, Tuple[ValidationPackage, str]]" = (
+            OrderedDict()
+        )
+        self._fingerprint_lock = threading.Lock()
+        self._draining = False
+        self._closed = False
+        self._started = time.monotonic()
+        self._operations: Dict[str, int] = {"release": 0, "validate": 0, "sweep": 0}
+
+    # -- plumbing ------------------------------------------------------------
+    async def _in_executor(self, fn, *args, **kwargs):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, partial(fn, *args, **kwargs)
+        )
+
+    def _check_admits(self) -> None:
+        if self._draining or self._closed:
+            raise ServiceDraining("service is draining; no new requests admitted")
+
+    async def _timed(self, coroutine):
+        timeout = self.config.request_timeout_s
+        if timeout is None:
+            return await coroutine
+        try:
+            return await asyncio.wait_for(coroutine, timeout)
+        except asyncio.TimeoutError:
+            raise RequestTimeout(
+                f"request exceeded the {timeout:g}s budget"
+            ) from None
+
+    def _package_fingerprint(self, package: ValidationPackage) -> str:
+        """The coalescer's group key: ``package.digest()``, memoized per object."""
+        key = id(package)
+        with self._fingerprint_lock:
+            cached = self._fingerprints.get(key)
+            if cached is not None:
+                self._fingerprints.move_to_end(key)
+                return cached[1]
+        fingerprint = package.digest()
+        with self._fingerprint_lock:
+            self._fingerprints[key] = (package, fingerprint)
+            while len(self._fingerprints) > _FINGERPRINT_CACHE_SIZE:
+                self._fingerprints.popitem(last=False)
+        return fingerprint
+
+    async def _dispatch_stacked(
+        self, package: ValidationPackage, models: Sequence[object]
+    ) -> np.ndarray:
+        """One coalesced engine dispatch on the worker tier."""
+
+        def run() -> np.ndarray:
+            with self._dispatch_lock:
+                engine = self.session.engine_for(models[0])
+                return engine.stacked_forward(list(models), package.tests)
+
+        return await self._in_executor(run)
+
+    # -- the three operations ------------------------------------------------
+    async def validate(
+        self,
+        request: Union[ValidateRequest, Dict[str, object], None] = None,
+        ip: Optional[BlackBox] = None,
+        tenant: str = "default",
+        **overrides: object,
+    ) -> ValidationOutcome:
+        """Concurrent-safe :meth:`Session.validate` with coalescing.
+
+        ``request`` may be a :class:`ValidateRequest`, a plain field dict or
+        a wire envelope.  Model-backed IPs (a :class:`Sequential`, given
+        directly or loaded from ``model_path``) go through the coalescer;
+        opaque callables cannot be stacked and run alone on the worker tier.
+        """
+        self._check_admits()
+        self.admission.admit(tenant)
+        try:
+            outcome = await self._timed(self._validate_inner(request, ip, overrides))
+            self._operations["validate"] += 1
+            return outcome
+        finally:
+            self.admission.release(tenant)
+
+    async def _validate_inner(
+        self,
+        request: Union[ValidateRequest, Dict[str, object], None],
+        ip: Optional[BlackBox],
+        overrides: Dict[str, object],
+    ) -> ValidationOutcome:
+        req = ValidateRequest.coerce(request, **overrides)
+        package = await self._in_executor(req.resolve_package)
+        if ip is None:
+            if req.model_path is None:
+                raise ValueError(
+                    "no IP to validate: pass ip=... or set model_path on the request"
+                )
+            ip = await self._in_executor(self.session.load_ip, req)
+        if isinstance(ip, Sequential):
+            package_fp = await self._in_executor(self._package_fingerprint, package)
+            digest = await self._in_executor(parameter_digest, ip)
+            observed = await self.coalescer.submit(package_fp, package, digest, ip)
+            report = report_from_outputs(observed, package)
+        else:
+            report = await self._in_executor(validate_ip, ip, package)
+        return ValidationOutcome.from_report(report, package)
+
+    async def release(
+        self,
+        request: Union[ReleaseRequest, Dict[str, object], None] = None,
+        tenant: str = "default",
+        **overrides: object,
+    ) -> ReleasePackage:
+        """Concurrent-safe :meth:`Session.release` on the worker tier."""
+        self._check_admits()
+        self.admission.admit(tenant)
+        try:
+            req = ReleaseRequest.coerce(request, **overrides)
+
+            def run() -> ReleasePackage:
+                with self._dispatch_lock:
+                    return self.session.release(req)
+
+            released = await self._timed(self._in_executor(run))
+            self._operations["release"] += 1
+            return released
+        finally:
+            self.admission.release(tenant)
+
+    async def sweep(
+        self,
+        request: Union[SweepRequest, Dict[str, object], None] = None,
+        tenant: str = "default",
+        **overrides: object,
+    ):
+        """Concurrent-safe :meth:`Session.sweep` on the worker tier."""
+        self._check_admits()
+        self.admission.admit(tenant)
+        try:
+            req = SweepRequest.coerce(request, **overrides)
+
+            def run():
+                with self._dispatch_lock:
+                    return self.session.sweep(req)
+
+            summary = await self._timed(self._in_executor(run))
+            self._operations["sweep"] += 1
+            return summary
+        finally:
+            self.admission.release(tenant)
+
+    # -- observability -------------------------------------------------------
+    def healthz(self) -> Dict[str, object]:
+        """Liveness body: ``ok`` while admitting, ``draining`` after."""
+        return {
+            "status": "draining" if (self._draining or self._closed) else "ok",
+            "uptime_s": round(time.monotonic() - self._started, 3),
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """The ``/stats`` body: coalescer, admission, engine and fault state."""
+        engine_stats = self.session.engine_stats()
+        return {
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "draining": self._draining or self._closed,
+            "operations": dict(self._operations),
+            "coalescer": self.coalescer.stats.to_dict(),
+            "admission": self.admission.snapshot(),
+            "engine": {
+                "hits": engine_stats.hits,
+                "misses": engine_stats.misses,
+                "evictions": engine_stats.evictions,
+                "retries": engine_stats.retries,
+                "restarts": engine_stats.restarts,
+                "downgrades": engine_stats.downgrades,
+                "hit_rate": round(engine_stats.hit_rate, 4),
+            },
+            "fault_events": list(self.session.fault_events()),
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+    async def drain(self) -> None:
+        """Stop admitting, let in-flight work finish, release resources.
+
+        Called by the HTTP layer's SIGTERM handler; bounded by
+        ``drain_timeout_s`` — requests still running at the deadline are
+        abandoned to their own timeouts.
+        """
+        if self._closed:
+            return
+        self._draining = True
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        while self.admission.pending > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        await self.coalescer.drain()
+        if self.admission.pending:
+            logger.info(
+                "drain deadline reached with %d requests still pending",
+                self.admission.pending,
+            )
+        self.close()
+
+    def close(self) -> None:
+        """Synchronous teardown (idempotent): worker tier, then the session."""
+        if self._closed:
+            return
+        self._draining = True
+        self._closed = True
+        self._executor.shutdown(wait=True)
+        with self._fingerprint_lock:
+            self._fingerprints.clear()
+        self.session.close()
+
+    async def __aenter__(self) -> "ValidationService":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.drain()
+
+
+__all__ = [
+    "QuotaExceeded",
+    "RequestTimeout",
+    "SERVE_BATCH_SIZE",
+    "ServiceDraining",
+    "ValidationService",
+]

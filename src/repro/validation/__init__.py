@@ -11,7 +11,13 @@ from repro.validation.detection import (
     stack_package_prefixes,
 )
 from repro.validation.package import DEFAULT_OUTPUT_ATOL, FORMAT_VERSION, ValidationPackage
-from repro.validation.user import BlackBoxIP, IPUser, ValidationReport, validate_ip
+from repro.validation.user import (
+    BlackBoxIP,
+    IPUser,
+    ValidationReport,
+    report_from_outputs,
+    validate_ip,
+)
 from repro.validation.vendor import IPVendor
 
 __all__ = [
@@ -28,6 +34,7 @@ __all__ = [
     "BlackBoxIP",
     "IPUser",
     "ValidationReport",
+    "report_from_outputs",
     "validate_ip",
     "IPVendor",
 ]

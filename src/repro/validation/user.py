@@ -67,6 +67,41 @@ def _query(ip: BlackBoxIP, inputs: np.ndarray) -> np.ndarray:
     return np.asarray(outputs, dtype=np.float64)
 
 
+def report_from_outputs(
+    observed: np.ndarray, package: ValidationPackage
+) -> ValidationReport:
+    """Compare observed logits against a package's reference outputs.
+
+    The single comparison rule of the scheme, shared by the in-process
+    :meth:`IPUser.validate` and the serving layer's coalesced replay
+    (:mod:`repro.serve`), so a request answered from a merged batched
+    dispatch can never score differently from a direct call on the same
+    logits.  A test mismatches when any of its output logits deviates from
+    the reference by more than the package's ``output_atol``.
+    """
+    if observed.shape != package.expected_outputs.shape:
+        # output shape change is itself unambiguous tampering
+        return ValidationReport(
+            passed=False,
+            num_tests=package.num_tests,
+            mismatched_indices=list(range(package.num_tests)),
+            max_output_deviation=float("inf"),
+            label_mismatches=package.num_tests,
+        )
+    deviations = np.abs(observed - package.expected_outputs)
+    per_test_max = deviations.max(axis=1)
+    mismatched = np.where(per_test_max > package.output_atol)[0]
+    observed_labels = np.argmax(observed, axis=1)
+    label_mismatches = int(np.sum(observed_labels != package.expected_labels))
+    return ValidationReport(
+        passed=mismatched.size == 0,
+        num_tests=package.num_tests,
+        mismatched_indices=[int(i) for i in mismatched],
+        max_output_deviation=float(per_test_max.max()) if package.num_tests else 0.0,
+        label_mismatches=label_mismatches,
+    )
+
+
 class IPUser:
     """User-side workflow: replay a validation package against a black-box IP."""
 
@@ -76,34 +111,8 @@ class IPUser:
         self.package = package
 
     def validate(self, ip: BlackBoxIP) -> ValidationReport:
-        """Run every functional test through ``ip`` and compare outputs.
-
-        A test mismatches when any of its output logits deviates from the
-        reference by more than the package's ``output_atol``.
-        """
-        pkg = self.package
-        observed = _query(ip, pkg.tests)
-        if observed.shape != pkg.expected_outputs.shape:
-            # output shape change is itself unambiguous tampering
-            return ValidationReport(
-                passed=False,
-                num_tests=pkg.num_tests,
-                mismatched_indices=list(range(pkg.num_tests)),
-                max_output_deviation=float("inf"),
-                label_mismatches=pkg.num_tests,
-            )
-        deviations = np.abs(observed - pkg.expected_outputs)
-        per_test_max = deviations.max(axis=1)
-        mismatched = np.where(per_test_max > pkg.output_atol)[0]
-        observed_labels = np.argmax(observed, axis=1)
-        label_mismatches = int(np.sum(observed_labels != pkg.expected_labels))
-        return ValidationReport(
-            passed=mismatched.size == 0,
-            num_tests=pkg.num_tests,
-            mismatched_indices=[int(i) for i in mismatched],
-            max_output_deviation=float(per_test_max.max()) if pkg.num_tests else 0.0,
-            label_mismatches=label_mismatches,
-        )
+        """Run every functional test through ``ip`` and compare outputs."""
+        return report_from_outputs(_query(ip, self.package.tests), self.package)
 
 
 def validate_ip(ip: BlackBoxIP, package: ValidationPackage) -> ValidationReport:
@@ -111,4 +120,10 @@ def validate_ip(ip: BlackBoxIP, package: ValidationPackage) -> ValidationReport:
     return IPUser(package).validate(ip)
 
 
-__all__ = ["IPUser", "ValidationReport", "validate_ip", "BlackBoxIP"]
+__all__ = [
+    "IPUser",
+    "ValidationReport",
+    "report_from_outputs",
+    "validate_ip",
+    "BlackBoxIP",
+]

@@ -350,8 +350,28 @@ class TestOneShotHelpers:
         released = release(
             ReleaseRequest(dataset="mnist", **TINY_PREP, **TINY_GEN, strategy="random")
         )
-        outcome = validate(package=released.package, ip=released.model)
+        outcome = validate(
+            ValidateRequest(package=released.package), ip=released.model
+        )
         assert outcome.passed
+
+    def test_request_object_calls_do_not_warn(self):
+        from repro import release, validate
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            released = release(
+                ReleaseRequest(
+                    dataset="mnist", **TINY_PREP, **TINY_GEN, strategy="random"
+                )
+            )
+            outcome = validate(
+                ValidateRequest(package=released.package), ip=released.model
+            )
+        assert outcome.passed
+        assert [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ] == []
 
     def test_top_level_lazy_exports(self):
         import repro
@@ -455,3 +475,108 @@ class TestDeprecatedShims:
             importlib.reload(shim)
             from repro.testgen import available_strategies  # noqa: F401
         assert [w for w in caught if issubclass(w.category, DeprecationWarning)] == []
+
+    def test_one_shot_validate_adhoc_kwargs_shim(self, released):
+        from repro.api import validate
+
+        outcome = self._single_deprecation(
+            validate, package=released.package, ip=released.model
+        )
+        assert outcome.passed
+
+    def test_one_shot_release_adhoc_kwargs_shim(self):
+        # the warning fires before coercion, so an invalid field both warns
+        # and raises — no training needed to pin the shim
+        from repro.api import release
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with pytest.raises(ValueError, match="train_size"):
+                release(train_size=-1)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "ReleaseRequest" in str(deprecations[0].message)
+
+    def test_one_shot_sweep_adhoc_kwargs_shim(self):
+        from repro.api import sweep
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with pytest.raises(ValueError, match="spec is required"):
+                sweep(store="never-written.jsonl")
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "SweepRequest" in str(deprecations[0].message)
+
+
+# ---------------------------------------------------------------------------
+# the versioned wire envelope
+# ---------------------------------------------------------------------------
+
+
+class TestWireEnvelope:
+    def test_request_round_trips_through_wire(self):
+        from repro.api import WIRE_SCHEMA_VERSION
+
+        request = ReleaseRequest(dataset="mnist", num_tests=7, strategy="random")
+        wire = request.to_wire()
+        assert wire["schema_version"] == WIRE_SCHEMA_VERSION
+        assert wire["kind"] == "release"
+        assert wire["body"]["num_tests"] == 7
+        assert ReleaseRequest.from_wire(wire) == request
+
+    def test_wire_is_json_serialisable(self):
+        request = ValidateRequest(package="p.npz", model_path="m.npz")
+        wire = json.loads(json.dumps(request.to_wire()))
+        assert ValidateRequest.from_wire(wire) == request
+
+    def test_envelope_rejects_future_schema_version(self):
+        wire = ValidateRequest(package="p.npz").to_wire()
+        wire["schema_version"] = 99
+        with pytest.raises(ValueError, match="unsupported wire schema_version"):
+            ValidateRequest.from_wire(wire)
+
+    def test_envelope_rejects_wrong_kind(self):
+        wire = ValidateRequest(package="p.npz").to_wire()
+        with pytest.raises(ValueError, match="does not match the expected"):
+            ReleaseRequest.from_wire(wire)
+
+    def test_envelope_requires_version_and_kind(self):
+        from repro.api import open_envelope
+
+        with pytest.raises(ValueError, match="missing 'schema_version'"):
+            open_envelope({"kind": "validate", "body": {}})
+        with pytest.raises(ValueError, match="missing 'kind'"):
+            open_envelope({"schema_version": 1, "body": {}})
+        with pytest.raises(ValueError, match="'body' must be a dict"):
+            open_envelope({"schema_version": 1, "kind": "x", "body": 3})
+
+    def test_coerce_detects_wire_envelopes(self):
+        request = ValidateRequest(package="p.npz", arch="mnist")
+        coerced = ValidateRequest.coerce(request.to_wire())
+        assert coerced == request
+        # bare field dicts keep working unchanged
+        assert ValidateRequest.coerce({"package": "p.npz"}).package == "p.npz"
+
+    def test_session_validate_accepts_wire_envelope(self, session, released, tmp_path):
+        paths = released.save(tmp_path)
+        request = ValidateRequest(
+            package=str(paths["package"]),
+            model_path=str(paths["model"]),
+            arch="mnist",
+            width_multiplier=0.1,
+        )
+        outcome = session.validate(request.to_wire())
+        assert outcome.passed
+
+    def test_outcome_round_trips_through_wire(self, session, released):
+        outcome = session.validate(
+            ValidateRequest(package=released.package), ip=released.model
+        )
+        wire = json.loads(json.dumps(outcome.to_wire()))
+        assert wire["kind"] == "outcome"
+        assert ValidationOutcome.from_wire(wire) == outcome
