@@ -54,7 +54,15 @@ def release_artifacts(directory: Path) -> dict:
 
 
 async def drive(paths: dict) -> None:
-    service = ValidationService(ServeConfig(port=0, coalesce_window_s=0.02))
+    # the HTTP surface only touches paths inside artifacts_root; without it
+    # the server refuses path-taking request fields outright
+    service = ValidationService(
+        ServeConfig(
+            port=0,
+            coalesce_window_s=0.02,
+            artifacts_root=str(Path(paths["package"]).parent),
+        )
+    )
     server = HttpServer(service)
     host, port = await server.start()
     print(f"serving on http://{host}:{port}")

@@ -49,6 +49,11 @@ def _parser() -> argparse.ArgumentParser:
         help="per-tenant token-bucket refill rate (requests/second; 0 = off)",
     )
     parser.add_argument(
+        "--artifacts-root", default=None,
+        help="directory client-supplied request paths are confined to "
+        "(without it, path-taking request fields are refused with 400)",
+    )
+    parser.add_argument(
         "--run-config", default=None, help="session RunConfig .toml/.json path"
     )
     return parser
@@ -70,6 +75,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides["max_pending"] = args.max_pending
     if args.tenant_rate is not None:
         overrides["tenant_rate"] = args.tenant_rate
+    if args.artifacts_root is not None:
+        overrides["artifacts_root"] = args.artifacts_root
     if overrides:
         config = config.with_overrides(**overrides)
         config.validate()

@@ -7,9 +7,13 @@ wastes exactly the structure :meth:`repro.engine.Engine.stacked_forward`
 exploits, so the service funnels every model-backed validate through this
 coalescer instead:
 
-* requests are grouped by **package fingerprint**
+* requests are grouped by an opaque **group key** the service derives from
+  the package fingerprint
   (:meth:`~repro.validation.package.ValidationPackage.digest` — same tests,
-  same references);
+  same references) *and* the model's architecture signature, so only
+  stack-compatible models ever share a dispatch (a shape-tampered IP gets
+  its own single-model dispatch and scores as tampering, never as an
+  error that fails innocent co-travellers);
 * within a group, requests are keyed by the IP's **parameter digest**: two
   requests for the same digest share one future (in-flight dedup — the
   second is answered by the first's dispatch, including requests that
@@ -65,11 +69,18 @@ class CoalescerStats:
     stacked_models: int = 0
     #: largest single dispatch (distinct models fused at once)
     max_stacked: int = 0
+    #: multi-model dispatches that failed and were retried model-by-model
+    #: (isolation: one poisoned co-traveller must not fail the group)
+    fallbacks: int = 0
 
     @property
     def coalesced(self) -> int:
-        """Requests that did not pay for their own dispatch."""
-        return self.requests - self.dispatches
+        """Requests that did not pay for their own dispatch.
+
+        Floored at zero: a failed stacked dispatch retried model-by-model
+        (see ``fallbacks``) can cost more dispatches than requests.
+        """
+        return max(0, self.requests - self.dispatches)
 
     @property
     def hit_rate(self) -> float:
@@ -84,13 +95,14 @@ class CoalescerStats:
             "coalesced": self.coalesced,
             "stacked_models": self.stacked_models,
             "max_stacked": self.max_stacked,
+            "fallbacks": self.fallbacks,
             "hit_rate": round(self.hit_rate, 4),
         }
 
 
 @dataclass
 class _Group:
-    """Requests waiting on one package fingerprint's next dispatch."""
+    """Requests waiting on one group key's next dispatch."""
 
     package: ValidationPackage
     #: parameter digest → (model, shared result future)
@@ -136,24 +148,26 @@ class BatchingCoalescer:
         self.enabled = bool(enabled)
         self.stats = CoalescerStats()
         self._groups: Dict[str, _Group] = {}
-        #: (package fingerprint, parameter digest) → in-flight result future;
-        #: entries live until their dispatch resolves, so late duplicates of
-        #: a running dispatch still dedup instead of re-dispatching
+        #: (group key, parameter digest) → in-flight result future; entries
+        #: live until their dispatch resolves, so late duplicates of a
+        #: running dispatch still dedup instead of re-dispatching
         self._futures: Dict[Tuple[str, str], asyncio.Future] = {}
         self._tasks: "set[asyncio.Task]" = set()
 
     async def submit(
         self,
-        package_fp: str,
+        group_key: str,
         package: ValidationPackage,
         digest: str,
         model: object,
     ) -> np.ndarray:
         """Observed logits for ``model`` on ``package``'s tests.
 
-        Identical concurrent submits (same fingerprint, same digest) share
-        one dispatch; distinct digests on the same package fuse into one
-        stacked dispatch after the coalescing window.
+        ``group_key`` is opaque here; the service builds it from the package
+        fingerprint plus the model's architecture signature, so everything
+        sharing a key is stack-compatible.  Identical concurrent submits
+        (same key, same digest) share one dispatch; distinct digests on the
+        same key fuse into one stacked dispatch after the coalescing window.
         """
         self.stats.requests += 1
         if not self.enabled:
@@ -163,47 +177,47 @@ class BatchingCoalescer:
             stacked = await self._dispatch(package, [model])
             return stacked[0]
 
-        key = (package_fp, digest)
+        key = (group_key, digest)
         existing = self._futures.get(key)
         if existing is not None:
             self.stats.deduped += 1
             return await asyncio.shield(existing)
 
         loop = asyncio.get_running_loop()
-        group = self._groups.get(package_fp)
+        group = self._groups.get(group_key)
         if group is None:
             group = _Group(package=package)
-            self._groups[package_fp] = group
-            group.flush_task = loop.create_task(self._flush_after_window(package_fp))
+            self._groups[group_key] = group
+            group.flush_task = loop.create_task(self._flush_after_window(group_key))
         future: asyncio.Future = loop.create_future()
         group.entries[digest] = (model, future)
         self._futures[key] = future
         if len(group.entries) >= self.max_models:
-            self._flush(package_fp)
+            self._flush(group_key)
         # shielded: one timed-out waiter must not cancel the shared result
         return await asyncio.shield(future)
 
-    async def _flush_after_window(self, package_fp: str) -> None:
+    async def _flush_after_window(self, group_key: str) -> None:
         try:
             await asyncio.sleep(self.window_s)
         except asyncio.CancelledError:
             return
-        self._flush(package_fp, from_window=True)
+        self._flush(group_key, from_window=True)
 
-    def _flush(self, package_fp: str, from_window: bool = False) -> None:
-        group = self._groups.pop(package_fp, None)
+    def _flush(self, group_key: str, from_window: bool = False) -> None:
+        group = self._groups.pop(group_key, None)
         if group is None:
             return
         if not from_window and group.flush_task is not None:
             group.flush_task.cancel()
         task = asyncio.get_running_loop().create_task(
-            self._run_dispatch(package_fp, group)
+            self._run_dispatch(group_key, group)
         )
         # keep a strong reference until done (asyncio only holds weak ones)
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
 
-    async def _run_dispatch(self, package_fp: str, group: _Group) -> None:
+    async def _run_dispatch(self, group_key: str, group: _Group) -> None:
         digests = list(group.entries)
         models = [group.entries[d][0] for d in digests]
         self.stats.dispatches += 1
@@ -211,17 +225,41 @@ class BatchingCoalescer:
         self.stats.max_stacked = max(self.stats.max_stacked, len(models))
         if len(models) > 1:
             logger.info(
-                "coalesced dispatch: %d models on package %s",
+                "coalesced dispatch: %d models on group %s",
                 len(models),
-                package_fp[:12],
+                group_key[:12],
             )
         try:
             stacked = await self._dispatch(group.package, models)
         except Exception as exc:
-            for digest in digests:
-                _, future = group.entries[digest]
-                if not future.done():
-                    future.set_exception(exc)
+            if len(models) == 1:
+                for digest in digests:
+                    _, future = group.entries[digest]
+                    if not future.done():
+                        future.set_exception(exc)
+            else:
+                # the grouping key should make this unreachable, but one
+                # poisoned model must never fail its co-travellers: retry
+                # each model alone and settle every future on its own merits
+                logger.warning(
+                    "stacked dispatch of %d models failed (%s); "
+                    "retrying each model alone",
+                    len(models),
+                    exc,
+                )
+                self.stats.fallbacks += 1
+                for digest in digests:
+                    model, future = group.entries[digest]
+                    self.stats.dispatches += 1
+                    self.stats.stacked_models += 1
+                    try:
+                        single = await self._dispatch(group.package, [model])
+                    except Exception as single_exc:
+                        if not future.done():
+                            future.set_exception(single_exc)
+                    else:
+                        if not future.done():
+                            future.set_result(single[0])
         else:
             for index, digest in enumerate(digests):
                 _, future = group.entries[digest]
@@ -229,12 +267,12 @@ class BatchingCoalescer:
                     future.set_result(stacked[index])
         finally:
             for digest in digests:
-                self._futures.pop((package_fp, digest), None)
+                self._futures.pop((group_key, digest), None)
 
     async def drain(self) -> None:
         """Flush every open window and wait for in-flight dispatches."""
-        for package_fp in list(self._groups):
-            self._flush(package_fp)
+        for group_key in list(self._groups):
+            self._flush(group_key)
         while self._tasks:
             await asyncio.gather(*list(self._tasks), return_exceptions=True)
 

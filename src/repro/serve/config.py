@@ -59,9 +59,20 @@ class ServeConfig(TableSerde):
     request_timeout_s:
         Per-request wall-clock budget; expiry maps to HTTP 504.  ``None``
         waits indefinitely.
+    read_timeout_s:
+        Deadline for reading one HTTP request (header + body) off a
+        connection.  Idle or trickling clients are dropped at expiry, so a
+        stalled socket can never block graceful drain.
     drain_timeout_s:
         Graceful-shutdown budget: on SIGTERM the listener closes and
         in-flight requests get this long to finish before cancellation.
+    artifacts_root:
+        The only directory the HTTP surface may touch through path-taking
+        request fields (``package``/``model_path``/``save_dir``/``store``…).
+        Relative request paths resolve against it; paths escaping it are
+        refused with 400.  ``None`` (the default) rejects every
+        client-supplied filesystem path outright — in-process callers
+        (:class:`~repro.serve.client.AsyncClient`) are unaffected.
     """
 
     _TABLE = "serve"
@@ -78,7 +89,9 @@ class ServeConfig(TableSerde):
     max_stacked_models: int = 8
     executor_workers: int = 2
     request_timeout_s: Optional[float] = 120.0
+    read_timeout_s: float = 10.0
     drain_timeout_s: float = 30.0
+    artifacts_root: Optional[str] = None
 
     def validate(self) -> None:
         if not self.host:
@@ -103,8 +116,12 @@ class ServeConfig(TableSerde):
             raise ValueError("executor_workers must be positive")
         if self.request_timeout_s is not None and self.request_timeout_s <= 0:
             raise ValueError("request_timeout_s must be positive when given")
+        if self.read_timeout_s <= 0:
+            raise ValueError("read_timeout_s must be positive")
         if self.drain_timeout_s <= 0:
             raise ValueError("drain_timeout_s must be positive")
+        if self.artifacts_root is not None and not self.artifacts_root:
+            raise ValueError("artifacts_root must be a non-empty path when given")
 
 
 __all__ = ["ServeConfig"]

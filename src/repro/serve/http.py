@@ -20,6 +20,12 @@ Admission refusals map to ``429`` with a ``Retry-After`` header; draining
 to ``503``; request timeouts to ``504``; malformed envelopes to ``400``
 with the :func:`~repro.api.wire.open_envelope` message verbatim.
 
+Filesystem paths in request bodies — validate's ``package``/``model_path``,
+release's ``save_dir``, sweep's ``spec``/``store``/``report`` — are
+confined to :attr:`~repro.serve.config.ServeConfig.artifacts_root`:
+relative paths resolve against it, escapes are refused with 400, and a
+server configured without one rejects client-supplied paths entirely.
+
 Shutdown is graceful: SIGTERM/SIGINT close the listener, in-flight
 requests finish inside the service's ``drain_timeout_s``, then the worker
 tier and session are released.
@@ -30,6 +36,7 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
+from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.api.wire import envelope
@@ -107,7 +114,13 @@ async def _read_request(
             break
         name, _, value = line.decode("ascii", "replace").partition(":")
         headers[name.strip().lower()] = value.strip()
-    length = int(headers.get("content-length", "0") or "0")
+    raw_length = headers.get("content-length", "").strip() or "0"
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise _HttpError(400, f"malformed Content-Length header {raw_length!r}")
+    if length < 0:
+        raise _HttpError(400, "Content-Length must be non-negative")
     if length > MAX_BODY_BYTES:
         raise _HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
     body = await reader.readexactly(length) if length else b""
@@ -176,7 +189,14 @@ class HttpServer:
         """Close the listener, then drain the service."""
         if self._server is not None:
             self._server.close()
-            await self._server.wait_closed()
+            try:
+                # on Python >= 3.12.1 wait_closed() waits for every
+                # connection handler to finish; bound it so a slow client
+                # can never stall shutdown — in-flight work is what
+                # service.drain() (with its own deadline) is for
+                await asyncio.wait_for(self._server.wait_closed(), timeout=1.0)
+            except asyncio.TimeoutError:
+                logger.info("listener handlers still busy; draining anyway")
             self._server = None
         logger.info("listener closed; draining in-flight requests")
         await self.service.drain()
@@ -187,8 +207,17 @@ class HttpServer:
     ) -> None:
         try:
             try:
-                method, path, headers, body = await _read_request(reader)
-            except (ConnectionError, asyncio.IncompleteReadError):
+                # deadline on the read: an idle or trickling client is
+                # dropped instead of pinning its handler (and, with it,
+                # graceful drain) open forever
+                method, path, headers, body = await asyncio.wait_for(
+                    _read_request(reader), timeout=self.config.read_timeout_s
+                )
+            except (
+                ConnectionError,
+                asyncio.IncompleteReadError,
+                asyncio.TimeoutError,
+            ):
                 return
             except _HttpError as exc:
                 writer.write(
@@ -230,6 +259,53 @@ class HttpServer:
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
 
+    # -- client-supplied filesystem paths ------------------------------------
+    def _resolve_request_path(self, value: object, field: str) -> str:
+        """Confine one client-supplied path to ``artifacts_root``.
+
+        Relative paths resolve against the root; anything escaping it (or
+        any path at all when no root is configured) maps to 400.  The HTTP
+        surface is multi-tenant — it must never read or write wherever the
+        server process happens to have permissions.
+        """
+        root = self.config.artifacts_root
+        if root is None:
+            raise _HttpError(
+                400,
+                f"{field!r} is not accepted: this server has no "
+                "artifacts_root configured",
+            )
+        if not isinstance(value, str) or not value:
+            raise _HttpError(400, f"{field!r} must be a non-empty string path")
+        root_path = Path(root).resolve()
+        candidate = Path(value)
+        resolved = (
+            candidate if candidate.is_absolute() else root_path / candidate
+        ).resolve()
+        if not (resolved == root_path or resolved.is_relative_to(root_path)):
+            raise _HttpError(
+                400, f"{field!r} escapes the configured artifacts_root"
+            )
+        return str(resolved)
+
+    @staticmethod
+    def _request_fields(data: Dict[str, object]) -> Dict[str, object]:
+        """The field dict of a request body (unwraps a wire envelope)."""
+        inner = data.get("body")
+        if "schema_version" in data and isinstance(inner, dict):
+            return inner
+        return data
+
+    def _guard_paths(self, data: Dict[str, object], *fields: str) -> None:
+        """Rewrite path-taking fields to their confined absolute form."""
+        inner = self._request_fields(data)
+        for field in fields:
+            value = inner.get(field)
+            # non-strings (an inline sweep spec dict, an in-memory package)
+            # are not paths; the request layer validates them downstream
+            if isinstance(value, str) and value:
+                inner[field] = self._resolve_request_path(value, field)
+
     async def _route(
         self, method: str, path: str, headers: Dict[str, str], body: bytes
     ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
@@ -252,10 +328,14 @@ class HttpServer:
             if not isinstance(data, dict):
                 raise _HttpError(400, "request body must be a JSON object")
             if path == "/v1/validate":
+                self._guard_paths(data, "package", "model_path")
                 outcome = await self.service.validate(data, tenant=tenant)
                 return 200, outcome.to_wire(), {}
             if path == "/v1/release":
                 save_dir = data.pop("save_dir", None)
+                if save_dir is not None:
+                    # resolve before the (expensive) release runs
+                    save_dir = self._resolve_request_path(save_dir, "save_dir")
                 released = await self.service.release(data, tenant=tenant)
                 summary: Dict[str, object] = {
                     "num_tests": released.num_tests,
@@ -269,6 +349,12 @@ class HttpServer:
                     )
                     summary["saved"] = {k: str(v) for k, v in paths.items()}
                 return 200, envelope("release_summary", summary), {}
+            # sweep always writes its result store: pin the default path
+            # explicitly so it, too, resolves inside artifacts_root
+            self._request_fields(data).setdefault(
+                "store", "campaign-results.jsonl"
+            )
+            self._guard_paths(data, "spec", "store", "report")
             sweep_summary = await self.service.sweep(data, tenant=tenant)
             return 200, envelope(
                 "sweep_summary",

@@ -13,7 +13,12 @@ concurrently for many tenants:
 * **coalescing** — model-backed validates route through the
   :class:`~repro.serve.coalescer.BatchingCoalescer`, which merges
   concurrent requests on one package into single stacked dispatches
-  (bit-identical per-model slices, see the coalescer docs);
+  (bit-identical per-model slices, see the coalescer docs); the group key
+  pairs the package fingerprint with the model's **architecture
+  signature** (input shape plus per-layer types and output shapes), so
+  only stack-compatible models fuse — a shape-tampered IP dispatches
+  alone and scores as tampering instead of erroring out its
+  co-travellers;
 * **worker tier** — CPU-bound Session work runs on a
   :class:`~concurrent.futures.ThreadPoolExecutor` via
   ``loop.run_in_executor``, keeping the event loop responsive; engine
@@ -24,10 +29,12 @@ concurrently for many tenants:
   inside ``drain_timeout_s``, flushes the coalescer and closes the session
   (the HTTP layer calls it from its SIGTERM handler).
 
-Determinism: the serve session defaults to ``batch_size=256`` — the same
-chunk size :meth:`repro.nn.model.Sequential.predict` uses — so a validate
-answered through a coalesced stacked dispatch is byte-identical to the
-in-process :func:`repro.validation.validate_ip` path.
+Determinism: the serve session always runs with ``batch_size=256`` — the
+same chunk size :meth:`repro.nn.model.Sequential.predict` uses — so a
+validate answered through a coalesced stacked dispatch is byte-identical
+to the in-process :func:`repro.validation.validate_ip` path.  A caller's
+``run_config`` with a different ``batch_size`` is overridden (with a
+warning); every other run knob is honoured.
 """
 
 from __future__ import annotations
@@ -70,6 +77,22 @@ SERVE_BATCH_SIZE = 256
 _FINGERPRINT_CACHE_SIZE = 32
 
 
+def _architecture_signature(model: Sequential) -> str:
+    """Stack-compatibility key: input shape + per-layer types/output shapes.
+
+    Two models share a signature exactly when ``Engine.stacked_forward``
+    can fuse them — same input shape, same layer sequence, same
+    intermediate and final output shapes.  Pure shape arithmetic, no
+    parameter reads.
+    """
+    shape = tuple(model.input_shape or ())
+    parts = [f"in{shape}"]
+    for layer in model.layers:
+        shape = tuple(layer.output_shape(shape))
+        parts.append(f"{type(layer).__name__}{shape}")
+    return "|".join(parts)
+
+
 class ServiceDraining(Exception):
     """The service is shutting down and no longer admits requests (HTTP 503)."""
 
@@ -87,9 +110,10 @@ class ValidationService:
         A :class:`ServeConfig`, a dict of its fields, or ``None``; keyword
         overrides apply either way.
     run_config:
-        The session's :class:`RunConfig`; ``None`` uses defaults with
-        ``batch_size`` pinned to :data:`SERVE_BATCH_SIZE` (byte-stable
-        coalescing — see the module docstring).
+        The session's :class:`RunConfig`; ``batch_size`` is always pinned
+        to :data:`SERVE_BATCH_SIZE` (byte-stable coalescing — see the
+        module docstring), overriding — with a warning — any other value a
+        supplied config carries.
     """
 
     def __init__(
@@ -101,6 +125,20 @@ class ValidationService:
         self.config = ServeConfig.coerce(config, **overrides)
         if run_config is None:
             run_config = RunConfig(batch_size=SERVE_BATCH_SIZE)
+        else:
+            run_config = RunConfig.coerce(run_config)
+            if run_config.batch_size != SERVE_BATCH_SIZE:
+                # any other chunk size silently breaks the byte-identity
+                # guarantee between coalesced serving and validate_ip
+                logger.warning(
+                    "overriding run_config.batch_size=%d with the pinned "
+                    "serve batch size %d (byte-stable coalescing)",
+                    run_config.batch_size,
+                    SERVE_BATCH_SIZE,
+                )
+                run_config = run_config.with_overrides(
+                    batch_size=SERVE_BATCH_SIZE
+                )
         self.session = Session(run_config)
         self.admission = AdmissionController(
             max_pending=self.config.max_pending,
@@ -159,7 +197,8 @@ class ValidationService:
             ) from None
 
     def _package_fingerprint(self, package: ValidationPackage) -> str:
-        """The coalescer's group key: ``package.digest()``, memoized per object."""
+        """Package half of the coalescer group key: ``package.digest()``,
+        memoized per object."""
         key = id(package)
         with self._fingerprint_lock:
             cached = self._fingerprints.get(key)
@@ -226,7 +265,9 @@ class ValidationService:
         if isinstance(ip, Sequential):
             package_fp = await self._in_executor(self._package_fingerprint, package)
             digest = await self._in_executor(parameter_digest, ip)
-            observed = await self.coalescer.submit(package_fp, package, digest, ip)
+            # architecture in the key: only stack-compatible models fuse
+            group_key = f"{package_fp}#{_architecture_signature(ip)}"
+            observed = await self.coalescer.submit(group_key, package, digest, ip)
             report = report_from_outputs(observed, package)
         else:
             report = await self._in_executor(validate_ip, ip, package)

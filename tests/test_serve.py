@@ -19,6 +19,7 @@ import subprocess
 import sys
 import threading
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -103,7 +104,9 @@ class TestServeConfig:
             ("max_stacked_models", 0),
             ("executor_workers", 0),
             ("request_timeout_s", 0.0),
+            ("read_timeout_s", 0.0),
             ("drain_timeout_s", 0.0),
+            ("artifacts_root", ""),
         ],
     )
     def test_validation_errors(self, field, value):
@@ -313,6 +316,36 @@ class TestBatchingCoalescer:
         assert len(results) == 2
         assert all(isinstance(r, RuntimeError) for r in results)
 
+    def test_failed_stacked_dispatch_retries_each_model_alone(self):
+        """Isolation: a poisoned co-traveller must not fail the group."""
+        dispatched = []
+
+        async def dispatch(package, models):
+            dispatched.append(list(models))
+            if len(models) > 1:
+                raise ValueError("models are not stack-compatible")
+            if models == ["bad"]:
+                raise RuntimeError("this model alone is broken")
+            return np.zeros((1, 1, 1))
+
+        coalescer = BatchingCoalescer(dispatch, window_s=0.01)
+        package = self.FakePackage()
+
+        async def main():
+            return await asyncio.gather(
+                coalescer.submit("fp", package, "d0", "good"),
+                coalescer.submit("fp", package, "d1", "bad"),
+                return_exceptions=True,
+            )
+
+        good, bad = asyncio.run(main())
+        assert dispatched == [["good", "bad"], ["good"], ["bad"]]
+        # the innocent request succeeds; only the broken model errors
+        assert isinstance(good, np.ndarray)
+        assert isinstance(bad, RuntimeError)
+        assert coalescer.stats.fallbacks == 1
+        assert coalescer.stats.coalesced == 0  # floored, never negative
+
     def test_late_duplicate_joins_inflight_dispatch(self):
         started = asyncio.Event()
         release = asyncio.Event()
@@ -430,6 +463,40 @@ class TestValidationService:
         assert clean.passed and bad.detected
         assert stats.dispatches == 1
         assert stats.max_stacked == 2
+
+    def test_mixed_architectures_never_fuse(self, released):
+        """Different architectures on one package must not share a stacked
+        dispatch: a shape-tampered IP scores as tampering while the
+        co-travelling intact model still validates cleanly (no group-wide
+        error)."""
+        from repro.nn.layers import Dense, Flatten
+        from repro.nn.model import Sequential
+
+        shape_tampered = Sequential([Flatten(), Dense(4)])
+        shape_tampered.build(released.model.input_shape)
+
+        async def main():
+            async with _service() as service:
+                client = AsyncClient(service)
+                clean, odd = await asyncio.gather(
+                    client.validate({"package": released.package}, ip=released.model),
+                    client.validate({"package": released.package}, ip=shape_tampered),
+                )
+                return clean, odd, service.coalescer.stats
+
+        clean, odd, stats = asyncio.run(main())
+        assert clean.passed  # the innocent tenant is unaffected
+        assert odd.detected  # shape change = unambiguous tampering, not 400
+        assert odd.max_output_deviation == float("inf")
+        assert stats.dispatches == 2 and stats.max_stacked == 1
+        assert stats.fallbacks == 0  # grouping, not error recovery, split them
+
+    def test_supplied_run_config_batch_size_is_pinned(self):
+        service = ValidationService(run_config=RunConfig(batch_size=64))
+        try:
+            assert service.session.config.batch_size == SERVE_BATCH_SIZE
+        finally:
+            service.close()
 
     def test_uncoalesced_mode_is_byte_identical(self, released, tampered):
         async def run(coalesce: bool):
@@ -551,11 +618,16 @@ class TestHttpServer:
             width_multiplier=0.1,
         )
 
+    @staticmethod
+    def _root(artifacts) -> str:
+        """The directory holding the released artifacts (= artifacts_root)."""
+        return str(Path(str(artifacts["package"])).parent)
+
     def test_concurrent_http_validates_coalesce(self, artifacts):
         request = self._validate_request(artifacts)
 
         async def main():
-            service = _service(port=0)
+            service = _service(port=0, artifacts_root=self._root(artifacts))
             server = HttpServer(service)
             host, port = await server.start()
             try:
@@ -610,11 +682,125 @@ class TestHttpServer:
         assert "unsupported wire schema_version" in results["future_version"][1]["error"]
         assert results["wrong_kind"][0] == 400
 
+    def test_malformed_content_length_maps_to_400(self):
+        async def main():
+            service = _service(port=0)
+            server = HttpServer(service)
+            host, port = await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(
+                    b"POST /v1/validate HTTP/1.1\r\n"
+                    b"Content-Length: abc\r\n\r\n"
+                )
+                await writer.drain()
+                status_line = await asyncio.wait_for(reader.readline(), 5.0)
+                writer.close()
+                return status_line.decode("ascii", "replace")
+            finally:
+                await server.stop()
+
+        status_line = asyncio.run(main())
+        # a proper 400 response, not a silently dropped connection
+        assert " 400 " in status_line
+
+    def test_paths_rejected_without_artifacts_root(self, artifacts):
+        """No artifacts_root configured → every client path field is 400."""
+        request = self._validate_request(artifacts)
+
+        async def main():
+            service = _service(port=0)  # artifacts_root=None
+            server = HttpServer(service)
+            host, port = await server.start()
+            try:
+                client = HttpClient(host, port)
+                results = {}
+                results["validate"] = await client.validate(request)
+                results["release"] = await client.post(
+                    "/v1/release", {"save_dir": "/tmp/evil"}
+                )
+                results["sweep"] = await client.post("/v1/sweep", {})
+                return results
+            finally:
+                await server.stop()
+
+        results = asyncio.run(main())
+        for name, (status, body) in results.items():
+            assert status == 400, name
+            assert "artifacts_root" in body["error"], name
+
+    def test_path_escaping_artifacts_root_rejected(self, artifacts):
+        request = ValidateRequest(
+            package="../../../etc/passwd",
+            model_path="model.npz",
+            arch="mnist",
+            width_multiplier=0.1,
+        )
+
+        async def main():
+            service = _service(port=0, artifacts_root=self._root(artifacts))
+            server = HttpServer(service)
+            host, port = await server.start()
+            try:
+                client = HttpClient(host, port)
+                return await client.validate(request)
+            finally:
+                await server.stop()
+
+        status, body = asyncio.run(main())
+        assert status == 400
+        assert "escapes" in body["error"]
+
+    def test_relative_paths_resolve_inside_artifacts_root(self, artifacts):
+        request = ValidateRequest(
+            package=Path(str(artifacts["package"])).name,
+            model_path=Path(str(artifacts["model"])).name,
+            arch="mnist",
+            width_multiplier=0.1,
+        )
+
+        async def main():
+            service = _service(port=0, artifacts_root=self._root(artifacts))
+            server = HttpServer(service)
+            host, port = await server.start()
+            try:
+                client = HttpClient(host, port)
+                return await client.validate(request)
+            finally:
+                await server.stop()
+
+        status, body = asyncio.run(main())
+        assert status == 200
+        assert body["body"]["passed"]
+
+    def test_idle_connection_does_not_block_stop(self):
+        """Graceful shutdown must not wait on a client that never sends its
+        request (the read deadline reaps it; wait_closed is bounded)."""
+
+        async def main():
+            service = _service(port=0, read_timeout_s=0.2)
+            server = HttpServer(service)
+            host, port = await server.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                # send nothing: the handler sits in its read until the
+                # deadline; stop() must still complete promptly
+                await asyncio.wait_for(server.stop(), timeout=5.0)
+            finally:
+                writer.close()
+
+        asyncio.run(main())
+
     def test_http_rate_limit_maps_to_429_with_retry_after(self, artifacts):
         request = self._validate_request(artifacts)
 
         async def main():
-            service = _service(port=0, tenant_rate=0.001, tenant_burst=1)
+            service = _service(
+                port=0,
+                tenant_rate=0.001,
+                tenant_burst=1,
+                artifacts_root=self._root(artifacts),
+            )
             server = HttpServer(service)
             host, port = await server.start()
             try:
@@ -635,7 +821,7 @@ class TestHttpServer:
         request = self._validate_request(artifacts)
 
         async def main():
-            service = _service(port=0)
+            service = _service(port=0, artifacts_root=self._root(artifacts))
             server = HttpServer(service)
             host, port = await server.start()
             client = HttpClient(host, port)
