@@ -59,6 +59,9 @@ Subsystem map:
 * :mod:`repro.serve` — validation as a service: the async multi-tenant
   HTTP endpoint with the cross-request batching coalescer
   (``python -m repro serve``).
+* :mod:`repro.online` — query-budgeted online verification: the
+  fault-tolerant :class:`~repro.online.RemoteModel` transport and the
+  SPRT sequential verifier (``python -m repro verify``).
 """
 
 from typing import TYPE_CHECKING
@@ -82,6 +85,8 @@ _LAZY_EXPORTS = {
     "FaultPolicy": "repro.faults",
     "ServeConfig": "repro.serve",
     "ValidationService": "repro.serve",
+    "RemoteModel": "repro.online",
+    "verify_online": "repro.online",
 }
 
 __all__ = ["__version__", "get_registry", *sorted(_LAZY_EXPORTS)]
@@ -101,6 +106,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         validate,
     )
     from repro.faults import FaultPolicy  # noqa: F401
+    from repro.online import RemoteModel, verify_online  # noqa: F401
     from repro.registry import register  # noqa: F401
     from repro.serve import ServeConfig, ValidationService  # noqa: F401
 

@@ -41,6 +41,7 @@ def campaign_rows(records: Sequence[ScenarioRecord]) -> List[Dict[str, object]]:
                 "detections": record.detections,
                 "detection_rate": record.detection_rate,
                 "coverage": record.coverage,
+                "queries_to_decision": record.extra.get("mean_queries_to_decision", ""),
                 "digest": record.digest,
             }
         )
@@ -160,6 +161,7 @@ def render_campaign_report(
                 "detections",
                 "detection_rate",
                 "coverage",
+                "queries_to_decision",
             ],
         )
     )

@@ -72,6 +72,12 @@ class ReleaseRequest(WireSerde, TableSerde):
     # -- packaging ----------------------------------------------------------
     output_atol: float = DEFAULT_OUTPUT_ATOL
     include_coverage_masks: bool = True
+    #: measure per-test discrimination scores against the surrogate attack
+    #: suite and ship them as the package's v3 field (drives the sequential
+    #: verifier's query order; costs ``discrimination_trials`` perturbed
+    #: forward passes per attack family at release time)
+    measure_discrimination: bool = False
+    discrimination_trials: int = 8
     seed: int = 0
 
     def validate(self) -> None:
@@ -92,6 +98,8 @@ class ReleaseRequest(WireSerde, TableSerde):
             raise ValueError("gradient_updates must be positive")
         if self.output_atol < 0:
             raise ValueError("output_atol must be non-negative")
+        if self.discrimination_trials <= 0:
+            raise ValueError("discrimination_trials must be positive")
 
 
 @dataclass
@@ -173,6 +181,21 @@ class ValidateRequest(WireSerde, TableSerde):
     #: verify the saved parameter digest while loading (off by default: the
     #: paper's user cannot rely on digests — that is the point of the tests)
     verify_digest: bool = False
+    #: ``"full"`` replays every test (the paper's rule); ``"sequential"``
+    #: replays in discriminative-power order with SPRT early stopping
+    mode: str = "full"
+    #: sequential mode: hard cap on queries before an undecided verdict
+    query_budget: Optional[int] = None
+    #: sequential mode: target decision confidence (alpha = beta = 1 - this)
+    confidence: float = 0.99
+    #: verify a *remote* IP: base URL of a live ``python -m repro serve``
+    #: process; ``model_path`` is then resolved server-side
+    remote_url: Optional[str] = None
+    #: registry ``transports`` name when a remote target needs a transport
+    #: other than the default (``http`` for ``remote_url``)
+    transport: Optional[str] = None
+    #: inputs per remote round trip (RemoteModel micro-batching)
+    micro_batch: Optional[int] = None
 
     def validate(self) -> None:
         if isinstance(self.package, str) and not self.package:
@@ -181,6 +204,23 @@ class ValidateRequest(WireSerde, TableSerde):
             raise ValueError("width_multiplier must be positive")
         if self.input_size is not None and self.input_size <= 0:
             raise ValueError("input_size must be positive when given")
+        if self.mode not in ("full", "sequential"):
+            raise ValueError(f"mode must be 'full' or 'sequential', got {self.mode!r}")
+        if self.query_budget is not None and self.query_budget <= 0:
+            raise ValueError("query_budget must be positive when given")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError(f"confidence must be in (0, 1), got {self.confidence}")
+        if self.micro_batch is not None and self.micro_batch <= 0:
+            raise ValueError("micro_batch must be positive when given")
+        if self.transport is not None:
+            from repro.registry import registry
+
+            registry.entry("transports", self.transport)  # raises on unknown
+        if self.remote_url is not None and self.model_path is None:
+            raise ValueError(
+                "remote validation needs model_path (the server-side model "
+                "file under the serve process's --artifacts-root)"
+            )
 
     def to_dict(self) -> Dict[str, object]:
         if not isinstance(self.package, str):
@@ -213,6 +253,14 @@ class ValidationOutcome:
     max_output_deviation: float
     label_mismatches: int
     package_metadata: Dict[str, object] = field(default_factory=dict)
+    #: which replay rule produced this outcome (``"full"`` or ``"sequential"``)
+    mode: str = "full"
+    #: sequential mode only: the :class:`~repro.validation.SequentialReport`
+    #: dict (verdict, queries-to-decision, thresholds, query ledger)
+    sequential: Optional[Dict[str, object]] = None
+    #: remote targets only: the transport's :class:`~repro.online.QueryLedger`
+    #: stats (queries sent, cache hits, retries, wall time)
+    ledger: Optional[Dict[str, object]] = None
 
     @classmethod
     def from_report(
@@ -229,8 +277,40 @@ class ValidationOutcome:
             package_metadata=dict(package.metadata),
         )
 
+    @classmethod
+    def from_sequential_report(
+        cls, report: "object", package: ValidationPackage
+    ) -> "ValidationOutcome":
+        """Flatten a :class:`~repro.validation.SequentialReport`.
+
+        ``num_tests`` stays the package's full fingerprint count (the
+        denominator of ``queries_used``); per-test mismatch bookkeeping
+        covers only the probed prefix, which is the point of the mode.
+        """
+        return cls(
+            passed=not report.detected,
+            detected=report.detected,
+            num_tests=report.num_tests,
+            num_mismatched=len(report.mismatched_indices),
+            mismatched_indices=list(report.mismatched_indices),
+            max_output_deviation=float(report.max_output_deviation),
+            label_mismatches=0,
+            package_metadata=dict(package.metadata),
+            mode="sequential",
+            sequential=report.to_dict(),
+        )
+
     def summary(self) -> str:
         verdict = "SECURE" if self.passed else "TAMPERED"
+        if self.mode == "sequential" and self.sequential is not None:
+            return (
+                f"{verdict}: sequential verdict after "
+                f"{self.sequential['queries_used']}/{self.num_tests} queries "
+                f"(confidence {self.sequential['confidence']:g}, "
+                f"order={self.sequential['order']}), "
+                f"{self.num_mismatched} mismatches, max output deviation "
+                f"{self.max_output_deviation:.3e}"
+            )
         return (
             f"{verdict}: {self.num_mismatched}/{self.num_tests} tests mismatched, "
             f"max output deviation {self.max_output_deviation:.3e}, "

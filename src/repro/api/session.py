@@ -315,11 +315,17 @@ class Session:
         )
         result = generator.generate(req.num_tests)
         vendor = IPVendor(prepared.model, prepared.train, criterion=criterion)
+        discrimination_seed = derive_scenario_seed(
+            self.config.seed, "discrimination", req.dataset, req.seed
+        )
         package = vendor.build_package(
             result,
             output_atol=req.output_atol,
             include_coverage_masks=req.include_coverage_masks,
             engine=engine,
+            measure_discrimination=req.measure_discrimination,
+            discrimination_trials=req.discrimination_trials,
+            discrimination_seed=discrimination_seed,
         )
         released = ReleasePackage(
             request=req,
@@ -341,22 +347,87 @@ class Session:
 
         The IP is ``ip`` when given (a model or any batch callable); else it
         is loaded from the request's ``model_path`` by rebuilding ``arch``
-        from the registry and loading the shipped parameters into it.
+        from the registry and loading the shipped parameters into it — or,
+        when ``remote_url`` is set, queried over the wire through a
+        :class:`~repro.online.RemoteModel` without ever loading it locally.
+
+        ``mode="sequential"`` replaces full replay with the early-stopping
+        verifier of :mod:`repro.online`: fingerprints go out in
+        discriminative-power order and the SPRT walk stops at the request's
+        ``confidence`` (or ``query_budget``), reporting queries-to-decision.
         """
         req = ValidateRequest.coerce(request, **overrides)
+        from dataclasses import replace
+
+        from repro.online import OnlineVerifier, RemoteModel
         from repro.validation.user import validate_ip
 
         package = req.resolve_package()
+        if req.remote_url is not None or req.transport is not None:
+            ip = self._build_remote(req, ip)
         if ip is None:
             if req.model_path is None:
                 raise ValueError(
                     "no IP to validate: pass ip=... or set model_path on the request"
                 )
             ip = self._load_black_box(req)
-        report = validate_ip(ip, package)
-        outcome = ValidationOutcome.from_report(report, package)
+        if req.mode == "sequential":
+            sequential_report = OnlineVerifier(
+                ip,
+                package,
+                confidence=req.confidence,
+                query_budget=req.query_budget,
+            ).verify()
+            outcome = ValidationOutcome.from_sequential_report(
+                sequential_report, package
+            )
+        else:
+            report = validate_ip(ip, package)
+            outcome = ValidationOutcome.from_report(report, package)
+        if isinstance(ip, RemoteModel):
+            outcome = replace(outcome, ledger=ip.stats())
         logger.info("%s", outcome.summary())
         return outcome
+
+    def _build_remote(
+        self, req: ValidateRequest, ip: Optional[BlackBox]
+    ) -> "object":
+        """Wrap the request's remote target in a :class:`~repro.online.RemoteModel`.
+
+        ``remote_url`` selects the ``http`` transport against a live serve
+        process (``model_path`` is the *server-side* path under its
+        ``--artifacts-root``); ``transport`` overrides the transport name,
+        and the ``callable`` transport wraps the locally supplied ``ip``.
+        """
+        from repro.online import RemoteModel
+        from repro.registry import registry
+
+        name = req.transport or ("http" if req.remote_url is not None else "callable")
+        kwargs: Dict[str, object] = {}
+        if name == "callable":
+            if ip is None:
+                raise ValueError(
+                    "transport='callable' wraps a locally supplied ip; pass ip=..."
+                )
+            target = ip if not isinstance(ip, Sequential) else ip.predict
+            kwargs["fn"] = target
+        else:
+            if req.remote_url is None:
+                raise ValueError(f"transport {name!r} needs remote_url on the request")
+            kwargs.update(
+                url=req.remote_url,
+                model_path=req.model_path,
+                arch=req.arch,
+                width_multiplier=req.width_multiplier,
+                input_size=req.input_size,
+            )
+        transport = registry.create("transports", name, **kwargs)
+        remote_kwargs: Dict[str, object] = {}
+        if self._fault_policy is not None:
+            remote_kwargs["policy"] = self._fault_policy
+        if req.micro_batch is not None:
+            remote_kwargs["micro_batch"] = req.micro_batch
+        return RemoteModel(transport, **remote_kwargs)
 
     def load_ip(
         self,

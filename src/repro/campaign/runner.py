@@ -49,6 +49,7 @@ from repro.utils.logging import get_logger
 from repro.utils.rng import spawn
 from repro.validation.detection import default_attack_factories, stack_package_prefixes
 from repro.validation.package import ValidationPackage
+from repro.validation.sequential import decide_from_mismatches, entropy_order
 from repro.validation.vendor import IPVendor
 
 logger = get_logger("campaign.runner")
@@ -531,6 +532,15 @@ class CampaignRunner:
         detections: Dict[Tuple[str, int], int] = {
             (method, budget): 0 for method in methods for budget in spec.budgets
         }
+        # sequential-mode simulation rides the same replay outputs: replay
+        # each budget prefix in entropy order through the SPRT decision
+        # kernel and track how many queries the verdict actually needed
+        query_orders: Dict[Tuple[str, int], np.ndarray] = {
+            (method, budget): entropy_order(expected[offsets[method] : offsets[method] + budget])
+            for method in methods
+            for budget in spec.budgets
+        }
+        queries_to_decision: Dict[Tuple[str, int], int] = {key: 0 for key in detections}
         modified_counts: List[int] = []
         max_abs_deltas: List[float] = []
         # backends advertising a model-axis capacity evaluate that many
@@ -575,8 +585,12 @@ class CampaignRunner:
                 for method in methods:
                     lo = offsets[method]
                     for budget in spec.budgets:
-                        if np.any(deviations[lo : lo + budget] > spec.output_atol):
+                        mismatches = deviations[lo : lo + budget] > spec.output_atol
+                        if np.any(mismatches):
                             detections[(method, budget)] += 1
+                        order = query_orders[(method, budget)]
+                        _, _, used, _ = decide_from_mismatches(mismatches[order])
+                        queries_to_decision[(method, budget)] += used
 
         mean_modified = float(np.mean(modified_counts)) if modified_counts else 0.0
         mean_max_delta = float(np.mean(max_abs_deltas)) if max_abs_deltas else 0.0
@@ -599,6 +613,11 @@ class CampaignRunner:
                     ),
                     "mean_modified_parameters": mean_modified,
                     "mean_max_abs_delta": mean_max_delta,
+                    "mean_queries_to_decision": (
+                        queries_to_decision[(method, scenario.budget)] / spec.trials
+                        if spec.trials
+                        else 0.0
+                    ),
                 },
             )
             self.store.append(record)

@@ -5,6 +5,8 @@ One front door over every operational surface of the library::
     python -m repro release  --dataset mnist --tests 12 --out release/
     python -m repro validate --package release/package.npz \\
         --model release/model.npz --arch mnist
+    python -m repro verify   --package release/package.npz \\
+        --remote http://127.0.0.1:8420 --model model.npz
     python -m repro campaign run --spec spec.toml --store results.jsonl
     python -m repro serve --port 8420
     python -m repro bench --quick
@@ -59,6 +61,17 @@ def _parser() -> argparse.ArgumentParser:
     )
     release.add_argument("--seed", type=int, default=0)
     release.add_argument(
+        "--measure-discrimination", action="store_true",
+        dest="measure_discrimination",
+        help="score each test's discriminative power against the surrogate "
+        "attack suite and ship the scores in the package (format v3)",
+    )
+    release.add_argument(
+        "--discrimination-trials", type=int, default=8,
+        dest="discrimination_trials",
+        help="perturbed copies per attack when measuring discrimination",
+    )
+    release.add_argument(
         "--out", required=True, help="directory for model.npz + package.npz"
     )
     _add_run_config_flags(release)
@@ -83,6 +96,56 @@ def _parser() -> argparse.ArgumentParser:
         help="exit 0 when tampering IS detected (for negative tests)",
     )
     _add_run_config_flags(validate)
+
+    verify = sub.add_parser(
+        "verify",
+        help="query-budgeted online verification: sequential early-stopping "
+        "replay against a local model file or a live serve endpoint",
+    )
+    verify.add_argument("--package", required=True, help="package .npz path")
+    verify.add_argument(
+        "--model", default=None, dest="model_path",
+        help="model .npz path: local file, or (with --remote) the "
+        "server-side path under the serve process's --artifacts-root",
+    )
+    verify.add_argument(
+        "--remote", default=None, dest="remote_url",
+        help="base URL of a live `python -m repro serve` endpoint; the IP "
+        "is queried over HTTP instead of loaded locally",
+    )
+    verify.add_argument(
+        "--arch", default="mnist", help="registry model name to rebuild the IP"
+    )
+    verify.add_argument("--width", type=float, default=0.125, dest="width_multiplier")
+    verify.add_argument(
+        "--input-size", type=int, default=None,
+        help="default: read from the model file's metadata",
+    )
+    verify.add_argument(
+        "--mode", default="sequential", choices=("sequential", "full"),
+        help="sequential = SPRT early stopping (default); full = replay all",
+    )
+    verify.add_argument(
+        "--budget", type=int, default=None, dest="query_budget",
+        help="hard cap on queries before an undecided verdict",
+    )
+    verify.add_argument(
+        "--confidence", type=float, default=0.99,
+        help="target decision confidence (alpha = beta = 1 - confidence)",
+    )
+    verify.add_argument(
+        "--transport", default=None,
+        help="transports-registry name (default: http when --remote is given)",
+    )
+    verify.add_argument(
+        "--micro-batch", type=int, default=None, dest="micro_batch",
+        help="inputs per remote request",
+    )
+    verify.add_argument(
+        "--expect-detected", action="store_true",
+        help="exit 0 when tampering IS detected (for negative tests)",
+    )
+    _add_run_config_flags(verify)
 
     registry_cmd = sub.add_parser(
         "registry", help="list the cross-subsystem plugin registry"
@@ -145,6 +208,8 @@ def _cmd_release(args: argparse.Namespace) -> int:
         width_multiplier=args.width_multiplier,
         candidate_pool=args.candidate_pool,
         gradient_updates=args.gradient_updates,
+        measure_discrimination=args.measure_discrimination,
+        discrimination_trials=args.discrimination_trials,
         seed=args.seed,
     )
     with _session(args) as session:
@@ -169,6 +234,41 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     with _session(args) as session:
         outcome = session.validate(request)
     print(outcome.summary())
+    if args.expect_detected:
+        return 0 if outcome.detected else 3
+    return 0 if outcome.passed else 3
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.api import ValidateRequest
+
+    request = ValidateRequest(
+        package=args.package,
+        model_path=args.model_path,
+        arch=args.arch,
+        width_multiplier=args.width_multiplier,
+        input_size=args.input_size,
+        mode=args.mode,
+        query_budget=args.query_budget,
+        confidence=args.confidence,
+        remote_url=args.remote_url,
+        transport=args.transport,
+        micro_batch=args.micro_batch,
+    )
+    with _session(args) as session:
+        outcome = session.validate(request)
+    print(outcome.summary())
+    if outcome.ledger is not None:
+        ledger = outcome.ledger
+        print(
+            "ledger: {queries_sent} queries in {requests} request(s), "
+            "{cache_hits} cache hit(s), {retries} retried".format(
+                queries_sent=ledger.get("queries_sent", 0),
+                requests=ledger.get("requests", 0),
+                cache_hits=ledger.get("cache_hits", 0),
+                retries=ledger.get("retries", 0),
+            )
+        )
     if args.expect_detected:
         return 0 if outcome.detected else 3
     return 0 if outcome.passed else 3
@@ -227,6 +327,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "release": _cmd_release,
         "validate": _cmd_validate,
+        "verify": _cmd_verify,
         "registry": _cmd_registry,
         "version": _cmd_version,
     }

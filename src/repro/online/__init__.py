@@ -1,0 +1,51 @@
+"""``repro.online`` — query-budgeted verification of remote black-box IPs.
+
+The paper's user (Fig. 1, right half) holds the IP in-process and replays
+the whole fingerprint set for free.  This package covers the production
+variant: the suspect model sits behind a metered endpoint and every query
+costs money, so verification needs a fault-tolerant transport and an
+early-stopping decision rule.
+
+Two halves:
+
+- :mod:`repro.online.transport` — :class:`RemoteModel`, a
+  :data:`~repro.validation.user.BlackBoxIP`-compatible callable over a
+  pluggable transport (``callable`` for in-process endpoints, ``http`` for
+  a live ``python -m repro serve`` process; third parties add more through
+  the registry's ``transports`` namespace).  Queries are micro-batched,
+  retried under a :class:`repro.faults.FaultPolicy`, rate-limited by a
+  client-side token bucket, and deduplicated through a response cache
+  keyed by input fingerprint, with every billable event recorded in a
+  :class:`QueryLedger`.
+
+- :mod:`repro.online.verifier` — :class:`OnlineVerifier`, which replays
+  fingerprints in discriminative-power order and runs the SPRT walk from
+  :mod:`repro.validation.sequential`, emitting a
+  :class:`~repro.validation.sequential.SequentialReport` (verdict,
+  confidence, queries-to-decision) instead of always replaying everything.
+
+Because :class:`RemoteModel` *is* a ``BlackBoxIP``, the un-budgeted path is
+just ``validate_ip(remote, package)`` — full replay over the wire with a
+byte-identical mismatch set to in-process validation.
+"""
+
+from repro.online.transport import (
+    CallableTransport,
+    HttpTransport,
+    QueryLedger,
+    RemoteModel,
+    TransportError,
+    resolve_transport,
+)
+from repro.online.verifier import OnlineVerifier, verify_online
+
+__all__ = [
+    "CallableTransport",
+    "HttpTransport",
+    "OnlineVerifier",
+    "QueryLedger",
+    "RemoteModel",
+    "TransportError",
+    "resolve_transport",
+    "verify_online",
+]

@@ -20,6 +20,8 @@ ladders.  This module unifies them into a single :class:`Registry` with
 ``datasets``    dataset loaders (``mnist``, ``cifar``, ``digits``,
                 ``noise``, ``imagenet``)
 ``models``      model-zoo builders (``mnist``, ``cifar``, ``small_cnn``, …)
+``transports``  remote-model query transports for online verification
+                (``callable``, ``http``)
 =============  ============================================================
 
 Each entry carries an optional **knob declaration** — a mapping from the
@@ -61,6 +63,7 @@ NAMESPACES = (
     "backends",
     "datasets",
     "models",
+    "transports",
 )
 
 #: entry-point group scanned by :func:`discover_entry_points`
@@ -74,6 +77,7 @@ _SINGULAR = {
     "backends": "backend",
     "datasets": "dataset",
     "models": "model",
+    "transports": "transport",
 }
 
 #: modules that register a namespace's builtin entries on import
@@ -84,6 +88,7 @@ _BUILTIN_MODULES: Dict[str, Tuple[str, ...]] = {
     "backends": ("repro.engine",),
     "datasets": ("repro.data",),
     "models": ("repro.models.zoo",),
+    "transports": ("repro.online.transport",),
 }
 
 

@@ -72,6 +72,10 @@ class CoalescerStats:
     #: multi-model dispatches that failed and were retried model-by-model
     #: (isolation: one poisoned co-traveller must not fail the group)
     fallbacks: int = 0
+    #: submits deferred to a later dispatch because their tenant already
+    #: held ``max_per_tenant`` slots in the open group (cross-tenant
+    #: fairness: one tenant's wide sweep cannot fill ``max_models``)
+    fairness_evictions: int = 0
 
     @property
     def coalesced(self) -> int:
@@ -96,6 +100,7 @@ class CoalescerStats:
             "stacked_models": self.stacked_models,
             "max_stacked": self.max_stacked,
             "fallbacks": self.fallbacks,
+            "fairness_evictions": self.fairness_evictions,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -105,9 +110,14 @@ class _Group:
     """Requests waiting on one group key's next dispatch."""
 
     package: ValidationPackage
-    #: parameter digest → (model, shared result future)
-    entries: "Dict[str, Tuple[object, asyncio.Future]]" = field(
+    #: parameter digest → (model, shared result future, tenant)
+    entries: "Dict[str, Tuple[object, asyncio.Future, str]]" = field(
         default_factory=dict
+    )
+    #: per-tenant-capped spillover, dispatched by the successor group:
+    #: (digest, model, future, tenant) in arrival order
+    overflow: "List[Tuple[str, object, asyncio.Future, str]]" = field(
+        default_factory=list
     )
     flush_task: "asyncio.Task | None" = None
 
@@ -126,6 +136,12 @@ class BatchingCoalescer:
         requests coalesces even with no deliberate delay.
     max_models:
         Flush early once a group holds this many distinct models.
+    max_per_tenant:
+        Cross-tenant fairness cap: at most this many of one tenant's
+        entries share a stacked dispatch; the excess is deferred (counted
+        in ``fairness_evictions``) to the successor group's window, so a
+        single tenant's wide sweep cannot fill ``max_models`` and starve
+        co-tenants of the batch. ``None`` disables the cap.
     enabled:
         Off, every submit dispatches alone (the benchmark baseline); stats
         keep counting so the two modes stay comparable.
@@ -136,15 +152,19 @@ class BatchingCoalescer:
         dispatch: StackedDispatch,
         window_s: float = 0.01,
         max_models: int = 8,
+        max_per_tenant: "int | None" = None,
         enabled: bool = True,
     ) -> None:
         if window_s < 0:
             raise ValueError("window_s must be non-negative")
         if max_models <= 0:
             raise ValueError("max_models must be positive")
+        if max_per_tenant is not None and max_per_tenant <= 0:
+            raise ValueError("max_per_tenant must be positive when given")
         self._dispatch = dispatch
         self.window_s = float(window_s)
         self.max_models = int(max_models)
+        self.max_per_tenant = max_per_tenant
         self.enabled = bool(enabled)
         self.stats = CoalescerStats()
         self._groups: Dict[str, _Group] = {}
@@ -160,6 +180,7 @@ class BatchingCoalescer:
         package: ValidationPackage,
         digest: str,
         model: object,
+        tenant: str = "default",
     ) -> np.ndarray:
         """Observed logits for ``model`` on ``package``'s tests.
 
@@ -168,6 +189,7 @@ class BatchingCoalescer:
         sharing a key is stack-compatible.  Identical concurrent submits
         (same key, same digest) share one dispatch; distinct digests on the
         same key fuse into one stacked dispatch after the coalescing window.
+        ``tenant`` feeds the per-dispatch fairness cap (``max_per_tenant``).
         """
         self.stats.requests += 1
         if not self.enabled:
@@ -190,12 +212,36 @@ class BatchingCoalescer:
             self._groups[group_key] = group
             group.flush_task = loop.create_task(self._flush_after_window(group_key))
         future: asyncio.Future = loop.create_future()
-        group.entries[digest] = (model, future)
         self._futures[key] = future
-        if len(group.entries) >= self.max_models:
+        joined = self._join(group, digest, model, future, tenant)
+        if joined and len(group.entries) >= self.max_models:
             self._flush(group_key)
         # shielded: one timed-out waiter must not cancel the shared result
         return await asyncio.shield(future)
+
+    def _join(
+        self,
+        group: _Group,
+        digest: str,
+        model: object,
+        future: asyncio.Future,
+        tenant: str,
+    ) -> bool:
+        """Seat an entry in ``group``, or defer it when its tenant is at cap.
+
+        Returns ``True`` when the entry joined the open dispatch; deferred
+        entries (``False``) ride the group's ``overflow`` into the successor
+        group that :meth:`_flush` opens, keeping their already-registered
+        dedup future alive the whole time.
+        """
+        if self.max_per_tenant is not None:
+            seated = sum(1 for _, _, t in group.entries.values() if t == tenant)
+            if seated >= self.max_per_tenant:
+                self.stats.fairness_evictions += 1
+                group.overflow.append((digest, model, future, tenant))
+                return False
+        group.entries[digest] = (model, future, tenant)
+        return True
 
     async def _flush_after_window(self, group_key: str) -> None:
         try:
@@ -210,12 +256,24 @@ class BatchingCoalescer:
             return
         if not from_window and group.flush_task is not None:
             group.flush_task.cancel()
-        task = asyncio.get_running_loop().create_task(
-            self._run_dispatch(group_key, group)
-        )
+        loop = asyncio.get_running_loop()
+        if group.overflow:
+            # fairness-deferred entries open the successor group immediately,
+            # with its own window, so they wait at most one extra dispatch
+            successor = _Group(package=group.package)
+            self._groups[group_key] = successor
+            successor.flush_task = loop.create_task(
+                self._flush_after_window(group_key)
+            )
+            for digest, model, future, tenant in group.overflow:
+                self._join(successor, digest, model, future, tenant)
+        task = loop.create_task(self._run_dispatch(group_key, group))
         # keep a strong reference until done (asyncio only holds weak ones)
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
+        successor = self._groups.get(group_key)
+        if successor is not None and len(successor.entries) >= self.max_models:
+            self._flush(group_key)
 
     async def _run_dispatch(self, group_key: str, group: _Group) -> None:
         digests = list(group.entries)
@@ -234,7 +292,7 @@ class BatchingCoalescer:
         except Exception as exc:
             if len(models) == 1:
                 for digest in digests:
-                    _, future = group.entries[digest]
+                    _, future, _ = group.entries[digest]
                     if not future.done():
                         future.set_exception(exc)
             else:
@@ -249,7 +307,7 @@ class BatchingCoalescer:
                 )
                 self.stats.fallbacks += 1
                 for digest in digests:
-                    model, future = group.entries[digest]
+                    model, future, _ = group.entries[digest]
                     self.stats.dispatches += 1
                     self.stats.stacked_models += 1
                     try:
@@ -262,7 +320,7 @@ class BatchingCoalescer:
                             future.set_result(single[0])
         else:
             for index, digest in enumerate(digests):
-                _, future = group.entries[digest]
+                _, future, _ = group.entries[digest]
                 if not future.done():
                     future.set_result(stacked[index])
         finally:
@@ -270,11 +328,16 @@ class BatchingCoalescer:
                 self._futures.pop((group_key, digest), None)
 
     async def drain(self) -> None:
-        """Flush every open window and wait for in-flight dispatches."""
-        for group_key in list(self._groups):
-            self._flush(group_key)
-        while self._tasks:
-            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        """Flush every open window and wait for in-flight dispatches.
+
+        Loops because flushing a group with fairness-deferred overflow opens
+        a successor group, which must flush (and dispatch) too.
+        """
+        while self._groups or self._tasks:
+            for group_key in list(self._groups):
+                self._flush(group_key)
+            while self._tasks:
+                await asyncio.gather(*list(self._tasks), return_exceptions=True)
 
 
 __all__ = ["BatchingCoalescer", "CoalescerStats", "StackedDispatch"]

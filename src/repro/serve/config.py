@@ -53,6 +53,12 @@ class ServeConfig(TableSerde):
     max_stacked_models:
         Cap on distinct models fused into one stacked dispatch; arrivals
         beyond it flush immediately and start a new batch.
+    tenant_stack_limit:
+        Cross-tenant fairness: at most this many of one tenant's models
+        share a stacked dispatch; the excess waits for the next window
+        (``fairness_evictions`` in ``/stats`` counts the deferrals), so one
+        tenant's wide sweep cannot fill ``max_stacked_models`` and starve
+        co-tenants.  ``None`` (the default) disables the cap.
     executor_workers:
         Threads in the worker tier that runs CPU-bound Session calls off the
         event loop.
@@ -87,6 +93,7 @@ class ServeConfig(TableSerde):
     coalesce: bool = True
     coalesce_window_s: float = 0.01
     max_stacked_models: int = 8
+    tenant_stack_limit: Optional[int] = None
     executor_workers: int = 2
     request_timeout_s: Optional[float] = 120.0
     read_timeout_s: float = 10.0
@@ -112,6 +119,8 @@ class ServeConfig(TableSerde):
             raise ValueError("coalesce_window_s must be non-negative")
         if self.max_stacked_models <= 0:
             raise ValueError("max_stacked_models must be positive")
+        if self.tenant_stack_limit is not None and self.tenant_stack_limit <= 0:
+            raise ValueError("tenant_stack_limit must be positive when given")
         if self.executor_workers <= 0:
             raise ValueError("executor_workers must be positive")
         if self.request_timeout_s is not None and self.request_timeout_s <= 0:

@@ -13,6 +13,9 @@ POST     ``/v1/validate``  ``validate`` envelope → ``outcome`` envelope
 POST     ``/v1/release``   ``release`` envelope (+ optional top-level
                            ``save_dir``) → ``release_summary`` envelope
 POST     ``/v1/sweep``     ``sweep`` envelope → ``sweep_summary`` envelope
+POST     ``/v1/query``     ``query`` envelope (model + input batch) →
+                           ``query_result`` envelope (float64 logits) —
+                           the online verifier's billable endpoint
 =======  ==============  ===============================================
 
 The tenant is the ``X-Tenant`` request header (``default`` otherwise).
@@ -318,7 +321,7 @@ class HttpServer:
             if method != "GET":
                 raise _HttpError(405, "use GET /stats")
             return 200, self.service.stats(), {}
-        if path in ("/v1/validate", "/v1/release", "/v1/sweep"):
+        if path in ("/v1/validate", "/v1/release", "/v1/sweep", "/v1/query"):
             if method != "POST":
                 raise _HttpError(405, f"use POST {path}")
             try:
@@ -327,6 +330,11 @@ class HttpServer:
                 raise _HttpError(400, f"request body is not valid JSON: {exc}")
             if not isinstance(data, dict):
                 raise _HttpError(400, "request body must be a JSON object")
+            if path == "/v1/query":
+                self._guard_paths(data, "model_path")
+                fields = self._request_fields(data)
+                result = await self.service.query(fields, tenant=tenant)
+                return 200, envelope("query_result", result), {}
             if path == "/v1/validate":
                 self._guard_paths(data, "package", "model_path")
                 outcome = await self.service.validate(data, tenant=tenant)

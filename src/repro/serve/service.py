@@ -151,6 +151,7 @@ class ValidationService:
             self._dispatch_stacked,
             window_s=self.config.coalesce_window_s,
             max_models=self.config.max_stacked_models,
+            max_per_tenant=self.config.tenant_stack_limit,
             enabled=self.config.coalesce,
         )
         self._executor = ThreadPoolExecutor(
@@ -169,10 +170,23 @@ class ValidationService:
             OrderedDict()
         )
         self._fingerprint_lock = threading.Lock()
+        # models loaded for raw /v1/query inference, keyed by file identity
+        self._query_models: "OrderedDict[Tuple[object, ...], Sequential]" = (
+            OrderedDict()
+        )
+        self._query_model_lock = threading.Lock()
         self._draining = False
         self._closed = False
         self._started = time.monotonic()
-        self._operations: Dict[str, int] = {"release": 0, "validate": 0, "sweep": 0}
+        self._operations: Dict[str, int] = {
+            "release": 0,
+            "validate": 0,
+            "sweep": 0,
+            "query": 0,
+        }
+        #: billable-query accounting surfaced by ``/stats`` — the online
+        #: verifier's CI assertion reads ``inputs`` (fingerprints served)
+        self._queries: Dict[str, int] = {"requests": 0, "inputs": 0}
 
     # -- plumbing ------------------------------------------------------------
     async def _in_executor(self, fn, *args, **kwargs):
@@ -242,7 +256,9 @@ class ValidationService:
         self._check_admits()
         self.admission.admit(tenant)
         try:
-            outcome = await self._timed(self._validate_inner(request, ip, overrides))
+            outcome = await self._timed(
+                self._validate_inner(request, ip, overrides, tenant)
+            )
             self._operations["validate"] += 1
             return outcome
         finally:
@@ -253,6 +269,7 @@ class ValidationService:
         request: Union[ValidateRequest, Dict[str, object], None],
         ip: Optional[BlackBox],
         overrides: Dict[str, object],
+        tenant: str = "default",
     ) -> ValidationOutcome:
         req = ValidateRequest.coerce(request, **overrides)
         package = await self._in_executor(req.resolve_package)
@@ -267,11 +284,117 @@ class ValidationService:
             digest = await self._in_executor(parameter_digest, ip)
             # architecture in the key: only stack-compatible models fuse
             group_key = f"{package_fp}#{_architecture_signature(ip)}"
-            observed = await self.coalescer.submit(group_key, package, digest, ip)
+            observed = await self.coalescer.submit(
+                group_key, package, digest, ip, tenant=tenant
+            )
             report = report_from_outputs(observed, package)
         else:
             report = await self._in_executor(validate_ip, ip, package)
         return ValidationOutcome.from_report(report, package)
+
+    async def query(
+        self,
+        request: Union[Dict[str, object], None] = None,
+        tenant: str = "default",
+        **overrides: object,
+    ) -> Dict[str, object]:
+        """Raw black-box inference: logits for a batch of inputs.
+
+        The remote half of the online-verification loop
+        (:class:`repro.online.HttpTransport` posts here): the server loads
+        ``model_path`` into the named ``arch`` and runs its forward pass,
+        charging one billable query per input row.  ``repr``-based JSON
+        float serialisation returns the float64 logits exactly, so a full
+        replay over this endpoint is byte-identical to in-process
+        validation.
+        """
+        self._check_admits()
+        self.admission.admit(tenant)
+        try:
+            result = await self._timed(self._query_inner(request, overrides))
+            self._operations["query"] += 1
+            return result
+        finally:
+            self.admission.release(tenant)
+
+    async def _query_inner(
+        self,
+        request: Union[Dict[str, object], None],
+        overrides: Dict[str, object],
+    ) -> Dict[str, object]:
+        data = dict(request or {})
+        data.update(overrides)
+        inputs = data.get("inputs")
+        if inputs is None:
+            raise ValueError("query needs 'inputs' (a batch of test vectors)")
+        array = np.asarray(inputs, dtype=np.float64)
+        if array.ndim == 1:
+            array = array.reshape(1, -1)
+        if array.ndim < 2 or array.shape[0] == 0:
+            raise ValueError(
+                f"query inputs must be a non-empty batch (leading batch "
+                f"axis), got shape {array.shape}"
+            )
+        model = await self._in_executor(self._query_model, data)
+
+        def run() -> np.ndarray:
+            with self._dispatch_lock:
+                return model.predict(array)
+
+        outputs = await self._in_executor(run)
+        self._queries["requests"] += 1
+        self._queries["inputs"] += int(array.shape[0])
+        return {
+            "outputs": outputs.tolist(),
+            "num_inputs": int(array.shape[0]),
+            "num_classes": int(outputs.shape[1]),
+        }
+
+    def _query_model(self, data: Dict[str, object]) -> Sequential:
+        """Load (or fetch the cached) model a query addresses.
+
+        Keyed by the model file's identity (path + mtime + size) plus the
+        rebuild parameters, so republishing a model file under the same
+        path invalidates the cached instance.
+        """
+        from pathlib import Path
+
+        model_path = data.get("model_path")
+        if not model_path:
+            raise ValueError("query needs 'model_path' (the served model file)")
+        req = ValidateRequest(
+            # placeholder: raw queries never touch a validation package, but
+            # the request type requires a non-empty field
+            package="<query>",
+            model_path=str(model_path),
+            arch=str(data.get("arch", "mnist")),
+            width_multiplier=float(data.get("width_multiplier", 0.125)),
+            input_size=(
+                int(data["input_size"])
+                if data.get("input_size") is not None
+                else None
+            ),
+        )
+        stat = Path(str(model_path)).stat()
+        key = (
+            str(model_path),
+            stat.st_mtime_ns,
+            stat.st_size,
+            req.arch,
+            req.width_multiplier,
+            req.input_size,
+        )
+        with self._query_model_lock:
+            cached = self._query_models.get(key)
+            if cached is not None:
+                self._query_models.move_to_end(key)
+                return cached
+        model = self.session.load_ip(req)
+        with self._query_model_lock:
+            self._query_models[key] = model
+            while len(self._query_models) > _FINGERPRINT_CACHE_SIZE:
+                self._query_models.popitem(last=False)
+        return model
 
     async def release(
         self,
@@ -332,6 +455,7 @@ class ValidationService:
             "uptime_s": round(time.monotonic() - self._started, 3),
             "draining": self._draining or self._closed,
             "operations": dict(self._operations),
+            "queries": dict(self._queries),
             "coalescer": self.coalescer.stats.to_dict(),
             "admission": self.admission.snapshot(),
             "engine": {
@@ -377,6 +501,8 @@ class ValidationService:
         self._executor.shutdown(wait=True)
         with self._fingerprint_lock:
             self._fingerprints.clear()
+        with self._query_model_lock:
+            self._query_models.clear()
         self.session.close()
 
     async def __aenter__(self) -> "ValidationService":

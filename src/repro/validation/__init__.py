@@ -11,6 +11,13 @@ from repro.validation.detection import (
     stack_package_prefixes,
 )
 from repro.validation.package import DEFAULT_OUTPUT_ATOL, FORMAT_VERSION, ValidationPackage
+from repro.validation.sequential import (
+    SequentialReport,
+    clean_floor,
+    decide_from_mismatches,
+    entropy_order,
+    query_order,
+)
 from repro.validation.user import (
     BlackBoxIP,
     IPUser,
@@ -30,7 +37,12 @@ __all__ = [
     "run_detection_experiment",
     "DEFAULT_OUTPUT_ATOL",
     "FORMAT_VERSION",
+    "SequentialReport",
+    "clean_floor",
     "ValidationPackage",
+    "decide_from_mismatches",
+    "entropy_order",
+    "query_order",
     "BlackBoxIP",
     "IPUser",
     "ValidationReport",

@@ -38,22 +38,27 @@ DEFAULT_OUTPUT_ATOL = 1e-6
 
 #: on-disk format version written by :meth:`ValidationPackage.save`.
 #: v1: tests + outputs only (dense-boolean ``coverage_masks`` in some
-#: pre-release builds); v2: optional packed ``coverage_words`` + ``coverage_bits``.
-FORMAT_VERSION = 2
+#: pre-release builds); v2: optional packed ``coverage_words`` + ``coverage_bits``;
+#: v3: optional per-test ``discrimination`` scores for sequential verification.
+#: ``save`` is content-driven: a package that carries no v3 payload is still
+#: written as format 2 so older readers keep working.
+FORMAT_VERSION = 3
 
 
 def _digest_arrays(
     tests: np.ndarray,
     outputs: np.ndarray,
     coverage_masks: Optional[MaskMatrix] = None,
+    discrimination: Optional[np.ndarray] = None,
 ) -> str:
     """SHA-256 digest binding the package payload together.
 
-    Covers ``(X, Y)`` and, when present, the packed coverage masks — every
-    byte the package ships must be authenticated, or a man-in-the-middle
-    could rewrite the auditable coverage record while the digest still
-    verifies.  v1 packages never carried masks, so their stored digests
-    (tests + outputs only) keep verifying under this definition.
+    Covers ``(X, Y)`` and, when present, the packed coverage masks and the
+    discrimination scores — every byte the package ships must be
+    authenticated, or a man-in-the-middle could rewrite the auditable
+    coverage record (or reorder the verifier's query schedule) while the
+    digest still verifies.  v1 packages never carried masks, so their stored
+    digests (tests + outputs only) keep verifying under this definition.
     """
     hasher = hashlib.sha256()
     hasher.update(np.ascontiguousarray(np.round(tests, 12)).tobytes())
@@ -61,6 +66,9 @@ def _digest_arrays(
     if coverage_masks is not None:
         hasher.update(str(coverage_masks.nbits).encode("ascii"))
         hasher.update(np.ascontiguousarray(coverage_masks.words).tobytes())
+    if discrimination is not None:
+        hasher.update(b"discrimination")
+        hasher.update(np.ascontiguousarray(np.round(discrimination, 12)).tobytes())
     return hasher.hexdigest()
 
 
@@ -82,6 +90,10 @@ class ValidationPackage:
         bit per vendor-model parameter).
     metadata: free-form information (model name, generator, coverage
         achieved, creation settings).
+    discrimination: optional per-test discriminative-power scores (format
+        v3) — the fraction of the vendor's surrogate attack suite each test
+        detected at release time.  Sequential verification replays tests in
+        descending score order so the most telling queries are spent first.
     """
 
     tests: np.ndarray
@@ -90,6 +102,7 @@ class ValidationPackage:
     output_atol: float = DEFAULT_OUTPUT_ATOL
     coverage_masks: Optional[MaskMatrix] = None
     metadata: Dict[str, object] = field(default_factory=dict)
+    discrimination: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         self.tests = np.asarray(self.tests, dtype=np.float64)
@@ -122,6 +135,15 @@ class ValidationPackage:
                     f"coverage_masks has {len(self.coverage_masks)} rows, "
                     f"expected one per test ({self.tests.shape[0]})"
                 )
+        if self.discrimination is not None:
+            self.discrimination = np.asarray(self.discrimination, dtype=np.float64)
+            if self.discrimination.ndim != 1:
+                raise ValueError("discrimination must be a 1-D per-test score array")
+            if self.discrimination.shape[0] != self.tests.shape[0]:
+                raise ValueError(
+                    f"discrimination has {self.discrimination.shape[0]} scores, "
+                    f"expected one per test ({self.tests.shape[0]})"
+                )
 
     # -- properties --------------------------------------------------------
     @property
@@ -129,8 +151,13 @@ class ValidationPackage:
         return int(self.tests.shape[0])
 
     def digest(self) -> str:
-        """Integrity digest over the full payload (tests, outputs, masks)."""
-        return _digest_arrays(self.tests, self.expected_outputs, self.coverage_masks)
+        """Integrity digest over the full payload (tests, outputs, masks, scores)."""
+        return _digest_arrays(
+            self.tests,
+            self.expected_outputs,
+            self.coverage_masks,
+            self.discrimination,
+        )
 
     def coverage_fraction(self) -> Optional[float]:
         """VC(X) recomputed from the stored packed masks (None without masks)."""
@@ -153,6 +180,11 @@ class ValidationPackage:
                 else None
             ),
             metadata=dict(self.metadata),
+            discrimination=(
+                self.discrimination[:n].copy()
+                if self.discrimination is not None
+                else None
+            ),
         )
 
     # -- serialisation -------------------------------------------------------
@@ -160,8 +192,11 @@ class ValidationPackage:
         """Serialise the package (with its digest) to an ``.npz`` file."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # content-driven version: only stamp v3 when a v3 payload is present,
+        # so packages without discrimination scores stay readable by v2 builds
+        version = FORMAT_VERSION if self.discrimination is not None else 2
         meta: Dict[str, object] = {
-            "format": FORMAT_VERSION,
+            "format": version,
             "output_atol": self.output_atol,
             "digest": self.digest(),
             "metadata": self.metadata,
@@ -174,6 +209,8 @@ class ValidationPackage:
         if self.coverage_masks is not None:
             meta["coverage_bits"] = int(self.coverage_masks.nbits)
             arrays["coverage_words"] = self.coverage_masks.words
+        if self.discrimination is not None:
+            arrays["discrimination"] = self.discrimination
         np.savez(
             path,
             __meta__=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
@@ -185,9 +222,11 @@ class ValidationPackage:
     def load(cls, path: PathLike, verify_digest: bool = True) -> "ValidationPackage":
         """Load a package, verifying its integrity digest by default.
 
-        Reads every on-disk format: v2 (packed ``coverage_words``), v1
-        without masks, and v1 with legacy dense-boolean ``coverage_masks``
-        (packed transparently on load).
+        Reads every on-disk format: v3 (per-test ``discrimination`` scores),
+        v2 (packed ``coverage_words``), v1 without masks, and v1 with legacy
+        dense-boolean ``coverage_masks`` (packed transparently on load).
+        Formats newer than this build knows are refused with an explicit
+        version error rather than a missing-key crash.
         """
         path = Path(path)
         if not path.exists():
@@ -197,8 +236,9 @@ class ValidationPackage:
             version = int(meta.get("format", 1))
             if version > FORMAT_VERSION:
                 raise ValueError(
-                    f"validation package {path} has format {version}; this "
-                    f"build reads formats up to {FORMAT_VERSION}"
+                    f"validation package {path} has format {version}, but this "
+                    f"build only reads formats up to {FORMAT_VERSION} — upgrade "
+                    "repro to a release that understands this package format"
                 )
             coverage_masks: Optional[MaskMatrix] = None
             if "coverage_words" in data.files:
@@ -208,6 +248,9 @@ class ValidationPackage:
             elif "coverage_masks" in data.files:  # legacy v1 dense storage
                 dense = np.asarray(data["coverage_masks"], dtype=bool)
                 coverage_masks = MaskMatrix(dense.shape[1], pack_bool(dense))
+            discrimination: Optional[np.ndarray] = None
+            if "discrimination" in data.files:
+                discrimination = np.asarray(data["discrimination"], dtype=np.float64)
             package = cls(
                 tests=data["tests"],
                 expected_outputs=data["expected_outputs"],
@@ -215,6 +258,7 @@ class ValidationPackage:
                 output_atol=float(meta["output_atol"]),
                 coverage_masks=coverage_masks,
                 metadata=dict(meta.get("metadata", {})),
+                discrimination=discrimination,
             )
         if verify_digest:
             # v1 writers digested tests+outputs only (masks, if any, were a

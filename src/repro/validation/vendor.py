@@ -18,6 +18,7 @@ from repro.data.datasets import Dataset
 from repro.nn.model import Sequential
 from repro.testgen.base import GenerationResult, TestGenerator
 from repro.testgen.combined import CombinedGenerator
+from repro.utils.rng import as_generator
 from repro.validation.package import DEFAULT_OUTPUT_ATOL, ValidationPackage
 
 
@@ -70,6 +71,49 @@ class IPVendor:
         gen = generator or self.default_generator(**generator_kwargs)
         return gen.generate(num_tests)
 
+    # -- discrimination measurement -------------------------------------------
+    def measure_discrimination(
+        self,
+        tests: np.ndarray,
+        output_atol: float = DEFAULT_OUTPUT_ATOL,
+        trials: int = 8,
+        seed: int = 0,
+        expected: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-test discriminative power against the surrogate attack suite.
+
+        The vendor perturbs their own model with every registered attack
+        family (``trials`` fresh draws each) and records, for each test, the
+        fraction of perturbed copies it detects — observed output deviating
+        from the reference by more than ``output_atol``.  The resulting
+        scores ship as the package's v3 ``discrimination`` field and drive
+        the sequential verifier's query order, so the user's most telling
+        queries are spent first.  Fully deterministic for a given seed.
+        """
+        from repro.validation.detection import default_attack_factories
+
+        test_array = np.asarray(tests, dtype=np.float64)
+        if test_array.shape[0] == 0:
+            raise ValueError("cannot measure discrimination with zero tests")
+        if trials <= 0:
+            raise ValueError(f"trials must be positive, got {trials}")
+        if expected is None:
+            expected = self.model.predict(test_array)
+        factories = default_attack_factories(test_array)
+        detections = np.zeros(test_array.shape[0], dtype=np.float64)
+        copies = 0
+        base = as_generator(seed)
+        for name in sorted(factories):
+            factory = factories[name]
+            for _ in range(trials):
+                rng = np.random.default_rng(base.integers(0, 2**63 - 1))
+                perturbed = factory(rng).apply(self.model).model
+                observed = perturbed.predict(test_array)
+                deviations = np.abs(observed - expected).max(axis=1)
+                detections += deviations > output_atol
+                copies += 1
+        return detections / copies
+
     # -- packaging ------------------------------------------------------------
     def build_package(
         self,
@@ -78,6 +122,9 @@ class IPVendor:
         extra_metadata: Optional[Dict[str, object]] = None,
         include_coverage_masks: bool = True,
         engine=None,
+        measure_discrimination: bool = False,
+        discrimination_trials: int = 8,
+        discrimination_seed: int = 0,
     ) -> ValidationPackage:
         """Compute reference outputs for ``tests`` and wrap them in a package.
 
@@ -116,6 +163,16 @@ class IPVendor:
                 "validation_coverage": packed.union().fraction,
             }
         )
+        discrimination = None
+        if measure_discrimination:
+            discrimination = self.measure_discrimination(
+                test_array,
+                output_atol=output_atol,
+                trials=discrimination_trials,
+                seed=discrimination_seed,
+                expected=expected,
+            )
+            metadata["discrimination_trials"] = int(discrimination_trials)
         if extra_metadata:
             metadata.update(extra_metadata)
         return ValidationPackage(
@@ -124,6 +181,7 @@ class IPVendor:
             output_atol=output_atol,
             coverage_masks=packed if include_coverage_masks else None,
             metadata=metadata,
+            discrimination=discrimination,
         )
 
     def release(
